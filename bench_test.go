@@ -1,0 +1,199 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, one testing.B target per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports paper-relevant metrics via b.ReportMetric so
+// benchmark output doubles as a reproduction record (cycles, µs at the
+// 12.5 MHz clock, Mbits/s). The benchmarks run the Quick experiment
+// scale; use cmd/jm-tables -paper for paper-scale sweeps.
+package jmachine_test
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/bench"
+)
+
+var opts = bench.Options{Quick: true}
+
+// BenchmarkSec21SequentialRates regenerates the Section 2.1 execution
+// rates: peak, typical-internal, and external-memory MIPS.
+func BenchmarkSec21SequentialRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.SequentialRates(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PeakMIPS, "peak-MIPS")
+		b.ReportMetric(r.TypicalMIPS, "typical-MIPS")
+		b.ReportMetric(r.ExternalMIPS, "external-MIPS")
+	}
+}
+
+// BenchmarkFig2RoundTripLatency regenerates Figure 2: round-trip latency
+// versus distance for pings and remote reads.
+func BenchmarkFig2RoundTripLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.SelfPingCycles), "selfping-cycles")
+		b.ReportMetric(r.SlopePerHop, "cycles/hop-RTT")
+	}
+}
+
+// BenchmarkTable1MessageOverhead regenerates Table 1: one-way message
+// overhead against the published figures for contemporary machines.
+func BenchmarkTable1MessageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SendCycles+r.ReceiveCycles, "cycles/msg")
+	}
+}
+
+// BenchmarkFig3LatencyVsLoad regenerates the left panel of Figure 3:
+// one-way latency versus bisection traffic under random traffic.
+func BenchmarkFig3LatencyVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SaturationMbits, "saturation-Mbits/s")
+	}
+}
+
+// BenchmarkFig3Efficiency regenerates the right panel of Figure 3:
+// processor efficiency versus grain size (same experiment, second
+// projection; kept separate so each figure has a named target).
+func BenchmarkFig3Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Efficiency[0].Points[len(r.Efficiency[0].Points)-1]
+		b.ReportMetric(last.Y, "coarse-grain-efficiency")
+	}
+}
+
+// BenchmarkFig4TerminalBandwidth regenerates Figure 4: node-to-node
+// bandwidth versus message size for the three receiver variants.
+func BenchmarkFig4TerminalBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard := r.Series[0].Points
+		b.ReportMetric(discard[len(discard)-1].Y, "peak-Mbits/s")
+	}
+}
+
+// BenchmarkTable2Synchronization regenerates Table 2: producer-consumer
+// synchronization with and without presence tags.
+func BenchmarkTable2Synchronization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Tags[0]), "success-tags-cycles")
+		b.ReportMetric(float64(r.NoTags[0]), "success-notags-cycles")
+	}
+}
+
+// BenchmarkTable3Barrier regenerates Table 3: software barrier time
+// versus machine size.
+func BenchmarkTable3Barrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Measured[0], "2node-µs")
+		b.ReportMetric(r.Measured[len(r.Measured)-1], "max-size-µs")
+	}
+}
+
+// BenchmarkFig5Speedup regenerates Figure 5: speedup of the four
+// applications across machine sizes.
+func BenchmarkFig5Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Series {
+			unit := strings.ReplaceAll(s.Label, " ", "-") + "-speedup"
+			b.ReportMetric(s.Points[len(s.Points)-1].Y, unit)
+		}
+	}
+}
+
+// BenchmarkFig6Breakdown regenerates Figure 6: the per-application
+// breakdown of node-cycles by function.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Breakdown[0][5], "lcs-idle-pct")
+	}
+}
+
+// BenchmarkTable4AppStats regenerates Table 4: per-thread-class
+// application statistics.
+func BenchmarkTable4AppStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Apps[0].Classes[0].MsgLength, "nxtchar-msg-words")
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablations: hardware vs
+// software dispatch, router arbitration fairness, and queue sizing.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := bench.AblateDispatch(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.AblateArbitration(opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.AblateQueueSize(opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.AblateFlowControl(opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.AblateNaming(opts); err != nil {
+			b.Fatal(err)
+		}
+		_ = d
+	}
+}
+
+// BenchmarkTable5TSP regenerates Table 5: the major components of cost
+// for TSP under the CST runtime.
+func BenchmarkTable5TSP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Xlates), "xlates")
+		b.ReportMetric(r.UserPerThread, "user-instr/thread")
+	}
+}

@@ -1,0 +1,100 @@
+// jm-jc compiles a J-subset source file (see internal/jlang) and runs it
+// on a simulated J-Machine.
+//
+// Usage:
+//
+//	jm-jc [-nodes N] [-all] [-listing] [-trace N] [-max cycles] prog.j
+//
+// The program's "main" boots on node 0 (or on every node with -all) and
+// the machine runs until node 0 halts. Global variables and execution
+// statistics are printed at exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"jmachine/internal/bench"
+	"jmachine/internal/jlang"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/stats"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "machine size")
+	all := flag.Bool("all", false, "boot main on every node (SPMD)")
+	listing := flag.Bool("listing", false, "print the generated assembly")
+	traceN := flag.Int("trace", 0, "print the first N machine events per node")
+	max := flag.Int64("max", 100_000_000, "cycle budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jm-jc [flags] prog.j")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := jlang.Compile(string(src))
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+	if !c.Program.HasLabel("main") {
+		log.Fatal("program has no func main()")
+	}
+	if *listing {
+		fmt.Print(c.Program.Listing())
+	}
+
+	m, err := machine.New(machine.GridForNodes(*nodes), c.Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+	var bufs = m.EnableTrace(4096)
+	if *traceN == 0 {
+		bufs = nil
+		for _, n := range m.Nodes {
+			n.Trace = nil
+		}
+	}
+	if *all {
+		rt.StartAll(m, c.Program, "main")
+	} else {
+		rt.StartNode(m, c.Program, 0, "main")
+	}
+	if err := m.RunUntilHalt(0, *max); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("halted after %d cycles (%.3f ms at 12.5 MHz) on %d nodes\n",
+		m.Cycle(), bench.Micros(float64(m.Cycle()))/1000, m.NumNodes())
+	names := make([]string, 0, len(c.Globals))
+	for n := range c.Globals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w, _ := m.Nodes[0].Mem.Read(c.Globals[n])
+		fmt.Printf("  %s = %d\n", n, w.Data())
+	}
+	bd := m.Stats.Breakdown()
+	fmt.Printf("instructions %d, threads %d; comp %.1f%% comm %.1f%% sync %.1f%% idle %.1f%%\n",
+		m.Stats.Instrs(), m.Stats.Threads(),
+		100*bd[stats.CatComp], 100*bd[stats.CatComm], 100*bd[stats.CatSync], 100*bd[stats.CatIdle])
+	if bufs != nil {
+		for id, b := range bufs {
+			ev := b.Events()
+			if len(ev) > *traceN {
+				ev = ev[:*traceN]
+			}
+			for _, e := range ev {
+				fmt.Printf("n%02d %s\n", id, e)
+			}
+		}
+	}
+}

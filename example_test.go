@@ -1,0 +1,86 @@
+package jmachine_test
+
+import (
+	"fmt"
+
+	"jmachine"
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/jlang"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Example demonstrates the quick-start path: assemble a handler, boot a
+// machine, send it a message.
+func Example() {
+	b := jmachine.NewProgram()
+	b.Label("main").
+		MoveI(isa.A0, rt.AppBase).
+		Send(asm.Mem(isa.A0, 0)). // destination preloaded by the host
+		MoveHdr(isa.R1, "double", 2).
+		Send2E(isa.R1, asm.Imm(21)).
+		Suspend()
+	b.Label("double").
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Add(isa.R0, asm.R(isa.R0)).
+		MoveI(isa.A0, rt.AppBase).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Halt()
+	rt.BuildLib(b)
+	prog := b.MustAssemble()
+
+	m := jmachine.MustNew(jmachine.Grid(2, 1, 1), prog)
+	jmachine.AttachRuntime(m, prog)
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(1))
+	m.Nodes[0].StartBackground(prog.Entry("main"))
+	if err := m.RunUntilHalt(1, 1000); err != nil {
+		panic(err)
+	}
+	result, _ := m.Nodes[1].Mem.Read(rt.AppBase)
+	fmt.Println("node 1 computed", result.Data())
+	// Output: node 1 computed 42
+}
+
+// ExampleCompile shows the Tuned-J-style compiler: per-node C-like code
+// with the machine's mechanisms as builtins.
+func ExampleCompile() {
+	c, err := jlang.Compile(`
+		var out;
+		func fib(n) {
+			var a; var b; var t; var i;
+			a = 0; b = 1; i = 0;
+			while (i < n) { t = a + b; a = b; b = t; i = i + 1; }
+			return a;
+		}
+		func main() { out = fib(10); halt(); }
+	`)
+	if err != nil {
+		panic(err)
+	}
+	m := machine.MustNew(machine.Grid(1, 1, 1), c.Program)
+	rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+	rt.StartNode(m, c.Program, 0, "main")
+	if err := m.RunUntilHalt(0, 100000); err != nil {
+		panic(err)
+	}
+	out, _ := m.Nodes[0].Mem.Read(c.Globals["out"])
+	fmt.Println("fib(10) =", out.Data())
+	// Output: fib(10) = 55
+}
+
+// ExampleWord shows the tagged-word representation at the heart of the
+// MDP's synchronization mechanisms.
+func ExampleWord() {
+	v := word.Int(7)
+	slot := word.Cfut(0) // a slot awaiting its value
+	fmt.Println(v, "present:", v.IsPresent())
+	fmt.Println(slot, "present:", slot.IsPresent())
+	hdr := word.MsgHeader(128, 3)
+	fmt.Println("header targets ip", hdr.HeaderIP(), "length", hdr.HeaderLen())
+	// Output:
+	// int:7 present: true
+	// cfut:0 present: false
+	// header targets ip 128 length 3
+}

@@ -1,0 +1,31 @@
+// Barrier demonstrates the runtime's scan-style barrier library (the
+// Table 3 experiment): log₂(N) waves of priority-1 messages in a
+// butterfly pattern, with each wave's arrival matched to its counter by
+// the hardware dispatch mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jmachine/internal/bench"
+)
+
+func main() {
+	fmt.Println("software barrier time vs machine size (8 barriers averaged)")
+	fmt.Println("nodes  cycles  µs      µs/wave")
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		cycles, err := bench.MeasureBarrier(n, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		waves := 0
+		for v := 1; v < n; v *= 2 {
+			waves++
+		}
+		us := bench.Micros(cycles)
+		fmt.Printf("%5d  %6.0f  %-6.2f  %.2f\n", n, cycles, us, us/float64(waves))
+	}
+	fmt.Println("\npaper: 4.4 µs at 2 nodes rising to 27.4 µs at 512 —")
+	fmt.Println("one to two orders of magnitude faster than contemporary machines")
+}

@@ -1,0 +1,80 @@
+// Futures demonstrates the MDP's presence-tag synchronization: a
+// consumer thread reads a slot before the value exists, faults on the
+// cfut tag, and is suspended by system software; a remote producer
+// later performs a synchronizing write that delivers the value and
+// restarts the consumer — the hardware full/empty-bit pattern Table 2
+// measures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jmachine"
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+const slot = rt.AppBase + 8 // the not-yet-computed value lives here
+
+func main() {
+	b := jmachine.NewProgram()
+
+	// Node 0's consumer: read the slot (faulting and suspending if the
+	// value has not arrived), then square it and halt.
+	b.Label("consumer").
+		MoveI(isa.A0, slot).
+		Move(isa.R0, asm.Mem(isa.A0, 0)). // cfut fault -> suspend
+		Mul(isa.R0, asm.R(isa.R0)).
+		MoveI(isa.A1, rt.AppBase).
+		St(isa.R0, asm.Mem(isa.A1, 0)).
+		Halt()
+
+	// Node 1's producer: compute for a while, then send the value to
+	// node 0's writer handler.
+	b.Label("producer").
+		MoveI(isa.R2, 50). // simulated computation
+		Label("work").
+		Sub(isa.R2, asm.Imm(1)).
+		Bt(isa.R2, "work").
+		MoveI(isa.R1, 0).
+		Wtag(isa.R1, asm.Imm(int32(word.TagNode))). // node (0,0,0)
+		Send(asm.R(isa.R1)).
+		MoveHdr(isa.R1, "deliver", 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.Imm(6)). // the value
+		Suspend()
+
+	// Node 0's delivery handler: the synchronizing write. Its fast path
+	// is 4 cycles; finding a waiter triggers the runtime restart.
+	b.Label("deliver").
+		MoveI(isa.A0, slot).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Bsr(isa.R3, rt.LWriteSync).
+		Suspend()
+
+	rt.BuildLib(b)
+	prog := b.MustAssemble()
+
+	m := jmachine.MustNew(jmachine.Grid(2, 1, 1), prog)
+	r := jmachine.AttachRuntime(m, prog)
+	m.Nodes[0].Mem.FillCfut(slot, 1) // mark the slot "awaiting a value"
+	m.Nodes[0].StartBackground(prog.Entry("consumer"))
+	m.Nodes[1].StartBackground(prog.Entry("producer"))
+
+	// Walk the run in phases to narrate what happened.
+	m.StepN(20)
+	fmt.Printf("t=%3d: consumer suspended on the cfut slot: %d saved thread(s)\n",
+		m.Cycle(), r.SavedThreads(0))
+	if err := m.RunUntilHalt(0, 10_000); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := m.Nodes[0].Mem.Read(rt.AppBase)
+	fmt.Printf("t=%3d: producer delivered 6; restarted consumer computed 6² = %s\n",
+		m.Cycle(), got)
+	st := m.Stats.Nodes[0]
+	fmt.Printf("cfut faults: %d (suspension policy: %d-cycle save, %d-cycle restore)\n",
+		st.CfutFaults, rt.DefaultPolicy().SaveCycles, rt.DefaultPolicy().RestoreCycles)
+}

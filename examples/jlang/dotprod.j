@@ -1,0 +1,50 @@
+// Distributed dot product in the J subset: every node computes its
+// local partial from arrays in external memory, then the partials are
+// combined at node 0 through remote invocations — the Tuned-J style of
+// the paper's applications.
+
+var a[256] @emem;
+var b[256] @emem;
+var partial;
+var acc;
+var replies;
+var done;
+
+handler deliver(v) {
+	acc = acc + v;
+	replies = replies + 1;
+	if (replies == nodes()) {
+		done = 1;
+		halt();
+	}
+	suspend();
+}
+
+func fill() {
+	var i;
+	i = 0;
+	while (i < 256) {
+		a[i] = i + myid();
+		b[i] = 2 * i + 1;
+		i = i + 1;
+	}
+}
+
+func dot() {
+	var i;
+	var sum;
+	i = 0;
+	sum = 0;
+	while (i < 256) {
+		sum = sum + a[i] * b[i];
+		i = i + 1;
+	}
+	return sum;
+}
+
+func main() {
+	fill();
+	partial = dot();
+	send(nodeaddr(0), deliver, partial);
+	suspend();
+}

@@ -1,0 +1,47 @@
+// TSP runs the paper's Concurrent-Smalltalk-style branch-and-bound
+// benchmark and prints the behaviour the paper highlights: pruning can
+// produce super-linear speedup (the multi-node version finds better
+// bounds sooner), dynamic task redistribution keeps idle time far below
+// N-Queens, and the object runtime's xlate traffic is enormous.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jmachine/internal/apps/tsp"
+	"jmachine/internal/stats"
+)
+
+func main() {
+	params := tsp.Params{Cities: 10, Seed: 21}
+	want := tsp.Reference(params.Matrix())
+	fmt.Printf("branch-and-bound TSP, %d cities (optimal tour = %d)\n\n", params.Cities, want)
+	fmt.Println("nodes  cycles    speedup  idle%   xlates   xlates/instr")
+
+	var base int64
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		r, err := tsp.Run(n, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Best != want {
+			log.Fatalf("%d nodes found %d, want %d", n, r.Best, want)
+		}
+		if n == 1 {
+			base = r.Cycles
+		}
+		var xlates uint64
+		for _, nd := range r.M.Nodes {
+			xlates += nd.Xl.Stats().Hits + nd.Xl.Stats().Misses
+		}
+		bd := r.M.Stats.Breakdown()
+		fmt.Printf("%5d  %8d  %-7.2f  %-5.1f  %-8d %.3f\n",
+			n, r.Cycles, float64(base)/float64(r.Cycles),
+			100*bd[stats.CatIdle], xlates,
+			float64(xlates)/float64(r.M.Stats.Instrs()))
+	}
+	fmt.Println("\npaper: super-linear speedup on small machines from pruning;")
+	fmt.Println("3.8% idle (vs 15% for N-Queens) thanks to work redistribution;")
+	fmt.Println("5.1e8 xlates against 2.8e9 user instructions at full scale")
+}

@@ -1,0 +1,3 @@
+module jmachine
+
+go 1.22

@@ -1,0 +1,277 @@
+// Package lcs implements the paper's Longest Common Subsequence
+// macro-benchmark.
+//
+// One source string (A) is distributed evenly across the nodes; the other
+// (B) is placed on node 0 and its characters are passed across the nodes
+// in a systolic fashion, one character per 3-word message. Each message
+// handler has a fixed prologue (indexing into the match state), a loop
+// over the node's block of characters, and an epilogue that forwards the
+// partial result — exactly the structure whose entry/exit overhead the
+// paper shows growing from 9% to 33% as the machine scales from 64 to
+// 512 nodes. The program is written directly in (simulated) assembly, as
+// the original was.
+//
+// The single-node run of the same program serves as the sequential base
+// case: with the whole of A on one node the per-message overhead is
+// amortized over the full block and the code degenerates to the plain
+// dynamic program.
+package lcs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Application memory layout (word addresses in internal memory).
+const (
+	addrNext      = rt.AppBase + 0 // router address of the next node
+	addrBlockLen  = rt.AppBase + 1 // characters of string A held here
+	addrCarryPrev = rt.AppBase + 2 // L[i0-1][j-1] from the previous step
+	addrMsgCount  = rt.AppBase + 3 // messages processed (last node only)
+	addrLenB      = rt.AppBase + 4 // total characters of string B
+	addrIsLast    = rt.AppBase + 5 // 1 on the last node
+	addrResult    = rt.AppBase + 6 // final LCS length (node 0)
+	addrBIdx      = rt.AppBase + 7 // driver progress through string B
+	addrBBase     = rt.AppBase + 8 // address of string B (node 0)
+	addrChars     = rt.AppBase + 16
+	// col (the match column, blockLen words) follows chars; string B
+	// follows col on node 0, spilling to external memory when large.
+)
+
+// Params sizes the problem. The paper studies LenA=1024, LenB=4096.
+type Params struct {
+	LenA, LenB int
+	Seed       int64
+	Alphabet   int // distinct characters (default 4)
+}
+
+func (p Params) withDefaults() Params {
+	if p.LenA == 0 {
+		p.LenA = 1024
+	}
+	if p.LenB == 0 {
+		p.LenB = 4096
+	}
+	if p.Alphabet == 0 {
+		p.Alphabet = 4
+	}
+	return p
+}
+
+// Strings generates the two input strings deterministically from Seed.
+func (p Params) Strings() (a, b []byte) {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed + 1))
+	a = make([]byte, p.LenA)
+	b = make([]byte, p.LenB)
+	for i := range a {
+		a[i] = byte(r.Intn(p.Alphabet))
+	}
+	for i := range b {
+		b[i] = byte(r.Intn(p.Alphabet))
+	}
+	return a, b
+}
+
+// Reference computes the LCS length with the standard dynamic program.
+func Reference(a, b []byte) int {
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for j := 1; j <= len(b); j++ {
+		for i := 1; i <= len(a); i++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[i] = prev[i-1] + 1
+			case cur[i-1] >= prev[i]:
+				cur[i] = cur[i-1]
+			default:
+				cur[i] = prev[i]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)]
+}
+
+// Thread-class labels (Table 4 rows).
+const (
+	LNxtChar = "lcs.nxtchar" // the dominant message handler ("NxtChar")
+	LStartUp = "lcs.startup" // node 0's generator thread ("StartUp")
+	LDone    = "lcs.done"
+)
+
+// BuildProgram assembles the LCS program plus the runtime library.
+func BuildProgram() *asm.Program {
+	b := asm.NewBuilder()
+
+	// lcs.startup: node 0's background thread. It emits one 3-word
+	// message per character of B — to itself, as in the paper — and
+	// relies on background priority (runs only when the queues are
+	// empty) for flow control: "these messages appear one at a time".
+	b.Label(LStartUp).
+		MoveI(isa.A0, addrBIdx).
+		Move(isa.R2, asm.Mem(isa.A0, 0)). // j
+		MoveI(isa.A1, addrLenB).
+		Move(isa.R0, asm.R(isa.R2)).
+		Ge(isa.R0, asm.Mem(isa.A1, 0)).
+		Bt(isa.R0, "lcs.startup.done").
+		MoveI(isa.A2, addrBBase).
+		Move(isa.A1, asm.Mem(isa.A2, 0)).       // base of string B
+		Move(isa.R1, asm.MemR(isa.A1, isa.R2)). // b_j
+		Send(asm.R(isa.NNR)).                   // to self
+		MoveHdr(isa.R0, LNxtChar, 3).
+		Send(asm.R(isa.R0)).
+		Send(asm.R(isa.R1)).
+		SendE(asm.R(isa.ZERO)). // carry into node 0 is always 0
+		Add(isa.R2, asm.Imm(1)).
+		MoveI(isa.A0, addrBIdx).
+		St(isa.R2, asm.Mem(isa.A0, 0)).
+		Br(LStartUp).
+		Label("lcs.startup.done").
+		Suspend()
+
+	// lcs.nxtchar: [hdr, b_j, carry] — the systolic step.
+	b.Label(LNxtChar).
+		// Prologue: load state and swap the diagonal carry.
+		MoveI(isa.A2, rt.AppBase).
+		Move(isa.R2, asm.Mem(isa.A3, 1)). // b_j
+		Move(isa.R0, asm.Mem(isa.A3, 2)). // left = L[i0-1][j]
+		Move(isa.R1, asm.Mem(isa.A2, 2)). // diag = carryPrev
+		St(isa.R0, asm.Mem(isa.A2, 2)).   // carryPrev = left
+		MoveI(isa.A0, addrChars).
+		Move(isa.A1, asm.Mem(isa.A2, 1)). // blockLen
+		Add(isa.A1, asm.Imm(addrChars)).  // A1 = &col[0]
+		Move(isa.A2, asm.Mem(isa.A2, 1)). // countdown
+		Label("lcs.loop").
+		Move(isa.R3, asm.R(isa.R2)).
+		Eq(isa.R3, asm.Mem(isa.A0, 0)). // a_i == b_j?
+		Bf(isa.R3, "lcs.nomatch").
+		Move(isa.R3, asm.R(isa.R1)). // new = diag + 1
+		Add(isa.R3, asm.Imm(1)).
+		Br("lcs.store").
+		Label("lcs.nomatch").
+		Move(isa.R3, asm.R(isa.R0)). // new = max(left, up)
+		Ge(isa.R3, asm.Mem(isa.A1, 0)).
+		Bt(isa.R3, "lcs.useleft").
+		Move(isa.R3, asm.Mem(isa.A1, 0)).
+		Br("lcs.store").
+		Label("lcs.useleft").
+		Move(isa.R3, asm.R(isa.R0)).
+		Label("lcs.store").
+		Move(isa.R1, asm.Mem(isa.A1, 0)). // diag = old col[i]
+		St(isa.R3, asm.Mem(isa.A1, 0)).   // col[i] = new
+		Move(isa.R0, asm.R(isa.R3)).      // left = new
+		Add(isa.A0, asm.Imm(1)).
+		Add(isa.A1, asm.Imm(1)).
+		Add(isa.A2, asm.Imm(-1)).
+		Bt(isa.A2, "lcs.loop").
+		// Epilogue: forward the partial result or finish.
+		MoveI(isa.A2, rt.AppBase).
+		Move(isa.R1, asm.Mem(isa.A2, 5)). // isLast
+		Bt(isa.R1, "lcs.last").
+		Send(asm.Mem(isa.A2, 0)). // next node
+		MoveHdr(isa.R1, LNxtChar, 3).
+		Send(asm.R(isa.R1)).
+		Send(asm.R(isa.R2)).  // b_j travels on
+		SendE(asm.R(isa.R0)). // carry = L[iend][j]
+		Suspend().
+		Label("lcs.last").
+		Move(isa.R1, asm.Mem(isa.A2, 3)). // message count
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.Mem(isa.A2, 3)).
+		Move(isa.R3, asm.R(isa.R1)).
+		Lt(isa.R3, asm.Mem(isa.A2, 4)). // count < LenB?
+		Bt(isa.R3, "lcs.out").
+		// All of B processed: deliver the result to node 0.
+		MoveI(isa.R1, 0).
+		Wtag(isa.R1, asm.Imm(int32(word.TagNode))). // node (0,0,0)
+		Send(asm.R(isa.R1)).
+		MoveHdr(isa.R1, LDone, 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.R(isa.R0)).
+		Label("lcs.out").
+		Suspend()
+
+	// lcs.done: [hdr, length] — record the answer and halt node 0.
+	b.Label(LDone).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		MoveI(isa.A0, addrResult).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Halt()
+
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+// Result reports one run.
+type Result struct {
+	Length int
+	Cycles int64
+	M      *machine.Machine
+	P      *asm.Program
+}
+
+// Run executes LCS on a machine of the given node count. LenA must be
+// divisible by the node count.
+func Run(nodes int, params Params) (Result, error) {
+	params = params.withDefaults()
+	if params.LenA%nodes != 0 {
+		return Result{}, fmt.Errorf("lcs: LenA %d not divisible by %d nodes", params.LenA, nodes)
+	}
+	a, bs := params.Strings()
+	block := params.LenA / nodes
+
+	p := BuildProgram()
+	cfg := machine.GridForNodes(nodes)
+	m, err := machine.New(cfg, p)
+	if err != nil {
+		return Result{}, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+
+	for id, n := range m.Nodes {
+		mm := n.Mem
+		next := (id + 1) % nodes
+		load := func(addr int32, w word.Word) {
+			if err := mm.Write(addr, w); err != nil {
+				panic(err)
+			}
+		}
+		load(addrNext, m.Net.NodeWord(next))
+		load(addrBlockLen, word.Int(int32(block)))
+		load(addrCarryPrev, word.Int(0))
+		load(addrMsgCount, word.Int(0))
+		load(addrLenB, word.Int(int32(params.LenB)))
+		load(addrIsLast, word.Bool(id == nodes-1))
+		load(addrBIdx, word.Int(0))
+		for i := 0; i < block; i++ {
+			load(addrChars+int32(i), word.Sym(int32(a[id*block+i])))
+			load(addrChars+int32(block+i), word.Int(0)) // col
+		}
+		if id == 0 {
+			bBase := addrChars + int32(2*block)
+			if int(bBase)+params.LenB > mm.ImemWords() {
+				bBase = int32(mm.ImemWords()) // spill B to external memory
+			}
+			load(addrBBase, word.Int(bBase))
+			for j, c := range bs {
+				load(bBase+int32(j), word.Sym(int32(c)))
+			}
+		}
+	}
+
+	rt.StartNode(m, p, 0, LStartUp)
+	// Budget: the DP is LenA×LenB steps at ~16 cycles, plus slack.
+	budget := int64(params.LenA)*int64(params.LenB)*32/int64(nodes) + 5_000_000
+	if err := m.RunUntilHalt(0, budget); err != nil {
+		return Result{}, err
+	}
+	res, _ := m.Nodes[0].Mem.Read(addrResult)
+	return Result{Length: int(res.Data()), Cycles: m.Cycle(), M: m, P: p}, nil
+}

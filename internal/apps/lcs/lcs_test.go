@@ -1,0 +1,164 @@
+package lcs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jmachine/internal/stats"
+)
+
+func TestReferenceKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 3},
+		{"abc", "def", 0},
+		{"abcbdab", "bdcaba", 4},
+		{"AGGTAB", "GXTXAYB", 4},
+	}
+	for _, c := range cases {
+		if got := Reference([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Reference(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRunMatchesReferenceSmall(t *testing.T) {
+	params := Params{LenA: 32, LenB: 48, Seed: 7}
+	a, b := params.Strings()
+	want := Reference(a, b)
+	for _, nodes := range []int{1, 2, 4, 8} {
+		res, err := Run(nodes, params)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if res.Length != want {
+			t.Errorf("%d nodes: LCS = %d, want %d", nodes, res.Length, want)
+		}
+	}
+}
+
+func TestRunProperty(t *testing.T) {
+	// The simulated machine agrees with the reference DP for arbitrary
+	// seeds and a node count that divides LenA.
+	f := func(seed int64) bool {
+		params := Params{LenA: 16, LenB: 24, Seed: seed}
+		a, b := params.Strings()
+		res, err := Run(4, params)
+		if err != nil {
+			return false
+		}
+		return res.Length == Reference(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	// More nodes means fewer cycles on a fixed problem, with reasonable
+	// efficiency at modest scale.
+	params := Params{LenA: 64, LenB: 128, Seed: 3}
+	c1, err := Run(1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := Run(8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(c1.Cycles) / float64(c8.Cycles)
+	if speedup < 3 {
+		t.Errorf("8-node speedup = %.2f, want > 3", speedup)
+	}
+	t.Logf("8-node speedup on 64x128 = %.2f", speedup)
+}
+
+func TestThreadStatistics(t *testing.T) {
+	// Table 4 shape: the NxtChar handler is invoked LenB times per node
+	// (every message visits every node), message length 3.
+	params := Params{LenA: 32, LenB: 40, Seed: 1}
+	const nodes = 4
+	res, err := Run(nodes, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.M.Stats.HandlerTotal(res.P.Entry(LNxtChar))
+	wantInvocations := uint64(params.LenB * nodes)
+	if h.Invocations != wantInvocations {
+		t.Errorf("NxtChar invocations = %d, want %d", h.Invocations, wantInvocations)
+	}
+	if avg := float64(h.MsgWords) / float64(h.Invocations); avg != 3 {
+		t.Errorf("NxtChar message length = %.1f, want 3", avg)
+	}
+	// Instructions per thread: prologue+epilogue plus ~12/char over 8
+	// chars — tens of instructions.
+	perThread := float64(h.Instrs) / float64(h.Invocations)
+	if perThread < 40 || perThread > 200 {
+		t.Errorf("NxtChar instr/thread = %.0f", perThread)
+	}
+}
+
+func TestHandlerOverheadGrowsWithMachineSize(t *testing.T) {
+	// The paper: handler entry/exit overhead grows from 9% (64 nodes)
+	// to 33% (512) as blocks shrink. Verify the trend: cycles per
+	// NxtChar thread shrink sublinearly as blocks shrink.
+	params := Params{LenA: 64, LenB: 64, Seed: 2}
+	r2, err := Run(2, params) // 32 chars/node
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Run(16, params) // 4 chars/node
+	if err != nil {
+		t.Fatal(err)
+	}
+	per2 := float64(r2.M.Stats.HandlerTotal(r2.P.Entry(LNxtChar)).Instrs) / float64(params.LenB*2)
+	per16 := float64(r16.M.Stats.HandlerTotal(r16.P.Entry(LNxtChar)).Instrs) / float64(params.LenB*16)
+	// 8x fewer chars per block must NOT give 8x fewer instructions —
+	// the fixed prologue/epilogue dominates small blocks.
+	if per2/per16 >= 8 {
+		t.Errorf("no fixed overhead visible: %.1f vs %.1f instr/thread", per2, per16)
+	}
+	if per2 <= per16 {
+		t.Errorf("larger blocks should mean longer threads: %.1f vs %.1f", per2, per16)
+	}
+}
+
+func TestIdleAndBreakdown(t *testing.T) {
+	params := Params{LenA: 64, LenB: 96, Seed: 5}
+	res, err := Run(8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.M.Stats.Breakdown()
+	if bd[stats.CatComp] <= 0 {
+		t.Error("no compute cycles attributed")
+	}
+	if bd[stats.CatIdle] <= 0 {
+		t.Error("systolic skew should produce idle cycles")
+	}
+	sum := 0.0
+	for _, v := range bd {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+}
+
+func TestRunAtLargeMachines(t *testing.T) {
+	params := Params{LenA: 128, LenB: 64, Seed: 9}
+	a, b := params.Strings()
+	want := Reference(a, b)
+	for _, nodes := range []int{32, 128} {
+		res, err := Run(nodes, params)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if res.Length != want {
+			t.Errorf("%d nodes: LCS = %d, want %d", nodes, res.Length, want)
+		}
+	}
+}

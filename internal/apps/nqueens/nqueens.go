@@ -1,0 +1,351 @@
+// Package nqueens implements the paper's N-Queens macro-benchmark.
+//
+// N-Queens is a graph-search problem whose central challenge is
+// controlling explosive parallelism. Following the paper, boards are
+// expanded breadth-first to a split depth, producing coarse-grained
+// tasks (8-word board messages) distributed round-robin across the
+// machine; each task then performs a depth-first traversal of its
+// subtree locally and reports its solution count in a 3-word result
+// message. All work is generated at the start of the program, so the
+// hardware message queue's limited buffering — and the resulting idle
+// imbalance — appear exactly as the paper describes.
+package nqueens
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Application memory layout: scalar fields as offsets from AppBase.
+const (
+	app           = rt.AppBase
+	offN          = 0  // board size
+	offFull       = 1  // (1<<n)-1
+	offTaskIdx    = 2  // driver: tasks emitted so far
+	offSolutions  = 3  // node 0: accumulated solutions
+	offDone       = 4  // node 0: completed tasks
+	offExpect     = 5  // node 0: total tasks (valid once offKnown)
+	offKnown      = 6  // node 0: expansion complete
+	offWorkers    = 7  // round-robin divisor (numNodes, or numNodes-1)
+	offLocalCount = 8  // per-task solution counter
+	offDrvStop    = 9  // driver DFS emit pointer
+	offTskStop    = 10 // task DFS emit pointer
+	offFirstWkr   = 11 // first worker id (1 when the driver is excluded)
+
+	drvFrames = 80  // driver DFS stack (4 words per row)
+	tskFrames = 144 // task DFS stack
+	nodeTable = 256 // router addresses by node id (loader-initialized)
+)
+
+// Params sizes the problem. The paper solves 13 queens.
+type Params struct {
+	N int
+	// SplitDepth is the breadth-first expansion depth (default 2). The
+	// paper notes the expansion depth depends on machine and problem
+	// size.
+	SplitDepth int
+	// Tune adjusts the machine configuration before construction
+	// (ablation studies: queue sizes, timing).
+	Tune func(*machine.Config)
+	// ExcludeDriver dedicates node 0 to breadth-first distribution,
+	// spreading tasks over nodes 1..N-1. With the driver free of task
+	// work, the burst genuinely outruns the receivers — the regime in
+	// which the hardware queue's 64-board limit binds.
+	ExcludeDriver bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.N == 0 {
+		p.N = 13
+	}
+	if p.SplitDepth == 0 {
+		p.SplitDepth = 2
+	}
+	return p
+}
+
+// Reference counts solutions with the standard bitmask backtracker.
+func Reference(n int) int {
+	full := int32(1)<<uint(n) - 1
+	var rec func(cols, d1, d2 int32) int
+	rec = func(cols, d1, d2 int32) int {
+		if cols == full {
+			return 1
+		}
+		count := 0
+		avail := ^(cols | d1 | d2) & full
+		for avail != 0 {
+			bit := avail & -avail
+			avail ^= bit
+			count += rec(cols|bit, (d1|bit)<<1&full, (d2|bit)>>1)
+		}
+		return count
+	}
+	return rec(0, 0, 0)
+}
+
+// ReferenceTasks returns the number of valid boards at the split depth
+// (the task count the driver will emit).
+func ReferenceTasks(n, depth int) int {
+	full := int32(1)<<uint(n) - 1
+	var rec func(cols, d1, d2 int32, row int) int
+	rec = func(cols, d1, d2 int32, row int) int {
+		if row == depth {
+			return 1
+		}
+		count := 0
+		avail := ^(cols | d1 | d2) & full
+		for avail != 0 {
+			bit := avail & -avail
+			avail ^= bit
+			count += rec(cols|bit, (d1|bit)<<1&full, (d2|bit)>>1, row+1)
+		}
+		return count
+	}
+	return rec(0, 0, 0, 0)
+}
+
+// Thread-class labels (Table 4: "NQueens" tasks and "NQDone" results).
+const (
+	LMain = "nq.main"
+	LTask = "nq.task"
+	LDone = "nq.done"
+)
+
+// emitDFS inlines the iterative bitmask DFS. A0 walks the frame stack
+// (4 words per frame: cols, d1, d2, avail); when a placement reaches the
+// stop pointer the emit code runs with ncols in R2, nd1 in R3, nd2 in
+// R0. pre labels a unique prefix.
+func emitDFS(b *asm.Builder, pre string, frameBase int32, stopOff int32, emit func(b *asm.Builder)) {
+	loop, pop, expand, emitL, out := pre+".loop", pre+".pop", pre+".expand", pre+".emit", pre+".out"
+	b.Label(loop).
+		Move(isa.R0, asm.Mem(isa.A0, 3)). // avail
+		Bf(isa.R0, pop).
+		Move(isa.R1, asm.R(isa.R0)). // bit = avail & -avail
+		Neg(isa.R1).
+		And(isa.R1, asm.R(isa.R0)).
+		Xor(isa.R0, asm.R(isa.R1)). // avail ^= bit
+		St(isa.R0, asm.Mem(isa.A0, 3)).
+		MoveI(isa.A1, app).
+		Move(isa.R2, asm.Mem(isa.A0, 0)). // ncols = cols | bit
+		Or(isa.R2, asm.R(isa.R1)).
+		Move(isa.R3, asm.Mem(isa.A0, 1)). // nd1 = (d1|bit)<<1 & full
+		Or(isa.R3, asm.R(isa.R1)).
+		Lsh(isa.R3, asm.Imm(1)).
+		And(isa.R3, asm.Mem(isa.A1, offFull)).
+		Move(isa.R0, asm.Mem(isa.A0, 2)). // nd2 = (d2|bit)>>1
+		Or(isa.R0, asm.R(isa.R1)).
+		Ash(isa.R0, asm.Imm(-1)).
+		// Placement complete: at the stop pointer, emit.
+		Move(isa.R1, asm.R(isa.A0)).
+		Eq(isa.R1, asm.Mem(isa.A1, stopOff)).
+		Bt(isa.R1, emitL).
+		// Push the child frame.
+		Add(isa.A0, asm.Imm(4)).
+		St(isa.R2, asm.Mem(isa.A0, 0)).
+		St(isa.R3, asm.Mem(isa.A0, 1)).
+		St(isa.R0, asm.Mem(isa.A0, 2)).
+		Move(isa.R1, asm.R(isa.R2)). // avail = ~(c|d1|d2) & full
+		Or(isa.R1, asm.R(isa.R3)).
+		Or(isa.R1, asm.R(isa.R0)).
+		Not(isa.R1).
+		And(isa.R1, asm.Mem(isa.A1, offFull)).
+		St(isa.R1, asm.Mem(isa.A0, 3)).
+		Br(loop).
+		Label(emitL)
+	emit(b)
+	b.Br(loop).
+		Label(pop).
+		Add(isa.A0, asm.Imm(-4)).
+		Move(isa.R1, asm.R(isa.A0)).
+		Lt(isa.R1, asm.Imm(frameBase)).
+		Bf(isa.R1, loop).
+		Label(out)
+	_ = expand
+}
+
+// BuildProgram assembles the N-Queens program plus the runtime library.
+func BuildProgram() *asm.Program {
+	b := asm.NewBuilder()
+
+	// nq.main: node 0 expands breadth-first and scatters tasks; other
+	// nodes idle at background.
+	b.Label(LMain).
+		MoveI(isa.A2, 0).
+		Move(isa.R1, asm.Mem(isa.A2, rt.AddrNodeID)).
+		Bt(isa.R1, "nq.idle").
+		// Root frame: empty board.
+		MoveI(isa.A0, drvFrames).
+		St(isa.ZERO, asm.Mem(isa.A0, 0)).
+		St(isa.ZERO, asm.Mem(isa.A0, 1)).
+		St(isa.ZERO, asm.Mem(isa.A0, 2)).
+		MoveI(isa.A1, app).
+		Move(isa.R1, asm.Mem(isa.A1, offFull)).
+		St(isa.R1, asm.Mem(isa.A0, 3))
+	emitDFS(b, "nq.drv", drvFrames, offDrvStop, func(b *asm.Builder) {
+		// Send the board as a task: round-robin by task index over the
+		// worker set.
+		b.Move(isa.R1, asm.Mem(isa.A1, offTaskIdx)).
+			Mod(isa.R1, asm.Mem(isa.A1, offWorkers)).
+			Add(isa.R1, asm.Mem(isa.A1, offFirstWkr)).
+			Add(isa.R1, asm.Imm(nodeTable)).
+			MoveI(isa.RGN, 4). // node-address lookup = "NNR calc"
+			Move(isa.A2, asm.R(isa.R1)).
+			Send(asm.Mem(isa.A2, 0)).
+			MoveI(isa.RGN, 0).
+			MoveHdr(isa.R1, LTask, 8).
+			Send(asm.R(isa.R1)).
+			Send(asm.R(isa.R2)).
+			Send(asm.R(isa.R3)).
+			Send(asm.R(isa.R0)).
+			Send(asm.Mem(isa.A1, offTaskIdx)). // task sequence number
+			Send(asm.R(isa.ZERO)).
+			Send(asm.R(isa.ZERO)).
+			SendE(asm.R(isa.ZERO)).
+			Move(isa.R1, asm.Mem(isa.A1, offTaskIdx)).
+			Add(isa.R1, asm.Imm(1)).
+			St(isa.R1, asm.Mem(isa.A1, offTaskIdx))
+	})
+	// Expansion complete: publish the task count, then check whether
+	// all results already arrived.
+	b.MoveI(isa.A1, app).
+		Move(isa.R1, asm.Mem(isa.A1, offTaskIdx)).
+		St(isa.R1, asm.Mem(isa.A1, offExpect)).
+		MoveI(isa.R0, 1).
+		St(isa.R0, asm.Mem(isa.A1, offKnown)).
+		Move(isa.R0, asm.Mem(isa.A1, offDone)).
+		Eq(isa.R0, asm.R(isa.R1)).
+		Bf(isa.R0, "nq.idle").
+		Halt().
+		Label("nq.idle").
+		Suspend()
+
+	// nq.task: [hdr, cols, d1, d2, seq, 0, 0, 0] — depth-first search
+	// of the subtree, entirely local. The paper's dominant thread class:
+	// ~300,000 instructions for 13 queens on 64 nodes.
+	b.Label(LTask).
+		MoveI(isa.A1, app).
+		St(isa.ZERO, asm.Mem(isa.A1, offLocalCount)).
+		MoveI(isa.A0, tskFrames).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Move(isa.R1, asm.Mem(isa.A3, 2)).
+		St(isa.R1, asm.Mem(isa.A0, 1)).
+		Move(isa.R2, asm.Mem(isa.A3, 3)).
+		St(isa.R2, asm.Mem(isa.A0, 2)).
+		Or(isa.R0, asm.R(isa.R1)). // avail = ~(c|d1|d2) & full
+		Or(isa.R0, asm.R(isa.R2)).
+		Not(isa.R0).
+		And(isa.R0, asm.Mem(isa.A1, offFull)).
+		St(isa.R0, asm.Mem(isa.A0, 3))
+	emitDFS(b, "nq.tsk", tskFrames, offTskStop, func(b *asm.Builder) {
+		b.Move(isa.R1, asm.Mem(isa.A1, offLocalCount)).
+			Add(isa.R1, asm.Imm(1)).
+			St(isa.R1, asm.Mem(isa.A1, offLocalCount))
+	})
+	// Report the count to node 0 (3-word NQDone message).
+	b.MoveI(isa.R1, 0).
+		Wtag(isa.R1, asm.Imm(int32(word.TagNode))).
+		Send(asm.R(isa.R1)).
+		MoveHdr(isa.R1, LDone, 3).
+		Send(asm.R(isa.R1)).
+		MoveI(isa.A1, app).
+		Send(asm.Mem(isa.A1, offLocalCount)).
+		SendE(asm.Mem(isa.A3, 4)). // echo the task sequence number
+		Suspend()
+
+	// nq.done: [hdr, count, seq] — accumulate; halt when all tasks are
+	// accounted for and expansion has finished.
+	b.Label(LDone).
+		MoveI(isa.A0, app).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Add(isa.R0, asm.Mem(isa.A0, offSolutions)).
+		St(isa.R0, asm.Mem(isa.A0, offSolutions)).
+		Move(isa.R1, asm.Mem(isa.A0, offDone)).
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.Mem(isa.A0, offDone)).
+		Move(isa.R2, asm.Mem(isa.A0, offKnown)).
+		Bf(isa.R2, "nq.done.out").
+		Eq(isa.R1, asm.Mem(isa.A0, offExpect)).
+		Bf(isa.R1, "nq.done.out").
+		Halt().
+		Label("nq.done.out").
+		Suspend()
+
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+// Result reports one run.
+type Result struct {
+	Solutions int
+	Tasks     int
+	Cycles    int64
+	M         *machine.Machine
+	P         *asm.Program
+}
+
+// Run executes N-Queens on a machine of the given node count (a power
+// of two, for the round-robin mask).
+func Run(nodes int, params Params) (Result, error) {
+	params = params.withDefaults()
+	if nodes < 1 {
+		return Result{}, fmt.Errorf("nqueens: invalid node count %d", nodes)
+	}
+	if params.SplitDepth < 1 || params.SplitDepth >= params.N {
+		return Result{}, fmt.Errorf("nqueens: split depth %d out of range for n=%d", params.SplitDepth, params.N)
+	}
+	p := BuildProgram()
+	cfg := machine.GridForNodes(nodes)
+	if params.Tune != nil {
+		params.Tune(&cfg)
+	}
+	m, err := machine.New(cfg, p)
+	if err != nil {
+		return Result{}, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+
+	n, d := params.N, params.SplitDepth
+	for _, nd := range m.Nodes {
+		mm := nd.Mem
+		set := func(off int32, v int32) {
+			if err := mm.Write(app+off, word.Int(v)); err != nil {
+				panic(err)
+			}
+		}
+		set(offN, int32(n))
+		set(offFull, int32(1)<<uint(n)-1)
+		workers, first := nodes, 0
+		if params.ExcludeDriver && nodes > 1 {
+			workers, first = nodes-1, 1
+		}
+		set(offWorkers, int32(workers))
+		set(offFirstWkr, int32(first))
+		set(offDrvStop, drvFrames+int32(4*(d-1)))
+		set(offTskStop, tskFrames+int32(4*(n-d-1)))
+		for i := 0; i < nodes; i++ {
+			mm.Write(nodeTable+int32(i), m.Net.NodeWord(i))
+		}
+	}
+
+	rt.StartAll(m, p, LMain)
+	// Budget: the search tree for n queens, ~25 cycles per node visit.
+	budget := int64(Reference(n))*2000/int64(nodes)*30 + 20_000_000
+	if err := m.RunUntilHalt(0, budget); err != nil {
+		return Result{}, err
+	}
+	sol, _ := m.Nodes[0].Mem.Read(app + offSolutions)
+	tasks, _ := m.Nodes[0].Mem.Read(app + offExpect)
+	return Result{
+		Solutions: int(sol.Data()),
+		Tasks:     int(tasks.Data()),
+		Cycles:    m.Cycle(),
+		M:         m, P: p,
+	}, nil
+}

@@ -1,0 +1,139 @@
+package nqueens
+
+import (
+	"testing"
+
+	"jmachine/internal/stats"
+)
+
+// Known solution counts.
+var known = map[int]int{4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+
+func TestReference(t *testing.T) {
+	for n, want := range known {
+		if got := Reference(n); got != want {
+			t.Errorf("Reference(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReferenceTasks(t *testing.T) {
+	// Depth-1 expansion yields n tasks; depth-2 yields the number of
+	// non-attacking 2-queen placements in the first two rows.
+	if got := ReferenceTasks(6, 1); got != 6 {
+		t.Errorf("tasks(6,1) = %d", got)
+	}
+	if got := ReferenceTasks(4, 2); got != 6 {
+		// Row 0: 4 choices; row 1 excludes same column and diagonals.
+		t.Errorf("tasks(4,2) = %d", got)
+	}
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		n, depth, nodes int
+	}{
+		{5, 1, 1},
+		{6, 1, 2},
+		{6, 2, 4},
+		{7, 2, 8},
+		{8, 2, 4},
+	} {
+		res, err := Run(tc.nodes, Params{N: tc.n, SplitDepth: tc.depth})
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if res.Solutions != known[tc.n] {
+			t.Errorf("n=%d nodes=%d: solutions = %d, want %d", tc.n, tc.nodes, res.Solutions, known[tc.n])
+		}
+		if res.Tasks != ReferenceTasks(tc.n, tc.depth) {
+			t.Errorf("n=%d: tasks = %d, want %d", tc.n, res.Tasks, ReferenceTasks(tc.n, tc.depth))
+		}
+	}
+}
+
+func TestThreadStatistics(t *testing.T) {
+	// Table 4 shape: 8-word task messages, 3-word result messages,
+	// coarse-grained task threads.
+	res, err := Run(4, Params{N: 8, SplitDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := res.M.Stats.HandlerTotal(res.P.Entry(LTask))
+	done := res.M.Stats.HandlerTotal(res.P.Entry(LDone))
+	if task.Invocations != uint64(res.Tasks) {
+		t.Errorf("task invocations = %d, want %d", task.Invocations, res.Tasks)
+	}
+	if avg := float64(task.MsgWords) / float64(task.Invocations); avg != 8 {
+		t.Errorf("task message length = %.1f, want 8", avg)
+	}
+	if avg := float64(done.MsgWords) / float64(done.Invocations); avg != 3 {
+		t.Errorf("done message length = %.1f, want 3", avg)
+	}
+	perTask := float64(task.Instrs) / float64(task.Invocations)
+	if perTask < 100 {
+		t.Errorf("task threads too short: %.0f instr", perTask)
+	}
+	t.Logf("8-queens depth 2: %d tasks, %.0f instr/task", res.Tasks, perTask)
+}
+
+func TestIdleFromImbalance(t *testing.T) {
+	// With all work generated up-front and no load balancing, idle time
+	// appears (15% in the paper's 64-node, 13-queens run).
+	res, err := Run(8, Params{N: 8, SplitDepth: 1}) // 8 uneven tasks on 8 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := res.M.Stats.IdleFraction()
+	if idle <= 0.01 {
+		t.Errorf("idle fraction = %.3f, expected visible imbalance", idle)
+	}
+	t.Logf("idle fraction = %.2f", idle)
+}
+
+func TestSpeedupShape(t *testing.T) {
+	params := Params{N: 8, SplitDepth: 2}
+	c1, err := Run(1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := Run(8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(c1.Cycles) / float64(c8.Cycles)
+	if speedup < 2.5 {
+		t.Errorf("8-node speedup = %.2f", speedup)
+	}
+	t.Logf("8-queens speedup on 8 nodes = %.2f", speedup)
+}
+
+func TestBreakdownMostlyCompute(t *testing.T) {
+	// N-Queens performance is set by the problem, not the mechanisms:
+	// compute and idle dominate; comm is negligible.
+	res, err := Run(4, Params{N: 8, SplitDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.M.Stats.Breakdown()
+	if bd[stats.CatComp]+bd[stats.CatIdle] < 0.85 {
+		t.Errorf("comp+idle = %.2f, expected dominance", bd[stats.CatComp]+bd[stats.CatIdle])
+	}
+	if bd[stats.CatComm] > 0.05 {
+		t.Errorf("comm = %.2f, expected negligible", bd[stats.CatComm])
+	}
+}
+
+func TestRunAtLargeMachines(t *testing.T) {
+	// Node counts beyond the task count leave nodes without work but
+	// must still terminate and count correctly.
+	for _, nodes := range []int{32, 64} {
+		res, err := Run(nodes, Params{N: 7, SplitDepth: 2})
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if res.Solutions != known[7] {
+			t.Errorf("%d nodes: solutions = %d", nodes, res.Solutions)
+		}
+	}
+}

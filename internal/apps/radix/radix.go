@@ -1,0 +1,469 @@
+// Package radix implements the paper's Radix Sort macro-benchmark.
+//
+// Keys are sorted one 4-bit digit at a time with a stable three-phase
+// counting sort. In the parallel version the data is distributed evenly;
+// per-node counts are combined and initial offsets generated with a
+// binary combining/distributing tree (a Blelloch scan over 16-element
+// count vectors); and the reorder phase writes every key to its new slot
+// as soon as the location is computed — one 3-word message per key, the
+// "fine-grained style" that makes radix sort the paper's only
+// application to stress the communication mechanisms. Its 4-instruction
+// WriteData handler is Table 4's second thread class.
+package radix
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Application memory layout: offsets from AppBase (addressed via A3 in
+// the background Sort thread).
+const (
+	app          = rt.AppBase
+	offKpn       = 0  // keys per node
+	offNegLogKpn = 1  // -log2(kpn), for extracting the destination node
+	offKpnMask   = 2  // kpn-1, for extracting the destination slot
+	offDigit     = 3  // current digit
+	offNegShift  = 4  // -(4*digit), for extracting the digit
+	offWriteCnt  = 5  // keys received this iteration
+	offSrc       = 6  // source buffer base (external memory)
+	offDst       = 7  // destination buffer base
+	offUpCnt     = 8  // combining-tree messages received
+	offDownFlag  = 9  // distributing-tree prefix arrived
+	offTrailOnes = 12 // r: levels at which this node combines
+	offIsRoot    = 13 // 1 on node N-1 (the tree root)
+	offDigits    = 14 // total digits D
+	offUpTarget  = 15 // router address of the combine parent
+
+	offCounts      = 16  // counts[16]
+	offOffsets     = 32  // offsets[16] (scan result, then running offsets)
+	offRetain      = 48  // retained left-subtree sums, 16 words per level
+	offDownTargets = 208 // router addresses of distribute children, per level
+
+	// nodeTable is an absolute internal-memory address: router-address
+	// words for every node, indexed by node id (loader-initialized, as
+	// the real machine's boot loader did). It sits above the
+	// application's relative fields (which extend to app+offDownTargets
+	// + log₂N ≈ address 280) so the two never collide at any size.
+	nodeTable = 512
+)
+
+// Params sizes the problem. The paper sorts 65,536 28-bit keys, 4 bits
+// at a time.
+type Params struct {
+	Keys  int
+	Bits  int // key width (default 28)
+	Radix int // bits per digit (fixed at 4 in this implementation)
+	Seed  int64
+	// Tune adjusts the machine configuration before construction
+	// (ablation studies: router arbitration, queue sizes, timing).
+	Tune func(*machine.Config)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Keys == 0 {
+		p.Keys = 65536
+	}
+	if p.Bits == 0 {
+		p.Bits = 28
+	}
+	if p.Radix == 0 {
+		p.Radix = 4
+	}
+	return p
+}
+
+// Digits returns the iteration count.
+func (p Params) Digits() int {
+	p = p.withDefaults()
+	return (p.Bits + p.Radix - 1) / p.Radix
+}
+
+// Input generates the key set.
+func (p Params) Input() []int32 {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed + 2))
+	keys := make([]int32, p.Keys)
+	for i := range keys {
+		keys[i] = int32(r.Uint32() & (1<<uint(p.Bits) - 1))
+	}
+	return keys
+}
+
+// Reference sorts a copy of keys (stable, ascending).
+func Reference(keys []int32) []int32 {
+	out := make([]int32, len(keys))
+	copy(out, keys)
+	sort.SliceStable(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Thread-class labels (Table 4 rows: "Sort" is the background thread).
+const (
+	LSort  = "radix.sort"
+	LWrite = "radix.write" // the 4-instruction WriteData handler
+	LUp    = "radix.up"
+	LDown  = "radix.down"
+)
+
+// BuildProgram assembles the radix-sort program plus the runtime library.
+func BuildProgram() *asm.Program {
+	b := asm.NewBuilder()
+	buildSortThread(b)
+	buildHandlers(b)
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+// buildSortThread emits the background "Sort" thread: the outer loop
+// that iterates the three phases across all digits.
+func buildSortThread(b *asm.Builder) {
+	b.Label(LSort).
+		Bsr(isa.R3, rt.LBarInit).
+		MoveI(isa.A3, app)
+
+	// ---- per-digit loop ----
+	b.Label("radix.iter").
+		// negshift = -(4*digit)
+		Move(isa.R0, asm.Mem(isa.A3, offDigit)).
+		Lsh(isa.R0, asm.Imm(2)).
+		Neg(isa.R0).
+		St(isa.R0, asm.Mem(isa.A3, offNegShift))
+
+	// ---- phase 1: count ----
+	// Zero the count vector.
+	b.MoveI(isa.A1, app+offCounts).
+		MoveI(isa.R1, 16).
+		Label("radix.zero").
+		St(isa.ZERO, asm.Mem(isa.A1, 0)).
+		Add(isa.A1, asm.Imm(1)).
+		Add(isa.R1, asm.Imm(-1)).
+		Bt(isa.R1, "radix.zero")
+	// Scan local keys: counts[(key>>shift)&15]++.
+	b.Move(isa.A0, asm.Mem(isa.A3, offSrc)).
+		MoveI(isa.A1, app+offCounts).
+		Move(isa.A2, asm.Mem(isa.A3, offKpn)).
+		Move(isa.R2, asm.Mem(isa.A3, offNegShift)).
+		Label("radix.count").
+		Move(isa.R3, asm.Mem(isa.A0, 0)). // key (external memory)
+		Ash(isa.R3, asm.R(isa.R2)).
+		And(isa.R3, asm.Imm(15)).
+		Move(isa.R1, asm.MemR(isa.A1, isa.R3)).
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.MemR(isa.A1, isa.R3)).
+		Add(isa.A0, asm.Imm(1)).
+		Add(isa.A2, asm.Imm(-1)).
+		Bt(isa.A2, "radix.count")
+
+	// ---- phase 2: combine/distribute tree ----
+	// Wait for the r up-messages from our combining subtree.
+	b.Label("radix.upwait").
+		Move(isa.R0, asm.Mem(isa.A3, offUpCnt)).
+		Lt(isa.R0, asm.Mem(isa.A3, offTrailOnes)).
+		Bt(isa.R0, "radix.upwait").
+		St(isa.ZERO, asm.Mem(isa.A3, offUpCnt)).
+		Move(isa.R0, asm.Mem(isa.A3, offIsRoot)).
+		Bt(isa.R0, "radix.root")
+	// Non-root: send the combined counts up and await the prefix.
+	b.Send(asm.Mem(isa.A3, offUpTarget)).
+		MoveHdr(isa.R0, LUp, 18).
+		Send(asm.R(isa.R0)).
+		Send(asm.Mem(isa.A3, offTrailOnes)). // level
+		MoveI(isa.A1, app+offCounts)
+	for k := 0; k < 15; k++ {
+		b.Send(asm.Mem(isa.A1, int32(k)))
+	}
+	b.SendE(asm.Mem(isa.A1, 15)).
+		Label("radix.downwait").
+		Move(isa.R0, asm.Mem(isa.A3, offDownFlag)).
+		Bf(isa.R0, "radix.downwait").
+		St(isa.ZERO, asm.Mem(isa.A3, offDownFlag)).
+		Br("radix.distribute")
+	// Root: offsets = exclusive scan over bucket totals.
+	b.Label("radix.root").
+		MoveI(isa.A1, app+offCounts).
+		MoveI(isa.A2, app+offOffsets).
+		MoveI(isa.R0, 0).
+		MoveI(isa.R2, 16).
+		Label("radix.rootscan").
+		St(isa.R0, asm.Mem(isa.A2, 0)).
+		Add(isa.R0, asm.Mem(isa.A1, 0)).
+		Add(isa.A1, asm.Imm(1)).
+		Add(isa.A2, asm.Imm(1)).
+		Add(isa.R2, asm.Imm(-1)).
+		Bt(isa.R2, "radix.rootscan")
+	// Distribute: for l = r-1 .. 0, send the prefix down, then fold in
+	// the retained left-subtree sums.
+	b.Label("radix.distribute").
+		Move(isa.R2, asm.Mem(isa.A3, offTrailOnes)).
+		Label("radix.downloop").
+		Add(isa.R2, asm.Imm(-1)).
+		Move(isa.R0, asm.R(isa.R2)).
+		Lt(isa.R0, asm.Imm(0)).
+		Bt(isa.R0, "radix.reorder").
+		MoveI(isa.A1, app+offDownTargets).
+		Send(asm.MemR(isa.A1, isa.R2)).
+		MoveHdr(isa.R0, LDown, 18).
+		Send(asm.R(isa.R0)).
+		Send(asm.R(isa.R2)). // level
+		MoveI(isa.A1, app+offOffsets)
+	for k := 0; k < 15; k++ {
+		b.Send(asm.Mem(isa.A1, int32(k)))
+	}
+	b.SendE(asm.Mem(isa.A1, 15)).
+		// offsets += retain[l]
+		Move(isa.R0, asm.R(isa.R2)).
+		Lsh(isa.R0, asm.Imm(4)).
+		Add(isa.R0, asm.Imm(app+offRetain)).
+		Move(isa.A2, asm.R(isa.R0)).
+		MoveI(isa.A1, app+offOffsets).
+		MoveI(isa.R0, 16).
+		Label("radix.fold").
+		Move(isa.R1, asm.Mem(isa.A2, 0)).
+		Add(isa.R1, asm.Mem(isa.A1, 0)).
+		St(isa.R1, asm.Mem(isa.A1, 0)).
+		Add(isa.A1, asm.Imm(1)).
+		Add(isa.A2, asm.Imm(1)).
+		Add(isa.R0, asm.Imm(-1)).
+		Bt(isa.R0, "radix.fold").
+		Br("radix.downloop")
+
+	// ---- phase 3: reorder ----
+	// Every key is sent to its new home the moment its slot is known.
+	b.Label("radix.reorder").
+		Move(isa.A0, asm.Mem(isa.A3, offSrc)).
+		MoveI(isa.A1, app+offOffsets).
+		Move(isa.A2, asm.Mem(isa.A3, offKpn)).
+		Move(isa.R2, asm.Mem(isa.A3, offNegShift)).
+		Label("radix.rloop").
+		Move(isa.R3, asm.Mem(isa.A0, 0)). // key
+		Move(isa.R0, asm.R(isa.R3)).
+		Ash(isa.R0, asm.R(isa.R2)).
+		And(isa.R0, asm.Imm(15)).               // digit value v
+		Move(isa.R1, asm.MemR(isa.A1, isa.R0)). // g = offsets[v]
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.MemR(isa.A1, isa.R0)).
+		Sub(isa.R1, asm.Imm(1)).
+		// destination node and slot
+		Move(isa.R0, asm.R(isa.R1)).
+		Ash(isa.R0, asm.Mem(isa.A3, offNegLogKpn)).
+		And(isa.R1, asm.Mem(isa.A3, offKpnMask)).
+		Add(isa.R0, asm.Imm(nodeTable)).
+		MoveI(isa.RGN, 4). // node-address lookup = "NNR calc"
+		Move(isa.A1, asm.R(isa.R0)).
+		Move(isa.R0, asm.Mem(isa.A1, 0)). // router address
+		MoveI(isa.RGN, 0).
+		MoveI(isa.A1, app+offOffsets).
+		Send(asm.R(isa.R0)).
+		MoveHdr(isa.R0, LWrite, 3).
+		Send(asm.R(isa.R0)).
+		Send2E(isa.R1, asm.R(isa.R3)). // [slot, key]
+		Add(isa.A0, asm.Imm(1)).
+		Add(isa.A2, asm.Imm(-1)).
+		Bt(isa.A2, "radix.rloop")
+
+	// ---- iteration epilogue ----
+	// Wait for exactly kpn keys to arrive, reset, swap buffers, barrier.
+	b.Label("radix.wwait").
+		Move(isa.R0, asm.Mem(isa.A3, offWriteCnt)).
+		Lt(isa.R0, asm.Mem(isa.A3, offKpn)).
+		Bt(isa.R0, "radix.wwait").
+		St(isa.ZERO, asm.Mem(isa.A3, offWriteCnt)).
+		Move(isa.R0, asm.Mem(isa.A3, offSrc)).
+		Move(isa.R1, asm.Mem(isa.A3, offDst)).
+		St(isa.R1, asm.Mem(isa.A3, offSrc)).
+		St(isa.R0, asm.Mem(isa.A3, offDst)).
+		Bsr(isa.R3, rt.LBarrier).
+		MoveI(isa.A3, app). // restore after subroutine clobbers
+		Move(isa.R0, asm.Mem(isa.A3, offDigit)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A3, offDigit)).
+		Lt(isa.R0, asm.Mem(isa.A3, offDigits)).
+		Bt(isa.R0, "radix.iter").
+		// Done: node 0 halts the run; the rest idle.
+		MoveI(isa.A2, 0).
+		Move(isa.R1, asm.Mem(isa.A2, rt.AddrNodeID)).
+		Bt(isa.R1, "radix.rest").
+		Halt().
+		Label("radix.rest").
+		Suspend()
+}
+
+// buildHandlers emits the three message handlers.
+func buildHandlers(b *asm.Builder) {
+	// radix.write: [hdr, slot, key] — the fine-grained remote write.
+	b.Label(LWrite).
+		Move(isa.R0, asm.Mem(isa.A3, 1)). // slot
+		Move(isa.R1, asm.Mem(isa.A3, 2)). // key
+		MoveI(isa.A0, app).
+		Move(isa.A1, asm.Mem(isa.A0, offDst)).
+		St(isa.R1, asm.MemR(isa.A1, isa.R0)).
+		Move(isa.R2, asm.Mem(isa.A0, offWriteCnt)).
+		Add(isa.R2, asm.Imm(1)).
+		St(isa.R2, asm.Mem(isa.A0, offWriteCnt)).
+		Suspend()
+
+	// radix.up: [hdr, level, V0..V15] — combine a subtree's counts,
+	// retaining the received vector for the distribute phase.
+	b.Label(LUp).
+		Move(isa.R0, asm.Mem(isa.A3, 1)). // level
+		Lsh(isa.R0, asm.Imm(4)).
+		Add(isa.R0, asm.Imm(app+offRetain)).
+		Move(isa.A0, asm.R(isa.R0)).
+		MoveI(isa.A1, app+offCounts).
+		MoveI(isa.R3, 2). // message word index
+		Label("radix.up.loop").
+		Move(isa.R2, asm.MemR(isa.A3, isa.R3)).
+		St(isa.R2, asm.Mem(isa.A0, 0)).
+		Add(isa.R2, asm.Mem(isa.A1, 0)).
+		St(isa.R2, asm.Mem(isa.A1, 0)).
+		Add(isa.A0, asm.Imm(1)).
+		Add(isa.A1, asm.Imm(1)).
+		Add(isa.R3, asm.Imm(1)).
+		Move(isa.R2, asm.R(isa.R3)).
+		Lt(isa.R2, asm.Imm(18)).
+		Bt(isa.R2, "radix.up.loop").
+		MoveI(isa.A0, app).
+		Move(isa.R0, asm.Mem(isa.A0, offUpCnt)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A0, offUpCnt)).
+		Suspend()
+
+	// radix.down: [hdr, level, P0..P15] — receive the prefix.
+	b.Label(LDown).
+		MoveI(isa.A1, app+offOffsets).
+		MoveI(isa.R3, 2).
+		Label("radix.down.loop").
+		Move(isa.R2, asm.MemR(isa.A3, isa.R3)).
+		St(isa.R2, asm.Mem(isa.A1, 0)).
+		Add(isa.A1, asm.Imm(1)).
+		Add(isa.R3, asm.Imm(1)).
+		Move(isa.R2, asm.R(isa.R3)).
+		Lt(isa.R2, asm.Imm(18)).
+		Bt(isa.R2, "radix.down.loop").
+		MoveI(isa.A0, app).
+		MoveI(isa.R0, 1).
+		St(isa.R0, asm.Mem(isa.A0, offDownFlag)).
+		Suspend()
+}
+
+// Result reports one run.
+type Result struct {
+	Sorted []int32
+	Cycles int64
+	M      *machine.Machine
+	P      *asm.Program
+}
+
+// Run executes radix sort on a machine of the given node count. Keys and
+// nodes must be powers of two with nodes ≤ keys.
+func Run(nodes int, params Params) (Result, error) {
+	params = params.withDefaults()
+	keys := params.Input()
+	if bits.OnesCount(uint(nodes)) != 1 || bits.OnesCount(uint(params.Keys)) != 1 {
+		return Result{}, fmt.Errorf("radix: keys (%d) and nodes (%d) must be powers of two", params.Keys, nodes)
+	}
+	if params.Keys%nodes != 0 {
+		return Result{}, fmt.Errorf("radix: %d keys not divisible by %d nodes", params.Keys, nodes)
+	}
+	kpn := params.Keys / nodes
+	digits := params.Digits()
+
+	p := BuildProgram()
+	cfg := machine.GridForNodes(nodes)
+	// Buffers must fit: 2*kpn words of external memory per node.
+	if need := 2 * kpn; need > 61440 {
+		cfg.Mem.EmemWords = need + 4096
+	}
+	if params.Tune != nil {
+		params.Tune(&cfg)
+	}
+	m, err := machine.New(cfg, p)
+	if err != nil {
+		return Result{}, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+
+	logKpn := bits.TrailingZeros(uint(kpn))
+	for id, n := range m.Nodes {
+		mm := n.Mem
+		srcBase := int32(mm.ImemWords())
+		dstBase := srcBase + int32(kpn)
+		set := func(off int32, v int32) {
+			if err := mm.Write(app+off, word.Int(v)); err != nil {
+				panic(err)
+			}
+		}
+		set(offKpn, int32(kpn))
+		set(offNegLogKpn, int32(-logKpn))
+		set(offKpnMask, int32(kpn-1))
+		set(offDigit, 0)
+		set(offWriteCnt, 0)
+		set(offSrc, srcBase)
+		set(offDst, dstBase)
+		set(offUpCnt, 0)
+		set(offDownFlag, 0)
+		r := trailingOnes(id)
+		set(offTrailOnes, int32(r))
+		set(offIsRoot, boolInt(id == nodes-1))
+		set(offDigits, int32(digits))
+		if id != nodes-1 {
+			mm.Write(app+offUpTarget, m.Net.NodeWord(id+(1<<r)))
+		}
+		for l := 0; l < r; l++ {
+			mm.Write(app+offDownTargets+int32(l), m.Net.NodeWord(id-(1<<l)))
+		}
+		for i := 0; i < nodes; i++ {
+			mm.Write(nodeTable+int32(i), m.Net.NodeWord(i))
+		}
+		for i := 0; i < kpn; i++ {
+			mm.Write(srcBase+int32(i), word.Int(keys[id*kpn+i]))
+		}
+	}
+
+	rt.StartAll(m, p, LSort)
+	budget := int64(digits)*int64(kpn)*120 + 2_000_000
+	if err := m.RunUntilHalt(0, budget); err != nil {
+		return Result{}, err
+	}
+	if err := m.RunQuiescent(1_000_000); err != nil {
+		return Result{}, err
+	}
+
+	out := make([]int32, 0, params.Keys)
+	for id, n := range m.Nodes {
+		base, _ := n.Mem.Read(app + offSrc) // final data sits in "src" after the last swap
+		for i := 0; i < kpn; i++ {
+			w, err := n.Mem.Read(base.Data() + int32(i))
+			if err != nil {
+				return Result{}, fmt.Errorf("radix: node %d slot %d: %w", id, i, err)
+			}
+			out = append(out, w.Data())
+		}
+	}
+	return Result{Sorted: out, Cycles: m.Cycle(), M: m, P: p}, nil
+}
+
+func trailingOnes(id int) int {
+	r := 0
+	for id&1 == 1 {
+		r++
+		id >>= 1
+	}
+	return r
+}
+
+func boolInt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jmachine/internal/stats"
+)
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortSmallSingleNode(t *testing.T) {
+	params := Params{Keys: 64, Bits: 12, Seed: 1}
+	res, err := Run(1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(params.Input())
+	if !equal(res.Sorted, want) {
+		t.Fatalf("sorted output wrong:\n got %v\nwant %v", res.Sorted[:16], want[:16])
+	}
+}
+
+func TestSortAcrossMachineSizes(t *testing.T) {
+	params := Params{Keys: 256, Bits: 16, Seed: 3}
+	want := Reference(params.Input())
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		res, err := Run(nodes, params)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if !equal(res.Sorted, want) {
+			t.Fatalf("%d nodes: output not sorted correctly", nodes)
+		}
+	}
+}
+
+func TestSortAtLargeMachines(t *testing.T) {
+	// Regression: node counts above 16 exercise deeper combining trees
+	// and more distribute-table entries (a memory-map collision once
+	// corrupted the tree targets at 32 nodes).
+	params := Params{Keys: 2048, Bits: 12, Seed: 7}
+	want := Reference(params.Input())
+	for _, nodes := range []int{32, 64, 128} {
+		res, err := Run(nodes, params)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if !equal(res.Sorted, want) {
+			t.Fatalf("%d nodes: output wrong", nodes)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	// Output is sorted and a permutation of the input for random seeds.
+	f := func(seed int64) bool {
+		params := Params{Keys: 128, Bits: 16, Seed: seed}
+		res, err := Run(4, params)
+		if err != nil {
+			return false
+		}
+		return equal(res.Sorted, Reference(params.Input()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteHandlerStats(t *testing.T) {
+	// Table 4: one WriteData message per key per digit, 3 words each,
+	// a handful of instructions per thread.
+	params := Params{Keys: 256, Bits: 16, Seed: 2}
+	res, err := Run(4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.M.Stats.HandlerTotal(res.P.Entry(LWrite))
+	want := uint64(params.Keys * params.Digits())
+	if h.Invocations != want {
+		t.Errorf("WriteData invocations = %d, want %d", h.Invocations, want)
+	}
+	if avg := float64(h.MsgWords) / float64(h.Invocations); avg != 3 {
+		t.Errorf("WriteData message length = %.1f, want 3", avg)
+	}
+	perThread := float64(h.Instrs) / float64(h.Invocations)
+	if perThread < 4 || perThread > 12 {
+		t.Errorf("WriteData instr/thread = %.1f, want a handful", perThread)
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	params := Params{Keys: 512, Bits: 16, Seed: 5}
+	c1, err := Run(1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := Run(8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(c1.Cycles) / float64(c8.Cycles)
+	if speedup < 2 {
+		t.Errorf("8-node speedup = %.2f, want > 2", speedup)
+	}
+	t.Logf("radix 8-node speedup on 512 keys = %.2f", speedup)
+}
+
+func TestCommBreakdownSignificant(t *testing.T) {
+	// Radix sort is the paper's only application that stresses the
+	// communication mechanisms: comm cycles must be a visible fraction.
+	params := Params{Keys: 512, Bits: 16, Seed: 4}
+	res, err := Run(8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.M.Stats.Breakdown()
+	if bd[stats.CatComm] < 0.02 {
+		t.Errorf("comm share = %.3f, expected visible communication", bd[stats.CatComm])
+	}
+	t.Logf("breakdown: comp=%.2f comm=%.2f sync=%.2f idle=%.2f",
+		bd[stats.CatComp], bd[stats.CatComm], bd[stats.CatSync], bd[stats.CatIdle])
+}
+
+func TestTrailingOnes(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 0, 3: 2, 7: 3, 8: 0, 11: 2, 15: 4}
+	for id, want := range cases {
+		if got := trailingOnes(id); got != want {
+			t.Errorf("trailingOnes(%d) = %d, want %d", id, got, want)
+		}
+	}
+}

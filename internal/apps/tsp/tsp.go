@@ -1,0 +1,418 @@
+// Package tsp implements the paper's Traveling Salesperson macro-
+// benchmark in the Concurrent-Smalltalk style (package cst): all calls
+// are message invocations, objects are reached through XLATEd global
+// names on every use, long task threads suspend periodically so bound
+// updates can be processed, and idle nodes redistribute incomplete tours
+// with work-requesting messages.
+//
+// A task is a unique subpath of length two (beyond the start city); the
+// tasks are initially distributed evenly over all the nodes. To process
+// a task a node explores all tours containing the subpath in depth-first
+// order, maintaining the shortest tour seen so far; subpaths longer than
+// the current bound are pruned. Improved bounds are broadcast to every
+// node. Pruning dominates the application's behaviour, which is what
+// produces the paper's super-linear speedups on small machines.
+package tsp
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/cst"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Object placement (internal memory).
+const (
+	workerBase = 1024
+	matrixBase = 2048
+	rowStride  = 16 // padded row stride: index = city<<4 | city2
+	infinity   = 1 << 30
+)
+
+// Worker slot 0 holds the node's current best tour bound; slot 1 the
+// DFS stack pointer of the active task.
+const (
+	wkBest = 0
+	wkSP   = 1
+)
+
+// Params sizes the problem. The paper solves a 14-city configuration.
+type Params struct {
+	Cities int
+	Seed   int64
+	// YieldEvery is the number of candidate expansions between
+	// voluntary suspensions (the periodic null procedure call).
+	YieldEvery int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Cities == 0 {
+		p.Cities = 14
+	}
+	if p.YieldEvery == 0 {
+		p.YieldEvery = 16
+	}
+	return p
+}
+
+// Matrix generates the symmetric distance matrix.
+func (p Params) Matrix() [][]int32 {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed + 3))
+	d := make([][]int32, p.Cities)
+	for i := range d {
+		d[i] = make([]int32, p.Cities)
+	}
+	for i := 0; i < p.Cities; i++ {
+		for j := i + 1; j < p.Cities; j++ {
+			v := int32(1 + r.Intn(99))
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d
+}
+
+// Reference computes the optimal tour length with an exact
+// branch-and-bound search (same pruning rule as the machine code).
+func Reference(d [][]int32) int32 {
+	n := len(d)
+	full := int32(1)<<uint(n) - 1
+	best := int32(infinity)
+	var rec func(visited int32, last int, length int32)
+	rec = func(visited int32, last int, length int32) {
+		if visited == full {
+			if t := length + d[last][0]; t < best {
+				best = t
+			}
+			return
+		}
+		for c := 1; c < n; c++ {
+			bit := int32(1) << uint(c)
+			if visited&bit != 0 {
+				continue
+			}
+			nl := length + d[last][c]
+			if nl >= best {
+				continue
+			}
+			rec(visited|bit, c, nl)
+		}
+	}
+	rec(1, 0, 0)
+	return best
+}
+
+// Task is an initial subpath: city 0 → A → B.
+type Task struct {
+	A, B int
+	Seq  int
+}
+
+// Tasks enumerates the initial task set.
+func (p Params) Tasks() []Task {
+	p = p.withDefaults()
+	var out []Task
+	seq := 0
+	for a := 1; a < p.Cities; a++ {
+		for b := 1; b < p.Cities; b++ {
+			if b == a {
+				continue
+			}
+			out = append(out, Task{A: a, B: b, Seq: seq})
+			seq++
+		}
+	}
+	return out
+}
+
+// Thread-class labels.
+const (
+	LTask    = "tsp.task"
+	LBound   = "tsp.bound"
+	LDoneMsg = "tsp.done"
+)
+
+// BuildProgram assembles the TSP program: task code, handlers, the CST
+// scheduler, and the runtime library.
+func BuildProgram() *asm.Program {
+	b := asm.NewBuilder()
+	buildTask(b)
+	buildHandlers(b)
+	cst.BuildScheduler(b, cst.Config{TaskEntry: LTask})
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+func buildTask(b *asm.Builder) {
+	const (
+		app = cst.App
+		rec = cst.OffRec
+	)
+
+	// Task-invocation handler: [hdr, visited, last, len, seq]. The
+	// prologue unpacks the method arguments into the context frame.
+	b.Label(LTask)
+	cst.EmitTaskPrologue(b)
+	b.St(isa.ZERO, asm.Mem(isa.A2, wkSP)).
+		MoveI(isa.R0, 1). // nextCity starts at city 1
+		St(isa.R0, asm.Mem(isa.A1, rec+3)).
+		Label(LTask + ".resume")
+
+	// Main expansion loop. Every iteration re-establishes the object
+	// descriptors through XLATE — the name is in the "context frame"
+	// and the address register is reloaded after every suspension or
+	// spill, which is where TSP's enormous xlate count comes from.
+	b.Label("tsp.loop").
+		MoveI(isa.A1, app).
+		Xlate(isa.A2, asm.Mem(isa.A1, cst.OffWorkerKey)).
+		Move(isa.R0, asm.Mem(isa.A1, cst.OffYieldCtr)).
+		Sub(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A1, cst.OffYieldCtr)).
+		Bf(isa.R0, "tsp.yield").
+		Move(isa.R1, asm.Mem(isa.A1, rec+3)). // c = nextCity
+		Move(isa.R0, asm.R(isa.R1)).
+		Ge(isa.R0, asm.Mem(isa.A1, cst.OffN)).
+		Bt(isa.R0, "tsp.pop").
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.Mem(isa.A1, rec+3)).
+		Sub(isa.R1, asm.Imm(1)).
+		MoveI(isa.R2, 1). // bit = 1 << c
+		Lsh(isa.R2, asm.R(isa.R1)).
+		Move(isa.R0, asm.Mem(isa.A1, rec+0)).
+		And(isa.R0, asm.R(isa.R2)).
+		Bt(isa.R0, "tsp.loop"). // already visited
+		Xlate(isa.A0, asm.Mem(isa.A1, cst.OffMatrixKey)).
+		Move(isa.R0, asm.Mem(isa.A1, rec+1)). // idx = last<<4 | c
+		Lsh(isa.R0, asm.Imm(4)).
+		Or(isa.R0, asm.R(isa.R1)).
+		Move(isa.R3, asm.MemR(isa.A0, isa.R0)). // d
+		Add(isa.R3, asm.Mem(isa.A1, rec+2)).    // newLen
+		Move(isa.R0, asm.R(isa.R3)).
+		Ge(isa.R0, asm.Mem(isa.A2, wkBest)).
+		Bt(isa.R0, "tsp.loop"). // prune
+		Move(isa.R0, asm.Mem(isa.A1, rec+0)).
+		Or(isa.R0, asm.R(isa.R2)). // newVisited
+		Move(isa.R2, asm.R(isa.R0)).
+		Eq(isa.R2, asm.Mem(isa.A1, cst.OffFull)).
+		Bt(isa.R2, "tsp.close").
+		// Push the parent frame into the worker object.
+		Move(isa.R2, asm.Mem(isa.A2, wkSP)).
+		Lsh(isa.R2, asm.Imm(2)).
+		Add(isa.R2, asm.Imm(cst.WkFrames))
+	for k := int32(0); k < 4; k++ {
+		b.Move(isa.A0, asm.Mem(isa.A1, rec+k)).
+			St(isa.A0, asm.MemR(isa.A2, isa.R2)).
+			Add(isa.R2, asm.Imm(1))
+	}
+	b.Move(isa.A0, asm.Mem(isa.A2, wkSP)).
+		Add(isa.A0, asm.Imm(1)).
+		St(isa.A0, asm.Mem(isa.A2, wkSP)).
+		// Active frame = the child.
+		St(isa.R0, asm.Mem(isa.A1, rec+0)).
+		St(isa.R1, asm.Mem(isa.A1, rec+1)).
+		St(isa.R3, asm.Mem(isa.A1, rec+2)).
+		MoveI(isa.R0, 1).
+		St(isa.R0, asm.Mem(isa.A1, rec+3)).
+		Br("tsp.loop")
+
+	// Complete tour: close it back to city 0 and compare.
+	b.Label("tsp.close").
+		Move(isa.R0, asm.R(isa.R1)).
+		Lsh(isa.R0, asm.Imm(4)).
+		Move(isa.R2, asm.MemR(isa.A0, isa.R0)). // d[c][0]
+		Add(isa.R3, asm.R(isa.R2)).
+		Move(isa.R0, asm.R(isa.R3)).
+		Lt(isa.R0, asm.Mem(isa.A2, wkBest)).
+		Bf(isa.R0, "tsp.loop").
+		St(isa.R3, asm.Mem(isa.A2, wkBest)).
+		// Broadcast the improved bound to every other node.
+		St(isa.ZERO, asm.Mem(isa.A1, cst.OffScratch)).
+		Label("tsp.bcast").
+		Move(isa.R0, asm.Mem(isa.A1, cst.OffScratch)).
+		Move(isa.R2, asm.R(isa.R0)).
+		Gt(isa.R2, asm.Mem(isa.A1, cst.OffNodesMask)).
+		Bt(isa.R2, "tsp.loop").
+		Move(isa.R2, asm.R(isa.R0)).
+		Eq(isa.R2, asm.Mem(isa.A1, cst.OffMyID)).
+		Bt(isa.R2, "tsp.bnext").
+		MoveI(isa.RGN, 4).
+		Add(isa.R0, asm.Imm(cst.NodeTable)).
+		Move(isa.A0, asm.R(isa.R0)).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveI(isa.RGN, 0).
+		MoveHdr(isa.R1, LBound, 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.R(isa.R3)).
+		Label("tsp.bnext").
+		Move(isa.R0, asm.Mem(isa.A1, cst.OffScratch)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A1, cst.OffScratch)).
+		Br("tsp.bcast")
+
+	// Pop a frame, or finish the task.
+	b.Label("tsp.pop").
+		Move(isa.R0, asm.Mem(isa.A2, wkSP)).
+		Bf(isa.R0, "tsp.taskdone").
+		Sub(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A2, wkSP)).
+		Lsh(isa.R0, asm.Imm(2)).
+		Add(isa.R0, asm.Imm(cst.WkFrames))
+	for k := int32(0); k < 4; k++ {
+		b.Move(isa.A0, asm.MemR(isa.A2, isa.R0)).
+			St(isa.A0, asm.Mem(isa.A1, rec+k)).
+			Add(isa.R0, asm.Imm(1))
+	}
+	b.Br("tsp.loop")
+
+	// Task complete: report to node 0 and reschedule.
+	b.Label("tsp.taskdone").
+		MoveI(isa.R1, 0).
+		Wtag(isa.R1, asm.Imm(int32(word.TagNode))).
+		Send(asm.R(isa.R1)).
+		MoveHdr(isa.R1, LDoneMsg, 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.Mem(isa.A1, cst.OffCurSeq))
+	cst.EmitFinish(b)
+
+	// Voluntary suspension: the periodic null procedure call.
+	b.Label("tsp.yield")
+	cst.EmitYield(b)
+}
+
+func buildHandlers(b *asm.Builder) {
+	// tsp.bound: [hdr, bound] — adopt a better bound.
+	b.Label(LBound).
+		MoveI(isa.A1, cst.App).
+		Xlate(isa.A2, asm.Mem(isa.A1, cst.OffWorkerKey)).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Move(isa.R1, asm.R(isa.R0)).
+		Lt(isa.R1, asm.Mem(isa.A2, wkBest)).
+		Bf(isa.R1, "tsp.bound.out").
+		St(isa.R0, asm.Mem(isa.A2, wkBest)).
+		Label("tsp.bound.out").
+		Suspend()
+
+	// tsp.done: [hdr, seq] — node 0 counts completions; when all tasks
+	// are done it halts the machine.
+	b.Label(LDoneMsg).
+		MoveI(isa.A1, cst.App).
+		Move(isa.R0, asm.Mem(isa.A1, cst.OffDone)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A1, cst.OffDone)).
+		Move(isa.R1, asm.R(isa.R0)).
+		Lt(isa.R1, asm.Mem(isa.A1, cst.OffTotal)).
+		Bt(isa.R1, "tsp.done.out").
+		// Broadcast halt, then stop.
+		St(isa.ZERO, asm.Mem(isa.A1, cst.OffScratch)).
+		Label("tsp.done.bcast").
+		Move(isa.R0, asm.Mem(isa.A1, cst.OffScratch)).
+		Move(isa.R2, asm.R(isa.R0)).
+		Gt(isa.R2, asm.Mem(isa.A1, cst.OffNodesMask)).
+		Bt(isa.R2, "tsp.done.halt").
+		Move(isa.R2, asm.R(isa.R0)).
+		Eq(isa.R2, asm.Mem(isa.A1, cst.OffMyID)).
+		Bt(isa.R2, "tsp.done.next").
+		Add(isa.R0, asm.Imm(cst.NodeTable)).
+		Move(isa.A0, asm.R(isa.R0)).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveHdr(isa.R1, cst.LHalt, 1).
+		SendE(asm.R(isa.R1)).
+		Label("tsp.done.next").
+		Move(isa.R0, asm.Mem(isa.A1, cst.OffScratch)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A1, cst.OffScratch)).
+		Br("tsp.done.bcast").
+		Label("tsp.done.halt").
+		Halt().
+		Label("tsp.done.out").
+		Suspend()
+}
+
+// Result reports one run.
+type Result struct {
+	Best   int32
+	Tasks  int
+	Cycles int64
+	M      *machine.Machine
+	P      *asm.Program
+	R      *rt.Runtime
+}
+
+// Run executes TSP on a machine of the given node count (a power of
+// two).
+func Run(nodes int, params Params) (Result, error) {
+	return runCapped(nodes, params, 1<<36)
+}
+
+// runCapped is Run with an explicit cycle budget; on budget exhaustion
+// the partial Result is returned alongside the error for diagnostics.
+func runCapped(nodes int, params Params, budget int64) (Result, error) {
+	params = params.withDefaults()
+	if bits.OnesCount(uint(nodes)) != 1 {
+		return Result{}, fmt.Errorf("tsp: nodes (%d) must be a power of two", nodes)
+	}
+	n := params.Cities
+	if n < 4 || n > 16 {
+		return Result{}, fmt.Errorf("tsp: cities %d out of range [4,16]", n)
+	}
+	d := params.Matrix()
+	tasks := params.Tasks()
+
+	p := BuildProgram()
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		return Result{}, err
+	}
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+
+	perNode := (len(tasks)+nodes-1)/nodes + 2
+	workerLen := cst.WkStack + 4*perNode
+	matrixLen := n * rowStride
+	for id, nd := range m.Nodes {
+		mm := nd.Mem
+		set := func(addr int32, v int32) {
+			if err := mm.Write(addr, word.Int(v)); err != nil {
+				panic(err)
+			}
+		}
+		set(cst.App+cst.OffN, int32(n))
+		set(cst.App+cst.OffFull, int32(1)<<uint(n)-1)
+		set(cst.App+cst.OffYieldK, int32(params.YieldEvery))
+		set(cst.App+cst.OffTotal, int32(len(tasks)))
+		set(cst.App+cst.OffDone, 0)
+		set(workerBase+wkBest, infinity)
+		set(workerBase+wkSP, 0)
+		set(workerBase+cst.WkStackCount, 0)
+		set(workerBase+cst.WkVictim, int32((id+1)%nodes))
+		set(workerBase+cst.WkAttempts, 0)
+		set(workerBase+cst.WkBusy, 0)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				set(matrixBase+int32(i*rowStride+j), d[i][j])
+			}
+		}
+		cst.SetupNode(r, m, id, workerBase, workerLen, matrixBase, matrixLen)
+	}
+	for i, t := range tasks {
+		visited := int32(1) | int32(1)<<uint(t.A) | int32(1)<<uint(t.B)
+		length := d[0][t.A] + d[t.A][t.B]
+		cst.PushTask(m, i%nodes, workerBase, [4]int32{visited, int32(t.B), length, int32(t.Seq)})
+	}
+
+	// The scheduler boot messages were queued by SetupNode; just run.
+	runErr := m.RunUntilHalt(0, budget)
+	// The optimum ends up replicated; read node 0's bound.
+	best, _ := m.Nodes[0].Mem.Read(workerBase + wkBest)
+	return Result{
+		Best:   best.Data(),
+		Tasks:  len(tasks),
+		Cycles: m.Cycle(),
+		M:      m, P: p, R: r,
+	}, runErr
+}

@@ -1,0 +1,155 @@
+package tsp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jmachine/internal/stats"
+)
+
+func TestReferenceSmall(t *testing.T) {
+	// A hand-checkable 4-city instance.
+	d := [][]int32{
+		{0, 1, 5, 4},
+		{1, 0, 2, 6},
+		{5, 2, 0, 3},
+		{4, 6, 3, 0},
+	}
+	// Tours from 0: 0-1-2-3-0 = 1+2+3+4 = 10 (optimal).
+	if got := Reference(d); got != 10 {
+		t.Errorf("Reference = %d, want 10", got)
+	}
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		cities, nodes int
+	}{
+		{5, 1},
+		{6, 2},
+		{7, 4},
+		{8, 8},
+	} {
+		params := Params{Cities: tc.cities, Seed: int64(tc.cities)}
+		want := Reference(params.Matrix())
+		res, err := Run(tc.nodes, params)
+		if err != nil {
+			t.Fatalf("%d cities on %d nodes: %v", tc.cities, tc.nodes, err)
+		}
+		if res.Best != want {
+			t.Errorf("%d cities on %d nodes: best = %d, want %d", tc.cities, tc.nodes, res.Best, want)
+		}
+	}
+}
+
+func TestRunProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		params := Params{Cities: 6, Seed: seed}
+		res, err := Run(4, params)
+		if err != nil {
+			return false
+		}
+		return res.Best == Reference(params.Matrix())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXlateHeavy(t *testing.T) {
+	// The CST style translates global names at every use: the xlate
+	// count must be a large fraction of the instruction count (the
+	// paper reports 5.1e8 xlates against 2.8e9 user instructions) and
+	// the miss ratio insignificant.
+	res, err := Run(4, Params{Cities: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, misses uint64
+	for _, n := range res.M.Nodes {
+		s := n.Xl.Stats()
+		hits += s.Hits
+		misses += s.Misses
+	}
+	instrs := res.M.Stats.Instrs()
+	ratio := float64(hits) / float64(instrs)
+	if ratio < 0.02 {
+		t.Errorf("xlates/instr = %.4f, expected heavy translation traffic", ratio)
+	}
+	if missRatio := float64(misses) / float64(hits+misses); missRatio > 0.01 {
+		t.Errorf("xlate miss ratio = %.4f, expected insignificant", missRatio)
+	}
+	t.Logf("xlates = %d, instrs = %d (%.1f%%), misses = %d", hits, instrs, 100*ratio, misses)
+}
+
+func TestSyncOverheadFromYields(t *testing.T) {
+	// The periodic null procedure call shows up as sync time; more
+	// frequent yields mean more sync overhead.
+	coarse, err := Run(2, Params{Cities: 7, Seed: 2, YieldEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Run(2, Params{Cities: 7, Seed: 2, YieldEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCoarse := coarse.M.Stats.Breakdown()[stats.CatSync]
+	sFine := fine.M.Stats.Breakdown()[stats.CatSync]
+	if sFine <= sCoarse {
+		t.Errorf("sync share did not grow with yield frequency: %.3f vs %.3f", sCoarse, sFine)
+	}
+	t.Logf("sync share: yield=64 %.3f, yield=4 %.3f", sCoarse, sFine)
+}
+
+func TestLoadBalancingLimitsIdle(t *testing.T) {
+	// Dynamic task redistribution keeps idle time low (3.8% in the
+	// paper versus 15% for N-Queens). With variable-cost tasks on a
+	// small machine the idle share should stay modest.
+	res, err := Run(4, Params{Cities: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := res.M.Stats.IdleFraction()
+	if idle > 0.35 {
+		t.Errorf("idle fraction = %.3f, work redistribution ineffective", idle)
+	}
+	t.Logf("idle fraction = %.3f", idle)
+}
+
+func TestSpeedupShape(t *testing.T) {
+	params := Params{Cities: 8, Seed: 4}
+	c1, err := Run(1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := Run(4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(c1.Cycles) / float64(c4.Cycles)
+	if speedup < 1.5 {
+		t.Errorf("4-node speedup = %.2f", speedup)
+	}
+	t.Logf("TSP 8-city speedup on 4 nodes = %.2f", speedup)
+}
+
+func TestTaskEnumeration(t *testing.T) {
+	p := Params{Cities: 14}
+	if got := len(p.Tasks()); got != 13*12 {
+		t.Errorf("task count = %d, want 156", got)
+	}
+}
+
+func TestRunAtLargeMachines(t *testing.T) {
+	params := Params{Cities: 7, Seed: 5}
+	want := Reference(params.Matrix())
+	for _, nodes := range []int{16, 32} {
+		res, err := Run(nodes, params)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		if res.Best != want {
+			t.Errorf("%d nodes: best = %d, want %d", nodes, res.Best, want)
+		}
+	}
+}

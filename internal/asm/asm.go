@@ -1,0 +1,291 @@
+// Package asm provides a programmatic assembler for MDP programs.
+//
+// Programs for the simulated J-Machine — message handlers, system
+// routines, and the macro-benchmark applications — are written in Go
+// against a Builder that emits decoded isa.Instr values, resolves labels,
+// and produces a Program whose handlers can be named in message headers.
+//
+// Code addresses are instruction indices within the assembled program.
+// The encoded two-per-word image (isa.Encode) is attached for code-size
+// accounting and to decide internal- versus external-memory placement.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"jmachine/internal/isa"
+	"jmachine/internal/word"
+)
+
+// fixup defers an operand immediate until labels resolve: the
+// instruction's B.Imm becomes wrap(label address). Branches use the
+// identity; header constants pack the address into a message header.
+type fixup struct {
+	label string
+	wrap  func(addr int32) int32
+}
+
+// Builder accumulates instructions and labels for one program.
+type Builder struct {
+	instrs []isa.Instr
+	labels map[string]int32
+	fixups map[int]fixup // instruction index -> unresolved B.Imm
+	errs   []error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int32),
+		fixups: make(map[int]fixup),
+	}
+}
+
+// Here returns the code address of the next instruction to be emitted.
+func (b *Builder) Here() int32 { return int32(len(b.instrs)) }
+
+// Label defines name at the current position. Redefinition is an error
+// reported by Assemble.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: label %q redefined", name))
+		return b
+	}
+	b.labels[name] = b.Here()
+	return b
+}
+
+// I emits a raw instruction.
+func (b *Builder) I(op isa.Op, a isa.Reg, operand isa.Operand) *Builder {
+	b.instrs = append(b.instrs, isa.Instr{Op: op, A: a, B: operand})
+	return b
+}
+
+func (b *Builder) branch(op isa.Op, a isa.Reg, label string) *Builder {
+	b.fixups[len(b.instrs)] = fixup{label: label}
+	return b.I(op, a, isa.ImmOp(0))
+}
+
+// Operand constructors re-exported for terse call sites.
+
+// R returns a register operand.
+func R(r isa.Reg) isa.Operand { return isa.RegOp(r) }
+
+// Imm returns an immediate operand.
+func Imm(v int32) isa.Operand { return isa.ImmOp(v) }
+
+// Mem returns a [a+offset] memory operand.
+func Mem(a isa.Reg, off int32) isa.Operand { return isa.MemOp(a, off) }
+
+// MemR returns a [a+idx] memory operand.
+func MemR(a, idx isa.Reg) isa.Operand { return isa.MemRegOp(a, idx) }
+
+// Data movement.
+
+// Move emits MOVE a ← src.
+func (b *Builder) Move(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.MOVE, a, src) }
+
+// MoveI emits MOVE a ← #v.
+func (b *Builder) MoveI(a isa.Reg, v int32) *Builder { return b.I(isa.MOVE, a, Imm(v)) }
+
+// St emits ST: mem[dst] ← a.
+func (b *Builder) St(a isa.Reg, dst isa.Operand) *Builder { return b.I(isa.ST, a, dst) }
+
+// Arithmetic: a ← a op src.
+
+func (b *Builder) Add(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.ADD, a, src) }
+func (b *Builder) Sub(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.SUB, a, src) }
+func (b *Builder) Mul(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.MUL, a, src) }
+func (b *Builder) Div(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.DIV, a, src) }
+func (b *Builder) Mod(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.MOD, a, src) }
+func (b *Builder) And(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.AND, a, src) }
+func (b *Builder) Or(a isa.Reg, src isa.Operand) *Builder  { return b.I(isa.OR, a, src) }
+func (b *Builder) Xor(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.XOR, a, src) }
+func (b *Builder) Lsh(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.LSH, a, src) }
+func (b *Builder) Ash(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.ASH, a, src) }
+func (b *Builder) Not(a isa.Reg) *Builder                  { return b.I(isa.NOT, a, isa.Operand{}) }
+func (b *Builder) Neg(a isa.Reg) *Builder                  { return b.I(isa.NEG, a, isa.Operand{}) }
+
+// Comparisons: a ← bool(a op src).
+
+func (b *Builder) Eq(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.EQ, a, src) }
+func (b *Builder) Ne(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.NE, a, src) }
+func (b *Builder) Lt(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.LT, a, src) }
+func (b *Builder) Le(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.LE, a, src) }
+func (b *Builder) Gt(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.GT, a, src) }
+func (b *Builder) Ge(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.GE, a, src) }
+
+// Control flow.
+
+// Br emits an unconditional branch to label.
+func (b *Builder) Br(label string) *Builder { return b.branch(isa.BR, 0, label) }
+
+// Bt branches to label when register a is truthy.
+func (b *Builder) Bt(a isa.Reg, label string) *Builder { return b.branch(isa.BT, a, label) }
+
+// Bf branches to label when register a is falsy.
+func (b *Builder) Bf(a isa.Reg, label string) *Builder { return b.branch(isa.BF, a, label) }
+
+// Bsr branches to label leaving the return address in link.
+func (b *Builder) Bsr(link isa.Reg, label string) *Builder { return b.branch(isa.BSR, link, label) }
+
+// Jmp jumps to the code address in src (subroutine return).
+func (b *Builder) Jmp(src isa.Operand) *Builder { return b.I(isa.JMP, 0, src) }
+
+// Suspend ends the current thread.
+func (b *Builder) Suspend() *Builder { return b.I(isa.SUSPEND, 0, isa.Operand{}) }
+
+// Halt stops the node.
+func (b *Builder) Halt() *Builder { return b.I(isa.HALT, 0, isa.Operand{}) }
+
+// Nop emits a NOP.
+func (b *Builder) Nop() *Builder { return b.I(isa.NOP, 0, isa.Operand{}) }
+
+// Message injection, priority 0.
+
+func (b *Builder) Send(src isa.Operand) *Builder              { return b.I(isa.SEND, 0, src) }
+func (b *Builder) Send2(a isa.Reg, src isa.Operand) *Builder  { return b.I(isa.SEND2, a, src) }
+func (b *Builder) SendE(src isa.Operand) *Builder             { return b.I(isa.SENDE, 0, src) }
+func (b *Builder) Send2E(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.SEND2E, a, src) }
+
+// Message injection, priority 1.
+
+func (b *Builder) Send1(src isa.Operand) *Builder              { return b.I(isa.SEND1, 0, src) }
+func (b *Builder) Send21(a isa.Reg, src isa.Operand) *Builder  { return b.I(isa.SEND21, a, src) }
+func (b *Builder) SendE1(src isa.Operand) *Builder             { return b.I(isa.SENDE1, 0, src) }
+func (b *Builder) Send2E1(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.SEND2E1, a, src) }
+
+// Naming and tags.
+
+// Enter inserts (key, value) into the translation table.
+func (b *Builder) Enter(key isa.Reg, val isa.Operand) *Builder { return b.I(isa.ENTER, key, val) }
+
+// Xlate translates src, placing the result in a; faults on a miss.
+func (b *Builder) Xlate(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.XLATE, a, src) }
+
+// Probe sets a to whether src translates without faulting.
+func (b *Builder) Probe(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.PROBE, a, src) }
+
+// Rtag reads the tag of src into a.
+func (b *Builder) Rtag(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.RTAG, a, src) }
+
+// Wtag sets the tag of a from the value of src.
+func (b *Builder) Wtag(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.WTAG, a, src) }
+
+// Iscf sets a to whether src carries the cfut tag, without faulting.
+func (b *Builder) Iscf(a isa.Reg, src isa.Operand) *Builder { return b.I(isa.ISCF, a, src) }
+
+// Trap transfers to system software service svc.
+func (b *Builder) Trap(svc int32) *Builder { return b.I(isa.TRAP, 0, Imm(svc)) }
+
+// MoveHdr loads register a with a complete message-header word for the
+// handler at label and a message of msgLen words: a MOVE of the packed
+// header data (resolved at assembly) followed by a WTAG to MSG. Costs
+// two instructions, matching how tuned MDP code built header constants.
+func (b *Builder) MoveHdr(a isa.Reg, label string, msgLen int) *Builder {
+	b.fixups[len(b.instrs)] = fixup{
+		label: label,
+		wrap: func(addr int32) int32 {
+			return word.MsgHeader(addr, msgLen).Data()
+		},
+	}
+	b.I(isa.MOVE, a, Imm(0))
+	return b.Wtag(a, Imm(int32(word.TagMsg)))
+}
+
+// SendMsg is a macro emitting a complete message: destination, then each
+// word, ending the message on the last. At least one body word is
+// required (every message begins with its header word).
+func (b *Builder) SendMsg(dest isa.Operand, words ...isa.Operand) *Builder {
+	if len(words) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: SendMsg requires at least a header word"))
+		return b
+	}
+	b.Send(dest)
+	for _, w := range words[:len(words)-1] {
+		b.Send(w)
+	}
+	return b.SendE(words[len(words)-1])
+}
+
+// Assemble resolves labels and produces the finished Program.
+func (b *Builder) Assemble() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	instrs := make([]isa.Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for idx, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q (instruction %d)", fx.label, idx)
+		}
+		if fx.wrap != nil {
+			target = fx.wrap(target)
+		}
+		instrs[idx].B = isa.ImmOp(target)
+	}
+	image, err := isa.Encode(instrs)
+	if err != nil {
+		return nil, fmt.Errorf("asm: encode: %w", err)
+	}
+	labels := make(map[string]int32, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	return &Program{Instrs: instrs, Labels: labels, Image: image}, nil
+}
+
+// MustAssemble is Assemble that panics on error, for statically-known
+// programs built at init time.
+func (b *Builder) MustAssemble() *Program {
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Program is an assembled MDP program.
+type Program struct {
+	Instrs []isa.Instr
+	Labels map[string]int32
+	Image  *isa.Image
+}
+
+// Entry returns the code address of a label, for use in message headers.
+func (p *Program) Entry(label string) int32 {
+	addr, ok := p.Labels[label]
+	if !ok {
+		panic(fmt.Sprintf("asm: no label %q", label))
+	}
+	return addr
+}
+
+// HasLabel reports whether the program defines label.
+func (p *Program) HasLabel(label string) bool {
+	_, ok := p.Labels[label]
+	return ok
+}
+
+// CodeWords returns the program size in 36-bit memory words.
+func (p *Program) CodeWords() int { return p.Image.Len() }
+
+// Listing renders a human-readable disassembly with labels.
+func (p *Program) Listing() string {
+	byAddr := make(map[int32][]string)
+	for name, addr := range p.Labels {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	var out []byte
+	for i, in := range p.Instrs {
+		names := byAddr[int32(i)]
+		sort.Strings(names)
+		for _, n := range names {
+			out = append(out, fmt.Sprintf("%s:\n", n)...)
+		}
+		out = append(out, fmt.Sprintf("%5d\t%s\n", i, in)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,225 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/isa"
+	"jmachine/internal/word"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start").
+		MoveI(isa.R0, 3).
+		Label("loop").
+		Sub(isa.R0, Imm(1)).
+		Bt(isa.R0, "loop").
+		Br("end").
+		Nop().
+		Label("end").
+		Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry("start") != 0 {
+		t.Errorf("start = %d", p.Entry("start"))
+	}
+	// The Bt targets "loop" = instruction 1.
+	if got := p.Instrs[2].B.Imm; got != 1 {
+		t.Errorf("Bt target = %d", got)
+	}
+	// The Br targets "end" = instruction 5.
+	if got := p.Instrs[3].B.Imm; got != 5 {
+		t.Errorf("Br target = %d", got)
+	}
+	if !p.HasLabel("loop") || p.HasLabel("nope") {
+		t.Error("HasLabel wrong")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Br("nowhere")
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Fatalf("expected redefinition error, got %v", err)
+	}
+}
+
+func TestMoveHdrResolvesHeader(t *testing.T) {
+	b := NewBuilder()
+	b.MoveHdr(isa.R1, "handler", 5).
+		Halt().
+		Label("handler").
+		Suspend()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instruction 0 is the MOVE of the packed header data; reconstruct
+	// the word and verify its fields.
+	hdr := word.New(word.TagMsg, p.Instrs[0].B.Imm)
+	if hdr.HeaderIP() != p.Entry("handler") {
+		t.Errorf("header IP = %d, want %d", hdr.HeaderIP(), p.Entry("handler"))
+	}
+	if hdr.HeaderLen() != 5 {
+		t.Errorf("header len = %d", hdr.HeaderLen())
+	}
+	// Instruction 1 must be the WTAG to MSG.
+	if p.Instrs[1].Op != isa.WTAG || p.Instrs[1].B.Imm != int32(word.TagMsg) {
+		t.Errorf("second instruction = %v", p.Instrs[1])
+	}
+}
+
+func TestSendMsgMacro(t *testing.T) {
+	b := NewBuilder()
+	b.SendMsg(R(isa.NNR), R(isa.R0), R(isa.R1), R(isa.R2))
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []isa.Op{isa.SEND, isa.SEND, isa.SEND, isa.SENDE}
+	for i, op := range ops {
+		if p.Instrs[i].Op != op {
+			t.Errorf("instr %d op = %v, want %v", i, p.Instrs[i].Op, op)
+		}
+	}
+}
+
+func TestSendMsgRequiresBody(t *testing.T) {
+	b := NewBuilder()
+	b.SendMsg(R(isa.NNR))
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("expected error for empty SendMsg")
+	}
+}
+
+func TestListingShowsLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("entry").Nop().Label("tail").Halt()
+	p := b.MustAssemble()
+	l := p.Listing()
+	if !strings.Contains(l, "entry:") || !strings.Contains(l, "tail:") {
+		t.Errorf("listing missing labels:\n%s", l)
+	}
+	if !strings.Contains(l, "NOP") || !strings.Contains(l, "HALT") {
+		t.Errorf("listing missing instructions:\n%s", l)
+	}
+}
+
+func TestCodeWordsAccounting(t *testing.T) {
+	b := NewBuilder()
+	// Two short instructions pack into one 36-bit word.
+	b.Add(isa.R0, R(isa.R1)).Sub(isa.R2, Imm(1))
+	p := b.MustAssemble()
+	if p.CodeWords() != 1 {
+		t.Errorf("code words = %d", p.CodeWords())
+	}
+}
+
+func TestEntryPanicsOnMissing(t *testing.T) {
+	p := NewBuilder().MustAssemble()
+	defer func() {
+		if recover() == nil {
+			t.Error("Entry of missing label did not panic")
+		}
+	}()
+	p.Entry("missing")
+}
+
+func TestEveryEmitterProducesItsOpcode(t *testing.T) {
+	b := NewBuilder()
+	b.Label("l")
+	b.Move(isa.R0, R(isa.R1))
+	b.MoveI(isa.R0, 1)
+	b.St(isa.R0, Mem(isa.A0, 0))
+	b.Add(isa.R0, R(isa.R1))
+	b.Sub(isa.R0, R(isa.R1))
+	b.Mul(isa.R0, R(isa.R1))
+	b.Div(isa.R0, R(isa.R1))
+	b.Mod(isa.R0, R(isa.R1))
+	b.And(isa.R0, R(isa.R1))
+	b.Or(isa.R0, R(isa.R1))
+	b.Xor(isa.R0, R(isa.R1))
+	b.Lsh(isa.R0, R(isa.R1))
+	b.Ash(isa.R0, R(isa.R1))
+	b.Not(isa.R0)
+	b.Neg(isa.R0)
+	b.Eq(isa.R0, R(isa.R1))
+	b.Ne(isa.R0, R(isa.R1))
+	b.Lt(isa.R0, R(isa.R1))
+	b.Le(isa.R0, R(isa.R1))
+	b.Gt(isa.R0, R(isa.R1))
+	b.Ge(isa.R0, R(isa.R1))
+	b.Br("l")
+	b.Bt(isa.R0, "l")
+	b.Bf(isa.R0, "l")
+	b.Bsr(isa.R3, "l")
+	b.Jmp(R(isa.R3))
+	b.Suspend()
+	b.Halt()
+	b.Nop()
+	b.Send(R(isa.R0))
+	b.Send2(isa.R0, R(isa.R1))
+	b.SendE(R(isa.R0))
+	b.Send2E(isa.R0, R(isa.R1))
+	b.Send1(R(isa.R0))
+	b.Send21(isa.R0, R(isa.R1))
+	b.SendE1(R(isa.R0))
+	b.Send2E1(isa.R0, R(isa.R1))
+	b.Enter(isa.R0, R(isa.R1))
+	b.Xlate(isa.A0, R(isa.R0))
+	b.Probe(isa.R0, R(isa.R1))
+	b.Rtag(isa.R0, R(isa.R1))
+	b.Wtag(isa.R0, Imm(1))
+	b.Iscf(isa.R0, R(isa.R1))
+	b.Trap(1)
+	b.I(isa.NOP, 0, Imm(0))
+	p := b.MustAssemble()
+	want := []isa.Op{
+		isa.MOVE, isa.MOVE, isa.ST,
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.LSH, isa.ASH, isa.NOT, isa.NEG,
+		isa.EQ, isa.NE, isa.LT, isa.LE, isa.GT, isa.GE,
+		isa.BR, isa.BT, isa.BF, isa.BSR, isa.JMP,
+		isa.SUSPEND, isa.HALT, isa.NOP,
+		isa.SEND, isa.SEND2, isa.SENDE, isa.SEND2E,
+		isa.SEND1, isa.SEND21, isa.SENDE1, isa.SEND2E1,
+		isa.ENTER, isa.XLATE, isa.PROBE,
+		isa.RTAG, isa.WTAG, isa.ISCF, isa.TRAP, isa.NOP,
+	}
+	if len(p.Instrs) != len(want) {
+		t.Fatalf("emitted %d instructions, want %d", len(p.Instrs), len(want))
+	}
+	for i, op := range want {
+		if p.Instrs[i].Op != op {
+			t.Errorf("instruction %d = %v, want %v", i, p.Instrs[i].Op, op)
+		}
+	}
+	// The image round-trips through the bit-level encoding.
+	decoded, err := isa.Decode(p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(p.Instrs) {
+		t.Errorf("decode length %d, want %d", len(decoded), len(p.Instrs))
+	}
+}
+
+func TestMemOperandConstructors(t *testing.T) {
+	if op := Mem(isa.A2, 5); !op.IsMem() || op.Reg != isa.A2 || op.Imm != 5 {
+		t.Errorf("Mem = %+v", op)
+	}
+	if op := MemR(isa.A1, isa.R2); op.Mode != isa.ModeMemReg || op.Idx != isa.R2 {
+		t.Errorf("MemR = %+v", op)
+	}
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import "testing"
+
+func TestTable1PublishedMatchesPaper(t *testing.T) {
+	rows := Table1Published()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Spot checks against the paper's Table 1.
+	if rows[0].Machine != "nCUBE/2 (Vendor)" || rows[0].MicrosPer != 160.0 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if !rows[1].Blocking {
+		t.Error("CM-5 vendor row must be flagged blocking")
+	}
+	if rows[4].CyclesPer != 109 {
+		t.Errorf("CM-5 Active cycles = %v", rows[4].CyclesPer)
+	}
+	jm := Table1JMachinePaper()
+	if jm.CyclesPer != 11 || jm.CyclesByte != 0.5 {
+		t.Errorf("J-Machine paper row = %+v", jm)
+	}
+	// The paper's claim: one to two orders of magnitude.
+	if rows[0].CyclesPer/jm.CyclesPer < 100 {
+		t.Error("vendor overhead should be ≥2 orders of magnitude worse")
+	}
+	if rows[4].CyclesPer/jm.CyclesPer < 9 {
+		t.Error("best Active Messages overhead should be ≈1 order of magnitude worse")
+	}
+}
+
+func TestTable3PublishedMatchesPaper(t *testing.T) {
+	rows := Table3Published()
+	byNodes := map[int]BarrierRow{}
+	for _, r := range rows {
+		byNodes[r.Nodes] = r
+	}
+	if byNodes[2].Micros["J"] != 4.4 || byNodes[512].Micros["J"] != 27.4 {
+		t.Error("J column endpoints wrong")
+	}
+	if byNodes[2].Micros["EM4"] != 2.7 {
+		t.Error("EM4 row wrong")
+	}
+	if _, ok := byNodes[128].Micros["KSR"]; ok {
+		t.Error("KSR has no 128-node figure in the paper")
+	}
+	if byNodes[64].Micros["KSR"] != 847 || byNodes[64].Micros["IPSC/860"] != 3587 {
+		t.Error("64-node KSR/iPSC figures wrong")
+	}
+	if _, ok := byNodes[64].Micros["Delta"]; ok {
+		t.Error("Delta has no 64-node figure in the paper")
+	}
+	// J-Machine barrier is 1-2 orders of magnitude faster than the
+	// microprocessor-based machines at every common size.
+	for _, n := range []int{2, 4, 8, 16} {
+		j := byNodes[n].Micros["J"]
+		for _, other := range []string{"KSR", "IPSC/860", "Delta"} {
+			if v, ok := byNodes[n].Micros[other]; ok && v/j < 10 {
+				t.Errorf("%s at %d nodes only %.1fx slower", other, n, v/j)
+			}
+		}
+	}
+}
+
+func TestTable3MachinesOrder(t *testing.T) {
+	m := Table3Machines()
+	if len(m) != 5 || m[0] != "EM4" || m[1] != "J" {
+		t.Errorf("machines = %v", m)
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblateDispatch(t *testing.T) {
+	r, err := AblateDispatch(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	hw, _ := strconv.Atoi(r.Rows[0][1])
+	sw, _ := strconv.Atoi(r.Rows[1][1])
+	// A round trip dispatches twice, so +26 cycles of dispatch cost
+	// must add ~52 cycles of RTT.
+	if sw-hw < 40 {
+		t.Errorf("software dispatch RTT delta = %d, want ≈52", sw-hw)
+	}
+	hwBar, _ := strconv.ParseFloat(r.Rows[0][2], 64)
+	swBar, _ := strconv.ParseFloat(r.Rows[1][2], 64)
+	if swBar <= hwBar {
+		t.Error("software dispatch should slow the barrier")
+	}
+}
+
+func TestAblateArbitration(t *testing.T) {
+	r, err := AblateArbitration(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The paper's lockout: under sustained hotspot congestion some
+	// nodes are unable to inject for arbitrarily long. Starved nodes
+	// must appear under the MDP's fixed-priority arbitration, and the
+	// congestion must surface as send-fault back-pressure.
+	starved, _ := strconv.Atoi(r.Rows[0][4])
+	if starved == 0 {
+		t.Error("no starved nodes under fixed priority")
+	}
+	faults, _ := strconv.Atoi(r.Rows[0][5])
+	if faults == 0 {
+		t.Error("no send-fault cycles under hotspot congestion")
+	}
+}
+
+func TestAblateQueueSize(t *testing.T) {
+	r, err := AblateQueueSize(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The tiny queue must induce back-pressure (delivery stalls) that
+	// the big queue avoids, and the run must slow down accordingly.
+	smallStalls, _ := strconv.Atoi(r.Rows[0][3])
+	bigStalls, _ := strconv.Atoi(r.Rows[len(r.Rows)-1][3])
+	if smallStalls <= bigStalls {
+		t.Errorf("delivery stalls: small queue %d, big queue %d", smallStalls, bigStalls)
+	}
+	// Runtime must never improve with a smaller queue (the stalls are
+	// often fully absorbed by the self-clocked reorder phase, so
+	// equality is expected at modest scale).
+	smallCyc, _ := strconv.Atoi(r.Rows[0][1])
+	bigCyc, _ := strconv.Atoi(r.Rows[len(r.Rows)-1][1])
+	if smallCyc < bigCyc {
+		t.Errorf("cycles: small queue %d faster than big queue %d", smallCyc, bigCyc)
+	}
+}
+
+func TestAblateFlowControl(t *testing.T) {
+	r, err := AblateFlowControl(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Each mechanism completes and exhibits its signature: the RTS row
+	// records returns, the overflow row records relocations.
+	rts, _ := strconv.Atoi(r.Rows[1][3])
+	ovf, _ := strconv.Atoi(r.Rows[2][4])
+	if rts == 0 {
+		t.Error("return-to-sender recorded no returns")
+	}
+	if ovf == 0 {
+		t.Error("overflow handler recorded no relocations")
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+)
+
+// Figure 4: the maximum data-transfer rate sustainable between two
+// adjacent nodes versus message size. The source generates dummy data
+// directly from the register file; the destination handler either
+// discards the message, copies it into internal memory, or copies it
+// into external memory. The copy variants run slower than the 0.5
+// words/cycle delivery rate, so the queue backs up and the network
+// applies back-pressure — the rate mismatch the radix-sort discussion
+// describes.
+
+// buildFig4Program assembles a sender streaming `count` messages of
+// `words` words to the node at AppBase, and the three receiver variants.
+func buildFig4Program(words, count int) *asm.Program {
+	b := asm.NewBuilder()
+	payload := words - 1 // words after the header
+
+	for _, v := range []string{"discard", "imem", "emem"} {
+		b.Label("main."+v).
+			MoveI(isa.A0, rt.AppBase).
+			Move(isa.R3, asm.Mem(isa.A0, 0)). // destination, kept in a register
+			MoveHdr(isa.R1, "fig4."+v, words).
+			MoveI(isa.R0, 0x5A5).
+			MoveI(isa.R2, int32(count)).
+			Label("loop." + v).
+			Send(asm.R(isa.R3))
+		if payload == 0 {
+			b.SendE(asm.R(isa.R1)) // header-only message
+		} else {
+			b.Send(asm.R(isa.R1))
+			for i := 0; i < payload/2; i++ {
+				if 2*i+2 == payload {
+					b.Send2E(isa.R0, asm.R(isa.R0))
+				} else {
+					b.Send2(isa.R0, asm.R(isa.R0))
+				}
+			}
+			if payload%2 == 1 {
+				b.SendE(asm.R(isa.R0))
+			}
+		}
+		b.Sub(isa.R2, asm.Imm(1)).
+			Bt(isa.R2, "loop."+v).
+			Halt()
+	}
+
+	// Receivers.
+	b.Label("fig4.discard").
+		Suspend()
+
+	copyBody := func(name string, base int32) {
+		loop := name + ".loop"
+		b.Label(name).
+			MoveI(isa.A0, base).
+			MoveI(isa.R3, 1).
+			Label(loop).
+			Move(isa.R0, asm.MemR(isa.A3, isa.R3)).
+			St(isa.R0, asm.Mem(isa.A0, 0)).
+			Add(isa.A0, asm.Imm(1)).
+			Add(isa.R3, asm.Imm(1)).
+			Move(isa.R1, asm.R(isa.R3)).
+			Lt(isa.R1, asm.Imm(int32(words))).
+			Bt(isa.R1, loop).
+			Suspend()
+	}
+	copyBody("fig4.imem", imemAddr())
+	copyBody("fig4.emem", ememAddr())
+
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+// Fig4Result holds the terminal-bandwidth curves.
+type Fig4Result struct {
+	Series []Series // Mbits/s vs message size, per variant
+}
+
+// Fig4 sweeps message sizes 2..16 words for the three variants.
+func Fig4(o Options) (*Fig4Result, error) {
+	count := 300
+	if o.Quick {
+		count = 100
+	}
+	sizes := []int{2, 3, 4, 6, 8, 12, 16}
+	res := &Fig4Result{}
+	for _, variant := range []string{"discard", "imem", "emem"} {
+		s := Series{Label: map[string]string{
+			"discard": "Discard Data", "imem": "Copy to Imem", "emem": "Copy to Emem",
+		}[variant]}
+		for _, words := range sizes {
+			rate, err := runFig4Point(variant, words, count)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(words), Y: rate})
+			o.progress("fig4 %s L=%d rate=%.0f Mb/s", variant, words, rate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+func runFig4Point(variant string, words, count int) (float64, error) {
+	p := buildFig4Program(words, count)
+	m, err := machine.New(machine.Grid(2, 1, 1), p)
+	if err != nil {
+		return 0, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(1))
+	rt.StartNode(m, p, 0, "main."+variant)
+	max := int64(count) * int64(words) * 200
+	err = m.RunWhile(func(m *machine.Machine) bool {
+		return m.Net.Stats().DeliveredMsgs[0] < uint64(count)
+	}, max)
+	if err != nil {
+		return 0, fmt.Errorf("fig4 %s L=%d: %w", variant, words, err)
+	}
+	bits := float64(count) * float64(words) * 36
+	return Mbits(bits / float64(m.Cycle())), nil
+}
+
+// Table renders Figure 4.
+func (r *Fig4Result) Table() *Table {
+	t := SeriesTable("Figure 4: terminal network bandwidth (Mbits/s) vs message size (words)",
+		"words", "Mbits/s", r.Series)
+	t.Notes = append(t.Notes,
+		"channel peak is 225 Mbits/s (0.5 words/cycle); the paper reports ~90% of peak at 8 words for Discard")
+	return t
+}

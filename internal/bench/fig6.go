@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"jmachine/internal/stats"
+)
+
+// Fig6Result holds the per-application cycle breakdown (Figure 6).
+type Fig6Result struct {
+	Apps      []string
+	Breakdown [][stats.NumCats]float64
+	Nodes     int
+}
+
+// Fig6 runs each application on a 64-node machine (the paper's
+// configuration for this figure) and attributes every node-cycle to one
+// of the Figure 6 categories: computation, communication,
+// synchronization, xlate, NNR calculation, and idle.
+func Fig6(o Options) (*Fig6Result, error) {
+	nodes := 64
+	if o.Quick {
+		nodes = 8
+	}
+	res := &Fig6Result{Nodes: nodes}
+	for _, app := range appRunners(o) {
+		pt, err := app.Run(nodes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Name, err)
+		}
+		res.Apps = append(res.Apps, app.Name)
+		res.Breakdown = append(res.Breakdown, pt.M.Stats.Breakdown())
+		o.progress("fig6 %s done (%d cycles)", app.Name, pt.Cycles)
+	}
+	return res, nil
+}
+
+// Table renders Figure 6 as percentage rows.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 6: breakdown of time per application (%d nodes, %% of node-cycles)", r.Nodes),
+		Columns: []string{"Application", "comp", "comm", "sync", "xlate", "NNR", "idle"},
+	}
+	order := []stats.Cat{stats.CatComp, stats.CatComm, stats.CatSync, stats.CatXlate, stats.CatNNR, stats.CatIdle}
+	for i, app := range r.Apps {
+		row := []string{app}
+		for _, c := range order {
+			row = append(row, fmt.Sprintf("%.1f", 100*r.Breakdown[i][c]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// AblateNaming quantifies the critique's naming complaint: "some
+// applications spend considerable time converting virtual addresses or
+// linear node indices to router addresses. Automatic translation ...
+// could be implemented with a pair of TLBs." Four ways to turn a linear
+// node index into a router address are timed:
+//
+//   - software arithmetic (the runtime's id2node: divide/modulo chain),
+//   - a memory-resident table (what the tuned applications do),
+//   - the XLATE name cache at its 3-cycle hit cost,
+//   - a hypothetical 1-cycle translation TLB (XLATE retimed).
+func AblateNaming(o Options) (*AblationResult, error) {
+	const conversions = 256
+	res := &AblationResult{
+		Title:   "Ablation: linear node index → router address (256 conversions)",
+		Columns: []string{"Mechanism", "total cycles", "cycles/conversion"},
+	}
+
+	type method struct {
+		name  string
+		build func(b *asm.Builder)
+		tune  func(cfg *machine.Config)
+		setup func(m *machine.Machine, r *rt.Runtime)
+	}
+
+	// The counter lives in A1: the software-arithmetic subroutine
+	// clobbers all the data registers.
+	loopAround := func(body func(b *asm.Builder)) func(b *asm.Builder) {
+		return func(b *asm.Builder) {
+			b.Label("main").
+				MoveI(isa.A1, conversions).
+				Label("loop")
+			body(b)
+			b.Add(isa.A1, asm.Imm(-1)).
+				Bt(isa.A1, "loop").
+				Halt()
+		}
+	}
+
+	methods := []method{
+		{
+			name: "software arithmetic (rt.id2node)",
+			build: loopAround(func(b *asm.Builder) {
+				b.Move(isa.R0, asm.R(isa.A1)).
+					Bsr(isa.R3, rt.LId2Node)
+			}),
+		},
+		{
+			name: "memory table",
+			build: loopAround(func(b *asm.Builder) {
+				b.Move(isa.R0, asm.R(isa.A1)).
+					MoveI(isa.A0, 512).
+					Move(isa.R0, asm.MemR(isa.A0, isa.R0))
+			}),
+			setup: func(m *machine.Machine, r *rt.Runtime) {
+				for i := 0; i <= conversions; i++ {
+					m.Nodes[0].Mem.Write(512+int32(i), m.Net.NodeWord(i%m.NumNodes()))
+				}
+			},
+		},
+		{
+			name: "XLATE name cache (3 cycles)",
+			build: loopAround(func(b *asm.Builder) {
+				b.Move(isa.R0, asm.R(isa.A1)).
+					Wtag(isa.R0, asm.Imm(int32(word.TagPtr))).
+					Xlate(isa.A0, asm.R(isa.R0))
+			}),
+			setup: func(m *machine.Machine, r *rt.Runtime) {
+				for i := 0; i <= conversions; i++ {
+					r.DefineName(0, word.New(word.TagPtr, int32(i)),
+						m.Net.NodeWord(i%m.NumNodes()))
+				}
+			},
+		},
+		{
+			name: "translation TLB (1 cycle, critique proposal)",
+			build: loopAround(func(b *asm.Builder) {
+				b.Move(isa.R0, asm.R(isa.A1)).
+					Wtag(isa.R0, asm.Imm(int32(word.TagPtr))).
+					Xlate(isa.A0, asm.R(isa.R0))
+			}),
+			tune: func(cfg *machine.Config) { cfg.MDP.Timing.Xlate = 1 },
+			setup: func(m *machine.Machine, r *rt.Runtime) {
+				for i := 0; i <= conversions; i++ {
+					r.DefineName(0, word.New(word.TagPtr, int32(i)),
+						m.Net.NodeWord(i%m.NumNodes()))
+				}
+			},
+		},
+	}
+
+	for _, meth := range methods {
+		b := asm.NewBuilder()
+		meth.build(b)
+		rt.BuildLib(b)
+		p, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		// A 4×4×4 mesh gives the divide chain realistic divisors and
+		// the tables 64 distinct addresses.
+		cfg := machine.Cube(4)
+		if meth.tune != nil {
+			meth.tune(&cfg)
+		}
+		m, err := machine.New(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+		if meth.setup != nil {
+			meth.setup(m, r)
+		}
+		rt.StartNode(m, p, 0, "main")
+		if err := m.RunUntilHalt(0, 1_000_000); err != nil {
+			return nil, fmt.Errorf("%s: %w", meth.name, err)
+		}
+		res.Rows = append(res.Rows, []string{
+			meth.name,
+			fmt.Sprintf("%d", m.Cycle()),
+			fmt.Sprintf("%.1f", float64(m.Cycle())/conversions),
+		})
+		o.progress("ablate naming %s: %.1f cycles/conv", meth.name, float64(m.Cycle())/conversions)
+	}
+	res.Notes = append(res.Notes,
+		"each row includes ~5 cycles/iteration of loop overhead",
+		"cache-conflict misses on the xlate variants refill from the memory-resident table")
+	return res, nil
+}

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblateNaming(t *testing.T) {
+	r, err := AblateNaming(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	per := func(i int) float64 {
+		v, _ := strconv.ParseFloat(r.Rows[i][2], 64)
+		return v
+	}
+	soft, table, xl, tlb := per(0), per(1), per(2), per(3)
+	// The critique's ordering: software index arithmetic is the most
+	// expensive by a wide margin; hardware translation mechanisms beat
+	// it; a 1-cycle TLB beats the 3-cycle xlate.
+	if soft < 4*table || soft < 3*xl {
+		t.Errorf("software conversion not dominant: soft=%.1f table=%.1f xlate=%.1f", soft, table, xl)
+	}
+	if tlb >= xl {
+		t.Errorf("TLB (%.1f) not faster than xlate (%.1f)", tlb, xl)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarks are the per-series glyphs, in series order.
+var plotMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders a family of series as an ASCII scatter chart with linear
+// axes — enough to eyeball the shapes the paper's figures show (knees,
+// crossovers, saturation) straight from a terminal.
+func Plot(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			points++
+		}
+	}
+	if points == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := plotMarks[si%len(plotMarks)]
+		for _, p := range s.Points {
+			c := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - r
+			if grid[row][c] == ' ' || grid[row][c] == mark {
+				grid[row][c] = mark
+			} else {
+				grid[row][c] = '?' // collision between series
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	yHi := trimFloat(maxY)
+	yLo := trimFloat(minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yHi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	lo, hi := trimFloat(minX), trimFloat(maxX)
+	gap := width - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&sb, "%s  %s%s%s  (%s)\n", strings.Repeat(" ", margin), lo, strings.Repeat(" ", gap), hi, xlabel)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", plotMarks[si%len(plotMarks)], s.Label))
+	}
+	fmt.Fprintf(&sb, "%s  y: %s;  %s\n", strings.Repeat(" ", margin), ylabel, strings.Join(legend, "   "))
+	return sb.String()
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	s := []Series{
+		{Label: "up", Points: []Point{{0, 0}, {5, 5}, {10, 10}}},
+		{Label: "down", Points: []Point{{0, 10}, {5, 5}, {10, 0}}},
+	}
+	out := Plot("test", "x", "y", s, 20, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "10") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	// The crossing point is shared: either glyph or the collision mark.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if out := Plot("none", "x", "y", nil, 20, 8); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+	// Single point: degenerate ranges must not divide by zero.
+	out := Plot("one", "x", "y", []Series{{Label: "p", Points: []Point{{3, 7}}}}, 20, 8)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot("t", "x", "y", []Series{{Label: "p", Points: []Point{{0, 0}, {1, 1}}}}, 1, 1)
+	if len(out) == 0 {
+		t.Error("empty output")
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// SeqResult holds the sequential execution rates of Section 2.1: peak
+// 12.5 MIPS (one instruction per cycle), a typical ~5.5 MIPS with code
+// and data in internal memory, and under 2 MIPS with everything in
+// external memory.
+type SeqResult struct {
+	PeakMIPS     float64
+	TypicalMIPS  float64
+	ExternalMIPS float64
+}
+
+// buildMixed emits a representative instruction blend: memory operands,
+// stores, branches, and arithmetic, in the proportions of a compiled
+// inner loop.
+func buildMixed(b *asm.Builder, iters int32, dataAddr int32) {
+	b.Label("main").
+		MoveI(isa.A0, 0).
+		Move(isa.A0, asm.Imm(dataAddr)).
+		MoveI(isa.R2, iters).
+		Label("loop").
+		Move(isa.R0, asm.Mem(isa.A0, 0)). // load
+		Add(isa.R0, asm.Imm(3)).
+		Move(isa.R1, asm.Mem(isa.A0, 1)). // load
+		Mul(isa.R1, asm.R(isa.R0)).
+		St(isa.R1, asm.Mem(isa.A0, 2)). // store
+		Move(isa.R3, asm.R(isa.R1)).
+		And(isa.R3, asm.Imm(7)).
+		Bf(isa.R3, "skip"). // data-dependent branch
+		Xor(isa.R0, asm.R(isa.R1)).
+		Label("skip").
+		Sub(isa.R2, asm.Imm(1)).
+		Bt(isa.R2, "loop").
+		Halt()
+}
+
+// SequentialRates measures the three regimes.
+func SequentialRates(o Options) (*SeqResult, error) {
+	run := func(build func(b *asm.Builder), codeEmem bool) (float64, error) {
+		b := asm.NewBuilder()
+		build(b)
+		rt.BuildLib(b)
+		p, err := b.Assemble()
+		if err != nil {
+			return 0, err
+		}
+		cfg := machine.Grid(1, 1, 1)
+		cfg.MDP.CodeInEmem = codeEmem
+		m, err := machine.New(cfg, p)
+		if err != nil {
+			return 0, err
+		}
+		rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+		for i := int32(0); i < 8; i++ {
+			m.Nodes[0].Mem.Write(imemAddr()+i, word.Int(i+1))
+			m.Nodes[0].Mem.Write(ememAddr()+i, word.Int(i+1))
+		}
+		rt.StartNode(m, p, 0, "main")
+		if err := m.RunUntilHalt(0, 10_000_000); err != nil {
+			return 0, err
+		}
+		instr := float64(m.Stats.Nodes[0].Instrs)
+		cycles := float64(m.Cycle())
+		return instr / cycles * 12.5, nil
+	}
+
+	res := &SeqResult{}
+	var err error
+	// Peak: straight-line register arithmetic.
+	res.PeakMIPS, err = run(func(b *asm.Builder) {
+		b.Label("main").MoveI(isa.R2, 500).
+			Label("l")
+		for i := 0; i < 20; i++ {
+			b.Add(isa.R0, asm.R(isa.R1))
+		}
+		b.Sub(isa.R2, asm.Imm(1)).Bt(isa.R2, "l").Halt()
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	res.TypicalMIPS, err = run(func(b *asm.Builder) { buildMixed(b, 2000, imemAddr()) }, false)
+	if err != nil {
+		return nil, err
+	}
+	res.ExternalMIPS, err = run(func(b *asm.Builder) { buildMixed(b, 2000, ememAddr()) }, true)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("seq peak=%.1f typical=%.1f external=%.1f MIPS",
+		res.PeakMIPS, res.TypicalMIPS, res.ExternalMIPS)
+	return res, nil
+}
+
+// Table renders the Section 2.1 rates.
+func (r *SeqResult) Table() *Table {
+	return &Table{
+		Title:   "Section 2.1: sequential execution rates (MIPS at 12.5 MHz)",
+		Columns: []string{"Regime", "Measured", "Paper"},
+		Rows: [][]string{
+			{"Peak (register operands)", trimFloat(r.PeakMIPS), "12.5"},
+			{"Typical (code+data internal)", trimFloat(r.TypicalMIPS), "5.5"},
+			{"Code+data external", trimFloat(r.ExternalMIPS), "<2"},
+		},
+	}
+}

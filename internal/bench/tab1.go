@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/baseline"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/stats"
+)
+
+// Tab1Result holds the measured J-Machine one-way overheads alongside
+// the published comparison rows.
+type Tab1Result struct {
+	Rows []baseline.MessageOverhead
+	// SendCycles and ReceiveCycles decompose the measured t_s.
+	SendCycles, ReceiveCycles float64
+}
+
+// Table1 measures the J-Machine's asynchronous one-way message overhead:
+// the fixed processor cost to format-and-inject plus the cost to dispatch
+// and absorb a message, and the per-byte injection cost. Network transit
+// latency is excluded, as in the paper.
+func Table1(o Options) (*Tab1Result, error) {
+	const msgs = 200
+
+	// Sender/receiver overhead: node 0 sends `msgs` header-only
+	// messages, spaced by an idle loop so injection never back-pressures;
+	// node 1's sink handler just consumes them. The sender's comm cycles
+	// per message are the send overhead; the receiver's sync cycles per
+	// message are the dispatch/absorb overhead.
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R2, msgs).
+		Label("loop").
+		MoveI(isa.A0, rt.AppBase).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveHdr(isa.R1, "sink", 1).
+		SendE(asm.R(isa.R1)).
+		MoveI(isa.R0, 20). // spacing: ~40 idle-loop cycles
+		Label("gap").
+		Sub(isa.R0, asm.Imm(1)).
+		Bt(isa.R0, "gap").
+		Sub(isa.R2, asm.Imm(1)).
+		Bt(isa.R2, "loop").
+		Halt()
+	b.Label("sink").
+		Suspend()
+	rt.BuildLib(b)
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(machine.Grid(2, 1, 1), p)
+	if err != nil {
+		return nil, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(1))
+	rt.StartNode(m, p, 0, "main")
+	if err := m.RunUntilHalt(0, 10_000_000); err != nil {
+		return nil, err
+	}
+	if err := m.RunQuiescent(100_000); err != nil {
+		return nil, err
+	}
+	send := float64(m.Stats.Nodes[0].Cycles[stats.CatComm]) / msgs
+	recv := float64(m.Stats.Nodes[1].Cycles[stats.CatSync]) / msgs
+
+	// Per-byte cost: the serialization rate of the channel, from the
+	// one-way delivery-time difference between 16- and 2-word messages
+	// (36-bit words = 4.5 bytes).
+	lat2, err := oneWayLatency(2)
+	if err != nil {
+		return nil, err
+	}
+	lat16, err := oneWayLatency(16)
+	if err != nil {
+		return nil, err
+	}
+	perByte := float64(lat16-lat2) / (14 * 4.5)
+
+	ts := send + recv
+	measured := baseline.MessageOverhead{
+		Machine:    "J-Machine (measured)",
+		MicrosPer:  Micros(ts),
+		MicrosByte: Micros(perByte),
+		CyclesPer:  ts,
+		CyclesByte: perByte,
+		Measured:   true,
+	}
+	rows := baseline.Table1Published()
+	rows = append(rows, baseline.Table1JMachinePaper(), measured)
+	o.progress("tab1 send=%.1f recv=%.1f perByte=%.2f", send, recv, perByte)
+	return &Tab1Result{Rows: rows, SendCycles: send, ReceiveCycles: recv}, nil
+}
+
+// oneWayLatency measures enqueue-to-delivery time for one L-word message
+// between adjacent nodes.
+func oneWayLatency(words int) (int64, error) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.A0, rt.AppBase).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveHdr(isa.R1, "sink", words).
+		Send(asm.R(isa.R1))
+	for i := 0; i < words-2; i++ {
+		b.Send(asm.R(isa.ZERO))
+	}
+	b.SendE(asm.R(isa.ZERO)).
+		Halt()
+	b.Label("sink").Suspend()
+	rt.BuildLib(b)
+	p, err := b.Assemble()
+	if err != nil {
+		return 0, err
+	}
+	m, err := machine.New(machine.Grid(2, 1, 1), p)
+	if err != nil {
+		return 0, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(1))
+	rt.StartNode(m, p, 0, "main")
+	if err := m.RunUntilHalt(0, 100_000); err != nil {
+		return 0, err
+	}
+	if err := m.RunQuiescent(100_000); err != nil {
+		return 0, err
+	}
+	st := m.Net.Stats()
+	return int64(st.MeanLatency(0)), nil
+}
+
+// Table renders Table 1.
+func (r *Tab1Result) Table() *Table {
+	t := &Table{
+		Title:   "Table 1: One-way message overhead",
+		Columns: []string{"Machine", "ts µs/msg", "tb µs/byte", "cycles/msg", "cycles/byte"},
+	}
+	for _, row := range r.Rows {
+		name := row.Machine
+		if row.Blocking {
+			name += " *"
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", row.MicrosPer),
+			fmt.Sprintf("%.3f", row.MicrosByte),
+			fmt.Sprintf("%.1f", row.CyclesPer),
+			fmt.Sprintf("%.2f", row.CyclesByte),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"* blocking send/receive",
+		fmt.Sprintf("measured split: send %.1f cycles, receive %.1f cycles", r.SendCycles, r.ReceiveCycles),
+		"published rows are the literature figures the paper compares against")
+	return t
+}

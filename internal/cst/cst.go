@@ -1,0 +1,346 @@
+// Package cst is a miniature Concurrent-Smalltalk/COSMOS runtime for the
+// simulated J-Machine, providing the execution style the paper's TSP
+// benchmark was written in:
+//
+//   - There are no procedure calls per se; all calls become message
+//     invocations, either on the local node or a remote node.
+//   - Data structures are objects referred to by global virtual names
+//     that must be translated (XLATE) at every use.
+//   - No priority-1 messages are sent: long-running task threads instead
+//     suspend periodically (the "null procedure call") so that pending
+//     messages — bound updates, work requests — can be processed.
+//   - Incomplete work is redistributed to balance load: idle nodes send
+//     work-requesting messages round-robin and receive task grants.
+//
+// The package owns the worker-object layout and the message-driven
+// scheduler (sched/grant/request/nowork handlers); the application
+// supplies the task-processing code via a label.
+package cst
+
+import (
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/mem"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Global object names. Names are node-local translations of globally
+// agreed IDs: every node maps MatrixKey to its local replica, WorkerKey
+// to its own worker object — the global-namespace pattern CST used for
+// distributed objects.
+var (
+	MatrixKey = word.New(word.TagPtr, 1)
+	WorkerKey = word.New(word.TagPtr, 2)
+)
+
+// Application memory layout (offsets from rt.AppBase). The runtime owns
+// these; applications address them relative to A1 = rt.AppBase.
+const (
+	App = rt.AppBase
+
+	OffMatrixKey = 0 // XLATE key for the matrix/shared object
+	OffWorkerKey = 1 // XLATE key for this node's worker object
+	OffN         = 2 // application constant (problem size)
+	OffFull      = 3 // application constant (bitmask)
+	OffNodesMask = 4 // numNodes-1
+	OffMyID      = 5 // this node's linear id
+
+	// The active task record / context frame (4 words). CST kept
+	// context frames in objects; the active frame is node-private here
+	// since the running task is never stealable.
+	OffRec = 8 // 8,9,10,11
+
+	OffYieldCtr = 12 // countdown to the next voluntary suspension
+	OffYieldK   = 13 // reset value
+	OffCurSeq   = 14 // sequence number of the task being processed
+	OffScratch  = 15 // broadcast loop counter etc.
+	OffTotal    = 16 // node 0: total tasks
+	OffDone     = 17 // node 0: completed tasks
+
+	// NodeTable is the absolute address of the router-address table.
+	NodeTable = 3300
+)
+
+// Worker-object layout (offsets within the worker segment). Slots 0-3
+// belong to the application (TSP keeps its bound in slot 0).
+const (
+	WkApp0       = 0
+	WkStackCount = 4 // stealable task records
+	WkVictim     = 5 // next node to ask for work
+	WkAttempts   = 6 // consecutive refusals (dormant at numNodes-1)
+	// WkBusy guards the active task frame: a task slice may be
+	// suspended awaiting its continuation message, and the scheduler
+	// must not start another task over it.
+	WkBusy   = 7
+	WkFrames = 8  // application frame area (16 levels × 4 words)
+	WkStack  = 72 // task records, 4 words each
+)
+
+// Handler labels.
+const (
+	LSched   = "cst.sched"   // pop a local task or request work
+	LCont    = "cst.cont"    // resume a suspended task slice
+	LRequest = "cst.request" // a work-requesting message
+	LGrant   = "cst.grant"   // a granted task record
+	LNoWork  = "cst.nowork"  // a refusal
+	LHalt    = "cst.halt"
+)
+
+// Config ties the scheduler to the application's code labels.
+type Config struct {
+	// TaskEntry is the task-processing message handler. The scheduler
+	// invokes it with a 5-word method-invocation message — [header,
+	// rec0..rec3] — sent to the local node (all calls become message
+	// invocations). The handler should begin with EmitTaskPrologue,
+	// which unpacks the record, and must eventually either yield
+	// (EmitYield) or finish (EmitFinish).
+	TaskEntry string
+}
+
+// InvokeWords is the length of a task-invocation message.
+const InvokeWords = 5
+
+// BuildScheduler emits the message-driven scheduler. Applications call
+// it once while assembling their program, before rt.BuildLib.
+func BuildScheduler(b *asm.Builder, cfg Config) {
+	// cst.sched: [hdr] — if the local stack has a task, pop it and
+	// invoke it with a method-invocation message to the local node;
+	// otherwise ask the current victim for work. A suspended task slice
+	// owns the active frame, so a busy worker just drops the wakeup —
+	// the running task reschedules when it finishes.
+	b.Label(LSched).
+		MoveI(isa.A1, App).
+		Xlate(isa.A2, asm.Mem(isa.A1, OffWorkerKey)).
+		Move(isa.R0, asm.Mem(isa.A2, WkBusy)).
+		Bt(isa.R0, "cst.sched.busy").
+		Move(isa.R0, asm.Mem(isa.A2, WkStackCount)).
+		Bf(isa.R0, "cst.sched.steal").
+		// Pop the top record (count-1) and send it as an invocation.
+		MoveI(isa.R1, 1).
+		St(isa.R1, asm.Mem(isa.A2, WkBusy)).
+		Sub(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A2, WkStackCount)).
+		Lsh(isa.R0, asm.Imm(2)).
+		Add(isa.R0, asm.Imm(WkStack)).
+		Send(asm.R(isa.NNR)).
+		MoveHdr(isa.R1, cfg.TaskEntry, InvokeWords).
+		Send(asm.R(isa.R1))
+	for k := 0; k < 3; k++ {
+		b.Move(isa.R1, asm.MemR(isa.A2, isa.R0)).
+			Send(asm.R(isa.R1)).
+			Add(isa.R0, asm.Imm(1))
+	}
+	b.Move(isa.R1, asm.MemR(isa.A2, isa.R0)).
+		SendE(asm.R(isa.R1)).
+		Suspend()
+
+	b.Label("cst.sched.busy").
+		Suspend()
+
+	// Steal path: ask the victim node for work, skipping ourselves.
+	b.Label("cst.sched.steal").
+		Move(isa.R0, asm.Mem(isa.A2, WkVictim)).
+		Ne(isa.R0, asm.Mem(isa.A1, OffMyID)).
+		Bt(isa.R0, "cst.sched.ask").
+		Move(isa.R0, asm.Mem(isa.A2, WkVictim)).
+		Add(isa.R0, asm.Imm(1)).
+		And(isa.R0, asm.Mem(isa.A1, OffNodesMask)).
+		St(isa.R0, asm.Mem(isa.A2, WkVictim)).
+		Label("cst.sched.ask").
+		Move(isa.R0, asm.Mem(isa.A2, WkVictim)).
+		MoveI(isa.RGN, 4).
+		Add(isa.R0, asm.Imm(NodeTable)).
+		Move(isa.A0, asm.R(isa.R0)).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveI(isa.RGN, 0).
+		MoveHdr(isa.R1, LRequest, 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.R(isa.NNR)).
+		Suspend()
+
+	// cst.request: [hdr, requesterNode] — grant a stacked task or
+	// refuse. Only excess work is granted: an idle node keeps its last
+	// stacked task (its own scheduling message is already in flight for
+	// it; granting it away would let two idle nodes pass a single task
+	// back and forth indefinitely).
+	b.Label(LRequest).
+		MoveI(isa.A1, App).
+		Xlate(isa.A2, asm.Mem(isa.A1, OffWorkerKey)).
+		Move(isa.R0, asm.Mem(isa.A2, WkStackCount)).
+		Bf(isa.R0, "cst.request.refuse").
+		Move(isa.R1, asm.Mem(isa.A2, WkBusy)).
+		Bt(isa.R1, "cst.request.grant").
+		Move(isa.R1, asm.R(isa.R0)).
+		Gt(isa.R1, asm.Imm(1)).
+		Bf(isa.R1, "cst.request.refuse").
+		Label("cst.request.grant").
+		Sub(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A2, WkStackCount)).
+		Lsh(isa.R0, asm.Imm(2)).
+		Add(isa.R0, asm.Imm(WkStack)).
+		Send(asm.Mem(isa.A3, 1)).
+		MoveHdr(isa.R1, LGrant, 5).
+		Send(asm.R(isa.R1))
+	for k := 0; k < 3; k++ {
+		b.Move(isa.R1, asm.MemR(isa.A2, isa.R0)).
+			Send(asm.R(isa.R1)).
+			Add(isa.R0, asm.Imm(1))
+	}
+	b.Move(isa.R1, asm.MemR(isa.A2, isa.R0)).
+		SendE(asm.R(isa.R1)).
+		Suspend().
+		Label("cst.request.refuse").
+		Send(asm.Mem(isa.A3, 1)).
+		MoveHdr(isa.R1, LNoWork, 1).
+		SendE(asm.R(isa.R1)).
+		Suspend()
+
+	// cst.grant: [hdr, rec0..rec3] — push the record and reschedule.
+	b.Label(LGrant).
+		MoveI(isa.A1, App).
+		Xlate(isa.A2, asm.Mem(isa.A1, OffWorkerKey)).
+		Move(isa.R0, asm.Mem(isa.A2, WkStackCount)).
+		Move(isa.R2, asm.R(isa.R0)).
+		Add(isa.R2, asm.Imm(1)).
+		St(isa.R2, asm.Mem(isa.A2, WkStackCount)).
+		St(isa.ZERO, asm.Mem(isa.A2, WkAttempts)).
+		Lsh(isa.R0, asm.Imm(2)).
+		Add(isa.R0, asm.Imm(WkStack)).
+		MoveI(isa.R3, 1) // message word index
+	for k := 0; k < 4; k++ {
+		b.Move(isa.R1, asm.MemR(isa.A3, isa.R3)).
+			St(isa.R1, asm.MemR(isa.A2, isa.R0)).
+			Add(isa.R0, asm.Imm(1)).
+			Add(isa.R3, asm.Imm(1))
+	}
+	emitSchedToSelf(b)
+	b.Suspend()
+
+	// cst.nowork: [hdr] — advance the victim; go dormant after a full
+	// fruitless round (stacks only shrink, so no work can reappear).
+	b.Label(LNoWork).
+		MoveI(isa.A1, App).
+		Xlate(isa.A2, asm.Mem(isa.A1, OffWorkerKey)).
+		Move(isa.R0, asm.Mem(isa.A2, WkVictim)).
+		Add(isa.R0, asm.Imm(1)).
+		And(isa.R0, asm.Mem(isa.A1, OffNodesMask)).
+		St(isa.R0, asm.Mem(isa.A2, WkVictim)).
+		Move(isa.R0, asm.Mem(isa.A2, WkAttempts)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A2, WkAttempts)).
+		Lt(isa.R0, asm.Mem(isa.A1, OffNodesMask)).
+		Bf(isa.R0, "cst.nowork.dormant")
+	emitSchedToSelf(b)
+	b.Label("cst.nowork.dormant").
+		Suspend()
+
+	// cst.cont: [hdr] — resume the active task slice after a voluntary
+	// suspension (the "null procedure call"). The task state lives in
+	// the object world, so resuming is re-entering the task code.
+	b.Label(LCont).
+		MoveI(isa.A1, App).
+		Xlate(isa.A2, asm.Mem(isa.A1, OffWorkerKey)).
+		Move(isa.R1, asm.Mem(isa.A1, OffYieldK)).
+		St(isa.R1, asm.Mem(isa.A1, OffYieldCtr)).
+		Br(cfg.TaskEntry + ".resume")
+
+	// cst.halt: [hdr].
+	b.Label(LHalt).
+		Halt()
+}
+
+// emitSchedToSelf emits the send of a 1-word cst.sched message to the
+// local node (clobbers R1).
+func emitSchedToSelf(b *asm.Builder) {
+	b.Send(asm.R(isa.NNR)).
+		MoveHdr(isa.R1, LSched, 1).
+		SendE(asm.R(isa.R1))
+}
+
+// EmitTaskPrologue emits the standard opening of a task-invocation
+// handler: establish A1 = App and A2 = the worker descriptor, unpack the
+// record from the message ([A3+1..3] → OffRec.., [A3+4] → OffCurSeq),
+// and reset the yield counter. Clobbers R0.
+func EmitTaskPrologue(b *asm.Builder) {
+	b.MoveI(isa.A1, App).
+		Xlate(isa.A2, asm.Mem(isa.A1, OffWorkerKey))
+	for k := int32(0); k < 3; k++ {
+		b.Move(isa.R0, asm.Mem(isa.A3, 1+k)).
+			MoveI(isa.A0, App+OffRec+k).
+			St(isa.R0, asm.Mem(isa.A0, 0))
+	}
+	b.Move(isa.R0, asm.Mem(isa.A3, 4)).
+		MoveI(isa.A0, App+OffCurSeq).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Move(isa.R0, asm.Mem(isa.A1, OffYieldK)).
+		MoveI(isa.A0, App+OffYieldCtr).
+		St(isa.R0, asm.Mem(isa.A0, 0))
+}
+
+// EmitYield emits the periodic voluntary suspension: reschedule the
+// slice with a continuation message to self and end the thread.
+// Clobbers R1.
+func EmitYield(b *asm.Builder) {
+	b.Send(asm.R(isa.NNR)).
+		MoveHdr(isa.R1, LCont, 1).
+		SendE(asm.R(isa.R1)).
+		Suspend()
+}
+
+// EmitFinish emits the task epilogue: release the active frame,
+// reschedule via cst.sched, and end the thread. Requires A2 = the
+// worker descriptor; clobbers R1.
+func EmitFinish(b *asm.Builder) {
+	b.St(isa.ZERO, asm.Mem(isa.A2, WkBusy))
+	emitSchedToSelf(b)
+	b.Suspend()
+}
+
+// SetupNode publishes a node's worker and shared objects and fills the
+// runtime's memory-map fields. workerBase/workerLen and matrixBase/
+// matrixLen locate the two objects in node memory (internal memory for
+// both, as CST pinned hot objects).
+func SetupNode(r *rt.Runtime, m *machine.Machine, id int,
+	workerBase int32, workerLen int, matrixBase int32, matrixLen int) {
+	n := m.Nodes[id]
+	r.DefineName(id, WorkerKey, mem.Seg(workerBase, workerLen))
+	r.DefineName(id, MatrixKey, mem.Seg(matrixBase, matrixLen))
+	must(n.Mem.Write(App+OffMatrixKey, MatrixKey))
+	must(n.Mem.Write(App+OffWorkerKey, WorkerKey))
+	must(n.Mem.Write(App+OffNodesMask, word.Int(int32(m.NumNodes()-1))))
+	must(n.Mem.Write(App+OffMyID, word.Int(int32(id))))
+	must(n.Mem.Write(App+OffScratch, word.Int(0)))
+	for i := 0; i < m.NumNodes(); i++ {
+		must(n.Mem.Write(NodeTable+int32(i), m.Net.NodeWord(i)))
+	}
+	// Start each node's scheduler with a boot message.
+	prog := progEntry(m, LSched)
+	n.Queues[0].Push(word.MsgHeader(prog, 1))
+}
+
+func progEntry(m *machine.Machine, label string) int32 {
+	// All nodes share the program; reach it through any node.
+	return m.Nodes[0].Prog.Entry(label)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// PushTask appends a 4-word task record onto a node's worker stack
+// (host-side initial distribution; the paper distributes the initial
+// subpath tasks evenly over all nodes).
+func PushTask(m *machine.Machine, id int, workerBase int32, rec [4]int32) {
+	mem := m.Nodes[id].Mem
+	cntW, err := mem.Read(workerBase + WkStackCount)
+	must(err)
+	cnt := cntW.Data()
+	for k, v := range rec {
+		must(mem.Write(workerBase+WkStack+4*cnt+int32(k), word.Int(v)))
+	}
+	must(mem.Write(workerBase+WkStackCount, word.Int(cnt+1)))
+}

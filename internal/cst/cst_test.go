@@ -1,0 +1,150 @@
+package cst_test
+
+import (
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/cst"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+const (
+	workerBase = 1024
+	counter    = cst.App + 24 // per-node task tally
+	accum      = cst.App + 25 // sum of task payloads
+)
+
+// buildCounterProgram: each task record carries a value in word 0; the
+// task adds it to an accumulator and finishes.
+func buildCounterProgram() *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("task")
+	cst.EmitTaskPrologue(b)
+	b.Move(isa.R0, asm.Mem(isa.A1, cst.OffRec)).
+		MoveI(isa.A0, accum).
+		Add(isa.R0, asm.Mem(isa.A0, 0)).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		MoveI(isa.A0, counter).
+		Move(isa.R0, asm.Mem(isa.A0, 0)).
+		Add(isa.R0, asm.Imm(1)).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Label("task.resume") // unused: the task never yields
+	cst.EmitFinish(b)
+	cst.BuildScheduler(b, cst.Config{TaskEntry: "task"})
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+func setup(t *testing.T, nodes, tasksPerNode int) (*machine.Machine, *rt.Runtime) {
+	t.Helper()
+	p := buildCounterProgram()
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	workerLen := cst.WkStack + 4*(tasksPerNode*nodes+2)
+	for id := range m.Nodes {
+		cst.SetupNode(r, m, id, workerBase, workerLen, 2048, 16)
+	}
+	return m, r
+}
+
+func TestSchedulerRunsLocalTasks(t *testing.T) {
+	m, _ := setup(t, 2, 3)
+	total := int32(0)
+	seq := int32(0)
+	for id := 0; id < 2; id++ {
+		for k := 0; k < 3; k++ {
+			v := int32(10*id + k + 1)
+			cst.PushTask(m, id, workerBase, [4]int32{v, 0, 0, seq})
+			total += v
+			seq++
+		}
+	}
+	if err := m.RunQuiescent(500_000); err != nil {
+		t.Fatal(err)
+	}
+	var done, sum int32
+	for _, n := range m.Nodes {
+		c, _ := n.Mem.Read(counter)
+		a, _ := n.Mem.Read(accum)
+		done += c.Data()
+		sum += a.Data()
+	}
+	if done != 6 {
+		t.Errorf("tasks completed = %d, want 6", done)
+	}
+	if sum != total {
+		t.Errorf("accumulated %d, want %d", sum, total)
+	}
+}
+
+func TestWorkStealingBalances(t *testing.T) {
+	// All tasks start on node 0 of a 4-node machine; stealing must
+	// spread them so every task completes and at least one other node
+	// does work.
+	m, _ := setup(t, 4, 8)
+	const tasks = 24
+	for i := 0; i < tasks; i++ {
+		cst.PushTask(m, 0, workerBase, [4]int32{1, 0, 0, int32(i)})
+	}
+	if err := m.RunQuiescent(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var done int32
+	others := 0
+	for id, n := range m.Nodes {
+		c, _ := n.Mem.Read(counter)
+		done += c.Data()
+		if id != 0 && c.Data() > 0 {
+			others++
+		}
+	}
+	if done != tasks {
+		t.Errorf("tasks completed = %d, want %d", done, tasks)
+	}
+	if others == 0 {
+		t.Error("no work was stolen")
+	}
+}
+
+func TestDormancyTerminates(t *testing.T) {
+	// No tasks at all: schedulers probe for work, collect refusals, and
+	// go dormant; the machine must quiesce.
+	m, _ := setup(t, 4, 1)
+	if err := m.RunQuiescent(500_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushTaskLayout(t *testing.T) {
+	m, _ := setup(t, 1, 4)
+	cst.PushTask(m, 0, workerBase, [4]int32{7, 8, 9, 10})
+	cst.PushTask(m, 0, workerBase, [4]int32{11, 12, 13, 14})
+	cnt, _ := m.Nodes[0].Mem.Read(workerBase + cst.WkStackCount)
+	if cnt.Data() != 2 {
+		t.Fatalf("stack count = %d", cnt.Data())
+	}
+	w, _ := m.Nodes[0].Mem.Read(workerBase + cst.WkStack + 4 + 2)
+	if w.Data() != 13 {
+		t.Errorf("second record word 2 = %v", w)
+	}
+}
+
+func TestSetupPublishesNames(t *testing.T) {
+	m, r := setup(t, 1, 1)
+	n := m.Nodes[0]
+	if v, ok := n.Xl.Probe(cst.WorkerKey); !ok || v.Tag() != word.TagAddr {
+		t.Errorf("worker name = %v, %v", v, ok)
+	}
+	if _, ok := n.Xl.Probe(cst.MatrixKey); !ok {
+		t.Error("matrix name missing")
+	}
+	if r.NameCount(0) != 2 {
+		t.Errorf("names = %d", r.NameCount(0))
+	}
+}

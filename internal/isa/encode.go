@@ -1,0 +1,246 @@
+// 17-bit instruction encoding.
+//
+// The MDP packs two 17-bit instructions into each 36-bit memory word. This
+// file implements that encoding faithfully enough to round-trip every
+// instruction the assembler can produce:
+//
+//	bits 16-11  opcode (6 bits)
+//	bits 10-7   register A (4 bits)
+//	bits  6-5   operand B mode (2 bits)
+//	bits  4-0   operand B payload (5 bits)
+//
+// Payload layout by mode:
+//
+//	mode 0 (reg):     payload 0-15 name a register. Payload 16 escapes to
+//	                  a long immediate held in an extension word; payloads
+//	                  20-23 escape to [A(payload-20) + long offset].
+//	mode 1 (imm):     payload is a signed 5-bit constant (-16..15).
+//	mode 2 (mem):     payload = areg(2 bits)<<3 | offset(3 bits), i.e.
+//	                  [A0-A3 + 0..7].
+//	mode 3 (memreg):  payload = areg(2 bits)<<2 | idx(2 bits), i.e.
+//	                  [A0-A3 + R0-R3].
+//
+// An instruction that needs an extension (long immediate or long offset)
+// must begin a word: it occupies slot 0, slot 1 holds a NOP, and the next
+// code word carries the 32-bit constant. The interpreter executes decoded
+// instructions directly; the encoded image is used for code-size
+// accounting, loading, and round-trip verification.
+package isa
+
+import "fmt"
+
+// CodeWord is one 36-bit instruction word: two 17-bit slots (slot 0 in
+// bits 0-16, slot 1 in bits 17-33) or a 32-bit extension constant flagged
+// by extMark.
+type CodeWord uint64
+
+const (
+	slotBits = 17
+	slotMask = 1<<slotBits - 1
+	// extMark flags a code word holding an extension constant rather
+	// than two instruction slots (bit 35, outside both slots).
+	extMark CodeWord = 1 << 35
+
+	escLongImm = 16 // mode-0 payload escape: long immediate follows
+	escLongMem = 20 // payloads 20-23: [A(payload-20) + long offset]
+)
+
+// Slot extracts slot s (0 or 1) from a code word.
+func (c CodeWord) Slot(s int) uint32 {
+	return uint32(c >> (slotBits * uint(s)) & slotMask)
+}
+
+// IsExt reports whether the code word holds an extension constant.
+func (c CodeWord) IsExt() bool { return c&extMark != 0 }
+
+// ExtValue returns the 32-bit constant held by an extension word.
+func (c CodeWord) ExtValue() int32 { return int32(uint32(c)) }
+
+func extWord(v int32) CodeWord { return extMark | CodeWord(uint32(v)) }
+
+func packSlots(s0, s1 uint32) CodeWord {
+	return CodeWord(s0&slotMask) | CodeWord(s1&slotMask)<<slotBits
+}
+
+// EncodeOne encodes a single instruction into its 17-bit form, reporting
+// whether an extension word is required and its value.
+func EncodeOne(in Instr) (bits uint32, ext int32, hasExt bool, err error) {
+	if in.Op >= NumOps {
+		return 0, 0, false, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.A >= NumRegs {
+		return 0, 0, false, fmt.Errorf("isa: invalid register %d", in.A)
+	}
+	bits = uint32(in.Op)<<11 | uint32(in.A)<<7
+	b := in.B
+	switch b.Mode {
+	case ModeReg:
+		if b.Reg >= NumRegs {
+			return 0, 0, false, fmt.Errorf("isa: invalid operand register %d", b.Reg)
+		}
+		bits |= 0<<5 | uint32(b.Reg)
+	case ModeImm:
+		if b.NeedsExt() {
+			bits |= 0<<5 | escLongImm
+			return bits, b.Imm, true, nil
+		}
+		bits |= 1<<5 | uint32(b.Imm)&0x1F
+	case ModeMem:
+		if !b.Reg.IsAddr() {
+			return 0, 0, false, fmt.Errorf("isa: memory operand needs address register, got %s", b.Reg)
+		}
+		a := uint32(b.Reg - A0)
+		if b.NeedsExt() {
+			bits |= 0<<5 | (escLongMem + a)
+			return bits, b.Imm, true, nil
+		}
+		bits |= 2<<5 | a<<3 | uint32(b.Imm)&0x7
+	case ModeMemReg:
+		if !b.Reg.IsAddr() {
+			return 0, 0, false, fmt.Errorf("isa: memory operand needs address register, got %s", b.Reg)
+		}
+		if b.Idx > R3 {
+			return 0, 0, false, fmt.Errorf("isa: index register must be R0-R3, got %s", b.Idx)
+		}
+		bits |= 3<<5 | uint32(b.Reg-A0)<<2 | uint32(b.Idx)
+	default:
+		return 0, 0, false, fmt.Errorf("isa: invalid operand mode %d", b.Mode)
+	}
+	return bits, 0, false, nil
+}
+
+// DecodeOne decodes a 17-bit instruction. ext supplies the extension
+// constant for escaped encodings (ignored otherwise); needExt reports
+// whether it was consumed.
+func DecodeOne(bits uint32, ext int32) (in Instr, needExt bool, err error) {
+	op := Op(bits >> 11 & 0x3F)
+	if op >= NumOps {
+		return Instr{}, false, fmt.Errorf("isa: invalid opcode %d", op)
+	}
+	in.Op = op
+	in.A = Reg(bits >> 7 & 0xF)
+	mode := bits >> 5 & 0x3
+	payload := bits & 0x1F
+	switch mode {
+	case 0:
+		switch {
+		case payload < NumRegs:
+			in.B = RegOp(Reg(payload))
+		case payload == escLongImm:
+			in.B = ImmOp(ext)
+			needExt = true
+		case payload >= escLongMem && payload < escLongMem+4:
+			in.B = MemOp(A0+Reg(payload-escLongMem), ext)
+			needExt = true
+		default:
+			return Instr{}, false, fmt.Errorf("isa: invalid register payload %d", payload)
+		}
+	case 1:
+		v := int32(payload)
+		if v >= 16 {
+			v -= 32 // sign-extend 5 bits
+		}
+		in.B = ImmOp(v)
+	case 2:
+		in.B = MemOp(A0+Reg(payload>>3&0x3), int32(payload&0x7))
+	case 3:
+		in.B = MemRegOp(A0+Reg(payload>>2&0x3), Reg(payload&0x3))
+	}
+	return in, needExt, nil
+}
+
+// SlotAddr locates an instruction within an encoded image.
+type SlotAddr struct {
+	Word int // index of the code word
+	Slot int // 0 or 1
+}
+
+// Image is an encoded program: packed code words plus the slot address of
+// each instruction, in program order.
+type Image struct {
+	Words []CodeWord
+	Addrs []SlotAddr
+}
+
+// Len returns the image size in 36-bit words.
+func (im *Image) Len() int { return len(im.Words) }
+
+// padBits fills unused slots (alignment before extended instructions and
+// trailing half-words). It deliberately uses an invalid opcode so padding
+// can never be confused with a program's own NOPs; Decode elides it.
+const padBits = uint32(NumOps) << 11
+
+// Encode packs a program into code words. Instructions requiring an
+// extension word are aligned to slot 0 with a NOP filling slot 1.
+func Encode(prog []Instr) (*Image, error) {
+	im := &Image{Addrs: make([]SlotAddr, len(prog))}
+	var pend uint32 // slot-0 bits awaiting a slot-1 partner
+	havePend := false
+	flush := func(s1 uint32) {
+		im.Words = append(im.Words, packSlots(pend, s1))
+		havePend = false
+	}
+	for i, in := range prog {
+		bits, ext, hasExt, err := EncodeOne(in)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, in, err)
+		}
+		if hasExt {
+			if havePend {
+				flush(padBits) // close the open word first
+			}
+			im.Addrs[i] = SlotAddr{Word: len(im.Words), Slot: 0}
+			im.Words = append(im.Words, packSlots(bits, padBits), extWord(ext))
+			continue
+		}
+		if havePend {
+			im.Addrs[i] = SlotAddr{Word: len(im.Words), Slot: 1}
+			flush(bits)
+		} else {
+			im.Addrs[i] = SlotAddr{Word: len(im.Words), Slot: 0}
+			pend = bits
+			havePend = true
+		}
+	}
+	if havePend {
+		flush(padBits)
+	}
+	return im, nil
+}
+
+// Decode unpacks an encoded image back into the instruction sequence,
+// eliding the padding slots Encode inserted: Decode(Encode(p))
+// round-trips p exactly.
+func Decode(im *Image) ([]Instr, error) {
+	var prog []Instr
+	for w := 0; w < len(im.Words); w++ {
+		cw := im.Words[w]
+		if cw.IsExt() {
+			return nil, fmt.Errorf("isa: unexpected extension word at %d", w)
+		}
+		var ext int32
+		if w+1 < len(im.Words) && im.Words[w+1].IsExt() {
+			ext = im.Words[w+1].ExtValue()
+		}
+		in0, used, err := DecodeOne(cw.Slot(0), ext)
+		if err != nil {
+			return nil, fmt.Errorf("word %d slot 0: %w", w, err)
+		}
+		prog = append(prog, in0)
+		if used {
+			w++ // skip the extension word; slot 1 is padding
+			continue
+		}
+		if s1 := cw.Slot(1); s1 != padBits {
+			in1, used1, err := DecodeOne(s1, 0)
+			if err != nil {
+				return nil, fmt.Errorf("word %d slot 1: %w", w, err)
+			}
+			if used1 {
+				return nil, fmt.Errorf("word %d slot 1: extension from slot 1 is not encodable", w)
+			}
+			prog = append(prog, in1)
+		}
+	}
+	return prog, nil
+}

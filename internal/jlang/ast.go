@@ -1,0 +1,126 @@
+package jlang
+
+// Program AST.
+
+// File is a parsed compilation unit.
+type File struct {
+	Globals  []*VarDecl
+	Funcs    []*FuncDecl
+	Handlers []*FuncDecl
+}
+
+// VarDecl declares a global or local variable. Size 0 means a scalar;
+// otherwise an array of Size words. External places the storage in
+// off-chip memory (the `@emem` annotation).
+type VarDecl struct {
+	Name     string
+	Size     int32
+	External bool
+	Line     int
+}
+
+// FuncDecl is a function or message handler. Handlers receive their
+// parameters from the invoking message's words 1..n.
+type FuncDecl struct {
+	Name    string
+	Params  []string
+	Locals  []*VarDecl
+	Body    []Stmt
+	Handler bool
+	Line    int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// AssignStmt stores Value into Target (a variable or array element).
+type AssignStmt struct {
+	Target *LValue
+	Value  Expr
+	Line   int
+}
+
+// IfStmt with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// ReturnStmt returns from the current function, optionally with a value
+// (functions return in R0).
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ExprStmt) stmt()   {}
+func (*ReturnStmt) stmt() {}
+
+// LValue names a storable location: a scalar or an indexed array slot.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Line  int
+}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Value int32
+	Line  int
+}
+
+// VarRef reads a scalar variable; with Index non-nil, an array element.
+// A bare array name evaluates to its base address.
+type VarRef struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   tokKind
+	L, R Expr
+	Line int
+}
+
+// UnExpr applies unary minus or logical not.
+type UnExpr struct {
+	Op   tokKind
+	X    Expr
+	Line int
+}
+
+// CallExpr invokes a user function or a builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumLit) expr()   {}
+func (*VarRef) expr()   {}
+func (*BinExpr) expr()  {}
+func (*UnExpr) expr()   {}
+func (*CallExpr) expr() {}

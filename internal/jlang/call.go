@@ -1,0 +1,164 @@
+package jlang
+
+import (
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/rt"
+)
+
+// Builtins expose the machine's mechanisms, mirroring J's "small number
+// of additional constructs for remote function invocation and
+// synchronization".
+var builtins = map[string]struct{ args int }{
+	"send":     {-1}, // send(dest, handlerName, args...)
+	"mynode":   {0},  // this node's router address word
+	"myid":     {0},  // this node's linear index
+	"nodes":    {0},  // machine size
+	"nodeaddr": {1},  // linear index -> router address word
+	"cycles":   {0},  // cycle counter (instrumentation)
+	"suspend":  {0},
+	"halt":     {0},
+	"barinit":  {0},
+	"barrier":  {0},
+}
+
+func isBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
+// genCall compiles user calls and builtins; the result, if any, is in R0.
+func (g *gen) genCall(x *CallExpr) error {
+	if fn, ok := g.funcs[x.Name]; ok {
+		return g.genUserCall(x, fn)
+	}
+	spec, ok := builtins[x.Name]
+	if !ok {
+		return errf(x.Line, 1, "undefined function %q", x.Name)
+	}
+	if spec.args >= 0 && len(x.Args) != spec.args {
+		return errf(x.Line, 1, "%s takes %d argument(s), got %d", x.Name, spec.args, len(x.Args))
+	}
+
+	switch x.Name {
+	case "mynode":
+		g.b.Move(isa.R0, asm.R(isa.NNR))
+	case "myid":
+		g.loadScalar(rt.AddrNodeID)
+	case "nodes":
+		g.loadScalar(rt.AddrNumNodes)
+	case "cycles":
+		g.b.Move(isa.R0, asm.R(isa.CYC))
+	case "suspend":
+		g.b.Suspend()
+	case "halt":
+		g.b.Halt()
+	case "barinit":
+		g.b.Bsr(isa.R3, rt.LBarInit)
+	case "barrier":
+		g.b.Bsr(isa.R3, rt.LBarrier)
+	case "nodeaddr":
+		if err := g.genExpr(x.Args[0]); err != nil {
+			return err
+		}
+		g.b.Bsr(isa.R3, rt.LId2Node)
+	case "send":
+		return g.genSend(x)
+	}
+	return nil
+}
+
+// genSend compiles send(dest, handlerName, args...): a complete message
+// [header, args...] to the node whose router address dest evaluates to.
+func (g *gen) genSend(x *CallExpr) error {
+	if len(x.Args) < 2 {
+		return errf(x.Line, 1, "send needs a destination and a handler")
+	}
+	href, ok := x.Args[1].(*VarRef)
+	if !ok || href.Index != nil {
+		return errf(x.Line, 1, "send's second argument must name a handler")
+	}
+	target, ok := g.funcs[href.Name]
+	if !ok || !target.Handler {
+		return errf(x.Line, 1, "%q is not a handler", href.Name)
+	}
+	args := x.Args[2:]
+	if len(target.Params) != len(args) {
+		return errf(x.Line, 1, "handler %q takes %d argument(s), got %d",
+			href.Name, len(target.Params), len(args))
+	}
+
+	// Evaluate destination and arguments left to right into temps.
+	if err := g.genExpr(x.Args[0]); err != nil {
+		return err
+	}
+	destT, terr := g.pushTemp(x.Line)
+	if terr != nil {
+		return terr
+	}
+	temps := make([]int32, len(args))
+	for i, a := range args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		t, terr := g.pushTemp(x.Line)
+		if terr != nil {
+			return terr
+		}
+		temps[i] = t
+	}
+
+	g.b.MoveI(isa.A1, destT)
+	g.b.Send(asm.Mem(isa.A1, 0))
+	g.b.MoveHdr(isa.R1, href.Name, 1+len(args))
+	if len(args) == 0 {
+		g.b.SendE(asm.R(isa.R1))
+	} else {
+		g.b.Send(asm.R(isa.R1))
+		for i, t := range temps {
+			g.b.MoveI(isa.A1, t)
+			if i == len(temps)-1 {
+				g.b.SendE(asm.Mem(isa.A1, 0))
+			} else {
+				g.b.Send(asm.Mem(isa.A1, 0))
+			}
+		}
+	}
+	for range temps {
+		g.popTemp()
+	}
+	g.popTemp() // destT
+	return nil
+}
+
+// genUserCall evaluates arguments, copies them into the callee's frame,
+// and branches with R3 linkage. Values never live in registers across
+// the call, so only the link needs saving — which every function does
+// at entry.
+func (g *gen) genUserCall(x *CallExpr, fn *FuncDecl) error {
+	if len(x.Args) != len(fn.Params) {
+		return errf(x.Line, 1, "%q takes %d argument(s), got %d", fn.Name, len(fn.Params), len(x.Args))
+	}
+	callee := g.frames[fn.Name]
+	temps := make([]int32, len(x.Args))
+	for i, a := range x.Args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		t, terr := g.pushTemp(x.Line)
+		if terr != nil {
+			return terr
+		}
+		temps[i] = t
+	}
+	for i, t := range temps {
+		g.b.MoveI(isa.A1, t)
+		g.b.Move(isa.R0, asm.Mem(isa.A1, 0))
+		g.storeScalar(callee.slots[fn.Params[i]].addr)
+	}
+	for range temps {
+		g.popTemp()
+	}
+	g.b.Bsr(isa.R3, fn.Name)
+	return nil
+}

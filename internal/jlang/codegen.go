@@ -1,0 +1,595 @@
+package jlang
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/mem"
+	"jmachine/internal/rt"
+)
+
+// Code generation. Like the original J compiler ("the J compiler
+// currently produces inefficient code"), this one favours simplicity:
+// expressions evaluate into R0 with intermediates spilled to frame
+// temporaries, every variable access re-materializes its address, and
+// functions use static frames (recursion is rejected). Hand-tuned
+// assembly can be linked alongside for critical sequences, exactly as
+// the paper's applications did.
+
+// Compiled is a compiled program plus its symbol information.
+type Compiled struct {
+	Program *asm.Program
+	// Globals maps each global variable to its word address.
+	Globals map[string]int32
+	// Funcs and Handlers list the defined entry labels.
+	Funcs    []string
+	Handlers []string
+}
+
+// Entry returns the code address of a function or handler.
+func (c *Compiled) Entry(name string) int32 { return c.Program.Entry(name) }
+
+// Compile compiles source and links the runtime library.
+func Compile(src string) (*Compiled, error) {
+	b := asm.NewBuilder()
+	info, err := CompileInto(b, src)
+	if err != nil {
+		return nil, err
+	}
+	rt.BuildLib(b)
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	info.Program = p
+	return info, nil
+}
+
+// CompileInto emits the program into an existing builder (for linking
+// with hand-written assembly); the caller appends rt.BuildLib and
+// assembles.
+func CompileInto(b *asm.Builder, src string) (*Compiled, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{
+		b:        b,
+		globals:  make(map[string]*symbol),
+		funcs:    make(map[string]*FuncDecl),
+		frames:   make(map[string]*frame),
+		imemNext: rt.AppBase,
+		ememNext: int32(mem.DefaultImemWords),
+	}
+	if err := g.declare(file); err != nil {
+		return nil, err
+	}
+	if err := g.checkRecursion(); err != nil {
+		return nil, err
+	}
+	all := append(append([]*FuncDecl{}, file.Funcs...), file.Handlers...)
+	for _, fn := range all {
+		if err := g.genFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	out := &Compiled{Globals: make(map[string]int32)}
+	for name, s := range g.globals {
+		out.Globals[name] = s.addr
+	}
+	for _, fn := range file.Funcs {
+		out.Funcs = append(out.Funcs, fn.Name)
+	}
+	for _, fn := range file.Handlers {
+		out.Handlers = append(out.Handlers, fn.Name)
+	}
+	return out, nil
+}
+
+// symbol is a storage location (global, param, local, or temp).
+type symbol struct {
+	addr  int32
+	size  int32 // 0 = scalar
+	array bool
+}
+
+// frame is one function's static activation record.
+type frame struct {
+	fn    *FuncDecl
+	slots map[string]*symbol
+	base  int32
+	// link slot is base+0; params and locals follow; temps grow above.
+	tempBase int32
+	tempSP   int32
+	tempMax  int32
+}
+
+const maxTemps = 24
+
+type gen struct {
+	b        *asm.Builder
+	globals  map[string]*symbol
+	funcs    map[string]*FuncDecl
+	frames   map[string]*frame
+	imemNext int32
+	ememNext int32
+	cur      *frame
+	labelSeq int
+}
+
+// declare allocates globals and frames, and registers functions.
+func (g *gen) declare(f *File) error {
+	for _, d := range f.Globals {
+		if _, dup := g.globals[d.Name]; dup {
+			return errf(d.Line, 1, "global %q redeclared", d.Name)
+		}
+		words := d.Size
+		if words == 0 {
+			words = 1
+		}
+		s := &symbol{size: d.Size, array: d.Size > 0}
+		if d.External {
+			s.addr = g.ememNext
+			g.ememNext += words
+		} else {
+			s.addr = g.imemNext
+			g.imemNext += words
+		}
+		g.globals[d.Name] = s
+	}
+	all := append(append([]*FuncDecl{}, f.Funcs...), f.Handlers...)
+	for _, fn := range all {
+		if _, dup := g.funcs[fn.Name]; dup {
+			return errf(fn.Line, 1, "function %q redeclared", fn.Name)
+		}
+		if isBuiltin(fn.Name) {
+			return errf(fn.Line, 1, "%q is a builtin", fn.Name)
+		}
+		g.funcs[fn.Name] = fn
+	}
+	// Lay out every function's static frame up front so calls can
+	// address callee parameter slots directly.
+	for _, fn := range all {
+		fr, err := g.buildFrame(fn)
+		if err != nil {
+			return err
+		}
+		g.frames[fn.Name] = fr
+	}
+	if g.imemNext >= int32(mem.DefaultImemWords) {
+		return errf(1, 1, "internal-memory globals and frames overflow on-chip SRAM (%d words)", g.imemNext)
+	}
+	return nil
+}
+
+// buildFrame allocates one function's activation record: link slot,
+// parameters, locals, then the temporary spill stack.
+func (g *gen) buildFrame(fn *FuncDecl) (*frame, *Error) {
+	fr := &frame{fn: fn, slots: make(map[string]*symbol), base: g.imemNext}
+	next := fr.base
+	next++ // link slot
+	for _, p := range fn.Params {
+		if _, dup := fr.slots[p]; dup {
+			return nil, errf(fn.Line, 1, "parameter %q repeated", p)
+		}
+		fr.slots[p] = &symbol{addr: next}
+		next++
+	}
+	for _, l := range fn.Locals {
+		if _, dup := fr.slots[l.Name]; dup {
+			return nil, errf(l.Line, 1, "local %q redeclared", l.Name)
+		}
+		words := l.Size
+		if words == 0 {
+			words = 1
+		}
+		fr.slots[l.Name] = &symbol{addr: next, size: l.Size, array: l.Size > 0}
+		next += words
+	}
+	fr.tempBase = next
+	next += maxTemps
+	g.imemNext = next
+	return fr, nil
+}
+
+// checkRecursion rejects call cycles: frames are static.
+func (g *gen) checkRecursion() error {
+	color := make(map[string]int) // 0 white, 1 grey, 2 black
+	var visit func(name string, line int) error
+	visit = func(name string, line int) error {
+		switch color[name] {
+		case 1:
+			return errf(line, 1, "recursive call involving %q (frames are static)", name)
+		case 2:
+			return nil
+		}
+		color[name] = 1
+		fn := g.funcs[name]
+		var walkStmts func([]Stmt) error
+		var walkExpr func(Expr) error
+		walkExpr = func(e Expr) error {
+			switch x := e.(type) {
+			case *BinExpr:
+				if err := walkExpr(x.L); err != nil {
+					return err
+				}
+				return walkExpr(x.R)
+			case *UnExpr:
+				return walkExpr(x.X)
+			case *VarRef:
+				if x.Index != nil {
+					return walkExpr(x.Index)
+				}
+			case *CallExpr:
+				for _, a := range x.Args {
+					if err := walkExpr(a); err != nil {
+						return err
+					}
+				}
+				if _, user := g.funcs[x.Name]; user {
+					return visit(x.Name, x.Line)
+				}
+			}
+			return nil
+		}
+		walkStmts = func(ss []Stmt) error {
+			for _, s := range ss {
+				switch st := s.(type) {
+				case *AssignStmt:
+					if st.Target.Index != nil {
+						if err := walkExpr(st.Target.Index); err != nil {
+							return err
+						}
+					}
+					if err := walkExpr(st.Value); err != nil {
+						return err
+					}
+				case *IfStmt:
+					if err := walkExpr(st.Cond); err != nil {
+						return err
+					}
+					if err := walkStmts(st.Then); err != nil {
+						return err
+					}
+					if err := walkStmts(st.Else); err != nil {
+						return err
+					}
+				case *WhileStmt:
+					if err := walkExpr(st.Cond); err != nil {
+						return err
+					}
+					if err := walkStmts(st.Body); err != nil {
+						return err
+					}
+				case *ExprStmt:
+					if err := walkExpr(st.X); err != nil {
+						return err
+					}
+				case *ReturnStmt:
+					if st.Value != nil {
+						if err := walkExpr(st.Value); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}
+		if err := walkStmts(fn.Body); err != nil {
+			return err
+		}
+		color[name] = 2
+		return nil
+	}
+	for name, fn := range g.funcs {
+		if err := visit(name, fn.Line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s.L%d", g.cur.fn.Name, g.labelSeq)
+}
+
+// genFunc emits one function's body against its preallocated frame.
+func (g *gen) genFunc(fn *FuncDecl) error {
+	fr := g.frames[fn.Name]
+	g.cur = fr
+
+	g.b.Label(fn.Name)
+	if fn.Handler {
+		// Unpack message words 1..n into parameter slots.
+		for i, p := range fn.Params {
+			g.b.Move(isa.R0, asm.Mem(isa.A3, int32(1+i)))
+			g.storeScalar(fr.slots[p].addr)
+		}
+	} else {
+		// Save the return link.
+		g.b.MoveI(isa.A0, fr.base)
+		g.b.St(isa.R3, asm.Mem(isa.A0, 0))
+	}
+	if err := g.genStmts(fn.Body); err != nil {
+		return err
+	}
+	g.emitReturn(fn)
+	g.cur = nil
+	return nil
+}
+
+// emitReturn ends a function (restore link, jump) or handler (suspend).
+func (g *gen) emitReturn(fn *FuncDecl) {
+	if fn.Handler {
+		g.b.Suspend()
+		return
+	}
+	g.b.MoveI(isa.A0, g.cur.base)
+	g.b.Move(isa.R3, asm.Mem(isa.A0, 0))
+	g.b.Jmp(asm.R(isa.R3))
+}
+
+func (g *gen) genStmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		return g.genAssign(st)
+	case *ExprStmt:
+		return g.genExpr(st.X)
+	case *ReturnStmt:
+		if st.Value != nil {
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+		}
+		g.emitReturn(g.cur.fn)
+		return nil
+	case *IfStmt:
+		elseL, endL := g.label("else"), g.label("end")
+		if err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.b.Bf(isa.R0, elseL)
+		if err := g.genStmts(st.Then); err != nil {
+			return err
+		}
+		g.b.Br(endL)
+		g.b.Label(elseL)
+		if err := g.genStmts(st.Else); err != nil {
+			return err
+		}
+		g.b.Label(endL)
+		return nil
+	case *WhileStmt:
+		topL, endL := g.label("loop"), g.label("end")
+		g.b.Label(topL)
+		if err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.b.Bf(isa.R0, endL)
+		if err := g.genStmts(st.Body); err != nil {
+			return err
+		}
+		g.b.Br(topL)
+		g.b.Label(endL)
+		return nil
+	}
+	return errf(0, 0, "unhandled statement %T", s)
+}
+
+// lookup resolves a name to storage (frame first, then globals).
+func (g *gen) lookup(name string, line int) (*symbol, *Error) {
+	if s, ok := g.cur.slots[name]; ok {
+		return s, nil
+	}
+	if s, ok := g.globals[name]; ok {
+		return s, nil
+	}
+	return nil, errf(line, 1, "undefined variable %q", name)
+}
+
+// storeScalar stores R0 to a word address (clobbers A0).
+func (g *gen) storeScalar(addr int32) {
+	g.b.MoveI(isa.A0, addr)
+	g.b.St(isa.R0, asm.Mem(isa.A0, 0))
+}
+
+// loadScalar loads a word address into R0 (clobbers A0).
+func (g *gen) loadScalar(addr int32) {
+	g.b.MoveI(isa.A0, addr)
+	g.b.Move(isa.R0, asm.Mem(isa.A0, 0))
+}
+
+// Temporaries: a per-function spill stack in the frame.
+
+func (g *gen) pushTemp(line int) (int32, *Error) {
+	fr := g.cur
+	if fr.tempSP >= maxTemps {
+		return 0, errf(line, 1, "expression too deep in %q (more than %d live temporaries)", fr.fn.Name, maxTemps)
+	}
+	addr := fr.tempBase + fr.tempSP
+	fr.tempSP++
+	if fr.tempSP > fr.tempMax {
+		fr.tempMax = fr.tempSP
+	}
+	g.storeScalar(addr)
+	return addr, nil
+}
+
+func (g *gen) popTemp() { g.cur.tempSP-- }
+
+// genAssign evaluates the value, then stores to the target.
+func (g *gen) genAssign(st *AssignStmt) error {
+	sym, err := g.lookup(st.Target.Name, st.Line)
+	if err != nil {
+		return err
+	}
+	if st.Target.Index == nil {
+		if sym.array {
+			return errf(st.Line, 1, "cannot assign to array %q", st.Target.Name)
+		}
+		if err := g.genExpr(st.Value); err != nil {
+			return err
+		}
+		g.storeScalar(sym.addr)
+		return nil
+	}
+	if !sym.array {
+		return errf(st.Line, 1, "%q is not an array", st.Target.Name)
+	}
+	// Evaluate index, spill, evaluate value, store via [A1+R1].
+	if err := g.genExpr(st.Target.Index); err != nil {
+		return err
+	}
+	tmp, terr := g.pushTemp(st.Line)
+	if terr != nil {
+		return terr
+	}
+	if err := g.genExpr(st.Value); err != nil {
+		return err
+	}
+	g.b.MoveI(isa.A1, tmp)
+	g.b.Move(isa.R1, asm.Mem(isa.A1, 0))
+	g.popTemp()
+	g.b.MoveI(isa.A1, sym.addr)
+	g.b.St(isa.R0, asm.MemR(isa.A1, isa.R1))
+	return nil
+}
+
+// genExpr evaluates e into R0.
+func (g *gen) genExpr(e Expr) error {
+	switch x := e.(type) {
+	case *NumLit:
+		g.b.MoveI(isa.R0, x.Value)
+		return nil
+
+	case *VarRef:
+		sym, err := g.lookup(x.Name, x.Line)
+		if err != nil {
+			return err
+		}
+		if x.Index == nil {
+			if sym.array {
+				g.b.MoveI(isa.R0, sym.addr) // array name = base address
+				return nil
+			}
+			g.loadScalar(sym.addr)
+			return nil
+		}
+		if !sym.array {
+			return errf(x.Line, 1, "%q is not an array", x.Name)
+		}
+		if err := g.genExpr(x.Index); err != nil {
+			return err
+		}
+		g.b.MoveI(isa.A1, sym.addr)
+		g.b.Move(isa.R0, asm.MemR(isa.A1, isa.R0))
+		return nil
+
+	case *UnExpr:
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case tokMinus:
+			g.b.Neg(isa.R0)
+		case tokBang:
+			g.b.Eq(isa.R0, asm.Imm(0))
+		}
+		return nil
+
+	case *BinExpr:
+		return g.genBin(x)
+
+	case *CallExpr:
+		return g.genCall(x)
+	}
+	return errf(0, 0, "unhandled expression %T", e)
+}
+
+// genBin evaluates a binary operator; && and || short-circuit.
+func (g *gen) genBin(x *BinExpr) error {
+	if x.Op == tokAndAnd || x.Op == tokOrOr {
+		endL := g.label("sc")
+		if err := g.genExpr(x.L); err != nil {
+			return err
+		}
+		g.b.Ne(isa.R0, asm.Imm(0)) // normalize to 0/1
+		if x.Op == tokAndAnd {
+			g.b.Bf(isa.R0, endL)
+		} else {
+			g.b.Bt(isa.R0, endL)
+		}
+		if err := g.genExpr(x.R); err != nil {
+			return err
+		}
+		g.b.Ne(isa.R0, asm.Imm(0))
+		g.b.Label(endL)
+		return nil
+	}
+
+	if err := g.genExpr(x.L); err != nil {
+		return err
+	}
+	tmp, terr := g.pushTemp(x.Line)
+	if terr != nil {
+		return terr
+	}
+	if err := g.genExpr(x.R); err != nil {
+		return err
+	}
+	g.b.Move(isa.R1, asm.R(isa.R0))
+	g.b.MoveI(isa.A1, tmp)
+	g.b.Move(isa.R0, asm.Mem(isa.A1, 0))
+	g.popTemp()
+
+	op := asm.R(isa.R1)
+	switch x.Op {
+	case tokPlus:
+		g.b.Add(isa.R0, op)
+	case tokMinus:
+		g.b.Sub(isa.R0, op)
+	case tokStar:
+		g.b.Mul(isa.R0, op)
+	case tokSlash:
+		g.b.Div(isa.R0, op)
+	case tokPercent:
+		g.b.Mod(isa.R0, op)
+	case tokAmp:
+		g.b.And(isa.R0, op)
+	case tokPipe:
+		g.b.Or(isa.R0, op)
+	case tokCaret:
+		g.b.Xor(isa.R0, op)
+	case tokShl:
+		g.b.Lsh(isa.R0, op)
+	case tokShr:
+		g.b.Neg(isa.R1)
+		g.b.Ash(isa.R0, op)
+	case tokEq:
+		g.b.Eq(isa.R0, op)
+	case tokNe:
+		g.b.Ne(isa.R0, op)
+	case tokLt:
+		g.b.Lt(isa.R0, op)
+	case tokLe:
+		g.b.Le(isa.R0, op)
+	case tokGt:
+		g.b.Gt(isa.R0, op)
+	case tokGe:
+		g.b.Ge(isa.R0, op)
+	default:
+		return errf(x.Line, 1, "unhandled operator %s", x.Op)
+	}
+	return nil
+}

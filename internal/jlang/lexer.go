@@ -1,0 +1,193 @@
+package jlang
+
+import "strconv"
+
+// lexer produces tokens from source text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) nextByte() byte {
+	c := l.peekByte()
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, *Error) {
+	for {
+		for isSpace(l.peekByte()) {
+			l.nextByte()
+		}
+		// Comments: // to end of line, /* ... */.
+		if l.peekByte() == '/' && l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '/':
+				for l.peekByte() != 0 && l.peekByte() != '\n' {
+					l.nextByte()
+				}
+				continue
+			case '*':
+				startLine, startCol := l.line, l.col
+				l.nextByte()
+				l.nextByte()
+				for {
+					if l.peekByte() == 0 {
+						return token{}, errf(startLine, startCol, "unterminated comment")
+					}
+					if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+						l.nextByte()
+						l.nextByte()
+						break
+					}
+					l.nextByte()
+				}
+				continue
+			}
+		}
+		break
+	}
+
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	c := l.peekByte()
+	switch {
+	case c == 0:
+		return mk(tokEOF, ""), nil
+	case isDigit(c):
+		start := l.pos
+		for isDigit(l.peekByte()) ||
+			(l.pos == start+1 && l.src[start] == '0' && (l.peekByte() == 'x' || l.peekByte() == 'X')) ||
+			(l.pos > start+1 && l.src[start] == '0' && (l.src[start+1]|0x20) == 'x' && isHex(l.peekByte())) {
+			l.nextByte()
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil || v > 1<<31-1 || v < -(1<<31) {
+			return token{}, errf(line, col, "bad number %q", text)
+		}
+		t := mk(tokNumber, text)
+		t.num = int32(v)
+		return t, nil
+	case isLetter(c):
+		start := l.pos
+		for isLetter(l.peekByte()) || isDigit(l.peekByte()) {
+			l.nextByte()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return mk(k, text), nil
+		}
+		return mk(tokIdent, text), nil
+	}
+
+	l.nextByte()
+	two := func(second byte, k2, k1 tokKind) token {
+		if l.peekByte() == second {
+			l.nextByte()
+			return mk(k2, "")
+		}
+		return mk(k1, "")
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen, ""), nil
+	case ')':
+		return mk(tokRParen, ""), nil
+	case '{':
+		return mk(tokLBrace, ""), nil
+	case '}':
+		return mk(tokRBrace, ""), nil
+	case '[':
+		return mk(tokLBracket, ""), nil
+	case ']':
+		return mk(tokRBracket, ""), nil
+	case ',':
+		return mk(tokComma, ""), nil
+	case ';':
+		return mk(tokSemi, ""), nil
+	case '+':
+		return mk(tokPlus, ""), nil
+	case '-':
+		return mk(tokMinus, ""), nil
+	case '*':
+		return mk(tokStar, ""), nil
+	case '/':
+		return mk(tokSlash, ""), nil
+	case '%':
+		return mk(tokPercent, ""), nil
+	case '^':
+		return mk(tokCaret, ""), nil
+	case '@':
+		return mk(tokAt, ""), nil
+	case '&':
+		return two('&', tokAndAnd, tokAmp), nil
+	case '|':
+		return two('|', tokOrOr, tokPipe), nil
+	case '=':
+		return two('=', tokEq, tokAssign), nil
+	case '!':
+		return two('=', tokNe, tokBang), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.nextByte()
+			return mk(tokShl, ""), nil
+		}
+		return two('=', tokLe, tokLt), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.nextByte()
+			return mk(tokShr, ""), nil
+		}
+		return two('=', tokGe, tokGt), nil
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c|0x20) >= 'a' && (c|0x20) <= 'f'
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, *Error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

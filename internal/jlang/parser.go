@@ -1,0 +1,403 @@
+package jlang
+
+// Recursive-descent parser.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.peek().kind != tokEOF {
+		switch p.peek().kind {
+		case tokVar:
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, v)
+		case tokFunc:
+			fn, err := p.funcDecl(false)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		case tokHandler:
+			fn, err := p.funcDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			f.Handlers = append(f.Handlers, fn)
+		default:
+			t := p.peek()
+			return nil, errf(t.line, t.col, "expected declaration, got %s", t.kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, *Error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %s, got %s", k, t.kind)
+	}
+	return p.advance(), nil
+}
+
+// varDecl: "var" ident ("[" number "]")? ("@" "emem")? ";"
+func (p *parser) varDecl() (*VarDecl, *Error) {
+	kw, _ := p.expect(tokVar)
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.text, Line: kw.line}
+	if p.peek().kind == tokLBracket {
+		p.advance()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if n.num <= 0 {
+			return nil, errf(n.line, n.col, "array size must be positive")
+		}
+		d.Size = n.num
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind == tokAt {
+		p.advance()
+		place, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch place.text {
+		case "emem":
+			d.External = true
+		case "imem":
+		default:
+			return nil, errf(place.line, place.col, "unknown placement %q (use imem or emem)", place.text)
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// funcDecl: ("func"|"handler") ident "(" params ")" block
+func (p *parser) funcDecl(handler bool) (*FuncDecl, *Error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Handler: handler, Line: kw.line}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRParen {
+		param, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param.text)
+		if p.peek().kind == tokComma {
+			p.advance()
+		}
+	}
+	p.advance() // ')'
+	body, locals, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	fn.Locals = locals
+	return fn, nil
+}
+
+// block: "{" (varDecl | stmt)* "}" — local declarations may appear
+// anywhere in the block and scope to the whole function (C89 style
+// hoisting, which is how Tuned J code reads).
+func (p *parser) block() ([]Stmt, []*VarDecl, *Error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, nil, err
+	}
+	var stmts []Stmt
+	var locals []*VarDecl
+	for p.peek().kind != tokRBrace {
+		if p.peek().kind == tokVar {
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, nil, err
+			}
+			if d.External {
+				return nil, nil, errf(d.Line, 1, "locals cannot be placed in external memory")
+			}
+			locals = append(locals, d)
+			continue
+		}
+		s, nested, err := p.stmt()
+		if err != nil {
+			return nil, nil, err
+		}
+		locals = append(locals, nested...)
+		stmts = append(stmts, s)
+	}
+	p.advance() // '}'
+	return stmts, locals, nil
+}
+
+func (p *parser) stmt() (Stmt, []*VarDecl, *Error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIf:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, nil, err
+		}
+		then, locals, err := p.block()
+		if err != nil {
+			return nil, nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.peek().kind == tokElse {
+			p.advance()
+			els, more, err := p.block()
+			if err != nil {
+				return nil, nil, err
+			}
+			st.Else = els
+			locals = append(locals, more...)
+		}
+		return st, locals, nil
+
+	case tokWhile:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, nil, err
+		}
+		body, locals, err := p.block()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, locals, nil
+
+	case tokReturn:
+		p.advance()
+		st := &ReturnStmt{Line: t.line}
+		if p.peek().kind != tokSemi {
+			v, err := p.expr()
+			if err != nil {
+				return nil, nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, nil, err
+		}
+		return st, nil, nil
+
+	case tokIdent:
+		// Assignment or expression statement.
+		if p.peek2().kind == tokAssign || p.peek2().kind == tokLBracket {
+			return p.assignOrIndexed()
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, nil, err
+		}
+		return &ExprStmt{X: x, Line: t.line}, nil, nil
+	}
+	return nil, nil, errf(t.line, t.col, "expected statement, got %s", t.kind)
+}
+
+// assignOrIndexed parses `name = e;`, `name[idx] = e;`, or an
+// expression statement that merely indexes.
+func (p *parser) assignOrIndexed() (Stmt, []*VarDecl, *Error) {
+	name := p.advance()
+	var index Expr
+	if p.peek().kind == tokLBracket {
+		p.advance()
+		ix, err := p.expr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, nil, err
+		}
+		index = ix
+	}
+	if p.peek().kind != tokAssign {
+		return nil, nil, errf(name.line, name.col, "expected '=' after %s", name.text)
+	}
+	p.advance()
+	v, err := p.expr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, nil, err
+	}
+	return &AssignStmt{
+		Target: &LValue{Name: name.text, Index: index, Line: name.line},
+		Value:  v,
+		Line:   name.line,
+	}, nil, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	or:    and ("||" and)*
+//	and:   cmp ("&&" cmp)*
+//	cmp:   bits (( == != < <= > >= ) bits)?
+//	bits:  shift (( & | ^ ) shift)*
+//	shift: add (( << >> ) add)*
+//	add:   mul (( + - ) mul)*
+//	mul:   unary (( * / % ) unary)*
+//	unary: ( - ! )? primary
+func (p *parser) expr() (Expr, *Error) { return p.binary(0) }
+
+var precLevels = [][]tokKind{
+	{tokOrOr},
+	{tokAndAnd},
+	{tokEq, tokNe, tokLt, tokLe, tokGt, tokGe},
+	{tokAmp, tokPipe, tokCaret},
+	{tokShl, tokShr},
+	{tokPlus, tokMinus},
+	{tokStar, tokSlash, tokPercent},
+}
+
+func (p *parser) binary(level int) (Expr, *Error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		match := false
+		for _, op := range precLevels[level] {
+			if k == op {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return left, nil
+		}
+		opTok := p.advance()
+		right, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: opTok.kind, L: left, R: right, Line: opTok.line}
+	}
+}
+
+func (p *parser) unary() (Expr, *Error) {
+	t := p.peek()
+	if t.kind == tokMinus || t.kind == tokBang {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.kind, X: x, Line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, *Error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &NumLit{Value: t.num, Line: t.line}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokIdent:
+		p.advance()
+		switch p.peek().kind {
+		case tokLParen:
+			p.advance()
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for p.peek().kind != tokRParen {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.peek().kind == tokComma {
+					p.advance()
+				}
+			}
+			p.advance() // ')'
+			return call, nil
+		case tokLBracket:
+			p.advance()
+			ix, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &VarRef{Name: t.text, Index: ix, Line: t.line}, nil
+		default:
+			return &VarRef{Name: t.text, Line: t.line}, nil
+		}
+	}
+	return nil, errf(t.line, t.col, "expected expression, got %s", t.kind)
+}

@@ -1,0 +1,129 @@
+// Package jlang implements a compiler for a small "Tuned J"-style
+// language targeting the simulated MDP.
+//
+// The paper's system-level language, J, "extends a per-node ANSI C
+// environment with a small number of additional constructs for remote
+// function invocation and synchronization"; three of the four
+// macro-benchmarks were written in it (with hand tuning). This package
+// provides a working subset in that spirit:
+//
+//   - per-node globals (scalars and arrays, placeable in internal or
+//     external memory), functions, and message handlers;
+//   - integers, arrays, arithmetic, comparisons, logic, if/else and
+//     while control flow;
+//   - the machine's mechanisms as builtins: send(dest, handler, args...)
+//     for remote invocation, mynode()/nodeof(id), suspend(), halt(),
+//     cycles(), and nodes().
+//
+// Programs are compiled to the same assembler (package asm) the
+// hand-written applications use, so compiled and tuned code can be
+// linked into one image — exactly how Tuned J was used: compiler output
+// with hand-tuned critical sequences.
+package jlang
+
+import "fmt"
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+
+	// Punctuation.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+
+	// Operators.
+	tokAssign // =
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokAmp    // &
+	tokPipe   // |
+	tokCaret  // ^
+	tokShl    // <<
+	tokShr    // >>
+	tokEq     // ==
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokBang   // !
+	tokAt     // @ (placement annotation)
+
+	// Keywords.
+	tokVar
+	tokFunc
+	tokHandler
+	tokIf
+	tokElse
+	tokWhile
+	tokReturn
+)
+
+var keywords = map[string]tokKind{
+	"var":     tokVar,
+	"func":    tokFunc,
+	"handler": tokHandler,
+	"if":      tokIf,
+	"else":    tokElse,
+	"while":   tokWhile,
+	"return":  tokReturn,
+}
+
+var kindNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokNumber: "number",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokComma: "','", tokSemi: "';'",
+	tokAssign: "'='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPercent: "'%'", tokAmp: "'&'", tokPipe: "'|'",
+	tokCaret: "'^'", tokShl: "'<<'", tokShr: "'>>'", tokEq: "'=='",
+	tokNe: "'!='", tokLt: "'<'", tokLe: "'<='", tokGt: "'>'", tokGe: "'>='",
+	tokAndAnd: "'&&'", tokOrOr: "'||'", tokBang: "'!'", tokAt: "'@'",
+	tokVar: "'var'", tokFunc: "'func'", tokHandler: "'handler'",
+	tokIf: "'if'", tokElse: "'else'", tokWhile: "'while'", tokReturn: "'return'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	num  int32
+	line int
+	col  int
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

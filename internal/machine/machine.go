@@ -1,0 +1,252 @@
+// Package machine assembles a complete J-Machine: a 3-D mesh of MDP
+// nodes with their memories, translation tables, and message queues, and
+// a global cycle loop.
+//
+// The experiments in the paper ran on a 512-node machine arranged as an
+// 8×8×8 mesh at 12.5 MHz; Cube(8) reproduces that configuration.
+package machine
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/mdp"
+	"jmachine/internal/mem"
+	"jmachine/internal/network"
+	"jmachine/internal/queue"
+	"jmachine/internal/stats"
+	"jmachine/internal/trace"
+	"jmachine/internal/xlate"
+)
+
+// Config describes a machine.
+type Config struct {
+	DimX, DimY, DimZ int
+	Mem              mem.Config
+	Net              network.Config // dimension fields are overridden
+	MDP              mdp.Config
+	QueueCap         [2]int // per-priority queue capacity in words
+	XlateSets        int
+	XlateWays        int
+}
+
+// Cube returns the configuration of a k×k×k machine.
+func Cube(k int) Config { return Config{DimX: k, DimY: k, DimZ: k} }
+
+// Grid returns a machine of the given dimensions. The paper's speedup
+// studies use machines of 1..512 nodes; non-cubic grids cover the
+// intermediate sizes.
+func Grid(x, y, z int) Config { return Config{DimX: x, DimY: y, DimZ: z} }
+
+// GridForNodes returns the most cubic grid with exactly n nodes, for
+// n a product of small factors (1..512). It factors n into powers of
+// two and spreads them across dimensions, matching how the hardware
+// partitions allocated sub-meshes.
+func GridForNodes(n int) Config {
+	dims := [3]int{1, 1, 1}
+	d := 0
+	for n%2 == 0 {
+		dims[d%3] *= 2
+		n /= 2
+		d++
+	}
+	for f := 3; n > 1; f += 2 {
+		for n%f == 0 {
+			dims[d%3] *= f
+			n /= f
+			d++
+		}
+	}
+	return Config{DimX: dims[0], DimY: dims[1], DimZ: dims[2]}
+}
+
+func (c Config) withDefaults() Config {
+	if c.DimX == 0 {
+		c.DimX = 1
+	}
+	if c.DimY == 0 {
+		c.DimY = 1
+	}
+	if c.DimZ == 0 {
+		c.DimZ = 1
+	}
+	return c
+}
+
+// Machine is a configured J-Machine.
+type Machine struct {
+	Cfg   Config
+	Net   *network.Network
+	Nodes []*mdp.Node
+	Stats *stats.Machine
+	cycle int64
+}
+
+// New builds a machine running prog on every node.
+func New(cfg Config, prog *asm.Program) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	nodes := cfg.DimX * cfg.DimY * cfg.DimZ
+	if nodes <= 0 {
+		return nil, fmt.Errorf("machine: invalid dimensions %d×%d×%d", cfg.DimX, cfg.DimY, cfg.DimZ)
+	}
+	if prog == nil || len(prog.Instrs) == 0 {
+		return nil, fmt.Errorf("machine: empty program")
+	}
+	queues := make([][2]*queue.Queue, nodes)
+	for i := range queues {
+		queues[i] = [2]*queue.Queue{queue.New(cfg.QueueCap[0]), queue.New(cfg.QueueCap[1])}
+	}
+	netCfg := cfg.Net
+	netCfg.DimX, netCfg.DimY, netCfg.DimZ = cfg.DimX, cfg.DimY, cfg.DimZ
+	net, err := network.New(netCfg, queues)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:   cfg,
+		Net:   net,
+		Nodes: make([]*mdp.Node, nodes),
+		Stats: stats.NewMachine(nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		m.Nodes[i] = mdp.NewNode(i, cfg.MDP,
+			mem.New(cfg.Mem), xlate.New(cfg.XlateSets, cfg.XlateWays),
+			queues[i], net, prog, m.Stats.Nodes[i])
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error, for statically-valid configs.
+func MustNew(cfg Config, prog *asm.Program) *Machine {
+	m, err := New(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumNodes returns the node count.
+func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// Cycle returns the global cycle count.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Node returns node i.
+func (m *Machine) Node(i int) *mdp.Node { return m.Nodes[i] }
+
+// SetFaultFn installs the system-software trap entry on every node.
+func (m *Machine) SetFaultFn(fn mdp.FaultFn) {
+	for _, n := range m.Nodes {
+		n.SetFaultFn(fn)
+	}
+}
+
+// EnableTrace attaches an event ring of capEvents to every node and
+// returns the buffers by node id.
+func (m *Machine) EnableTrace(capEvents int) []*trace.Buffer {
+	out := make([]*trace.Buffer, len(m.Nodes))
+	for i, n := range m.Nodes {
+		out[i] = trace.New(capEvents)
+		n.Trace = out[i]
+	}
+	return out
+}
+
+// Step advances the whole machine one cycle: the network moves phits,
+// then each node executes.
+func (m *Machine) Step() {
+	m.cycle++
+	m.Net.Step()
+	for _, n := range m.Nodes {
+		n.Step()
+	}
+}
+
+// StepN advances n cycles.
+func (m *Machine) StepN(n int64) {
+	for i := int64(0); i < n; i++ {
+		m.Step()
+	}
+}
+
+// ErrCycleLimit is returned when a run exceeds its cycle budget.
+type ErrCycleLimit struct {
+	Limit int64
+}
+
+func (e ErrCycleLimit) Error() string {
+	return fmt.Sprintf("machine: exceeded cycle limit %d", e.Limit)
+}
+
+// RunWhile steps the machine while cond holds, up to max cycles, and
+// surfaces any node's fatal fault. The fatal scan runs periodically to
+// stay off the per-cycle critical path.
+func (m *Machine) RunWhile(cond func(*Machine) bool, max int64) error {
+	start := m.cycle
+	for cond(m) {
+		if m.cycle-start >= max {
+			if err := m.FatalErr(); err != nil {
+				return err
+			}
+			return ErrCycleLimit{Limit: max}
+		}
+		m.Step()
+		if m.cycle&0xFF == 0 {
+			if err := m.FatalErr(); err != nil {
+				return err
+			}
+		}
+	}
+	return m.FatalErr()
+}
+
+// RunUntilHalt runs until node id halts (the applications' driver node
+// executes HALT when the computation completes).
+func (m *Machine) RunUntilHalt(id int, max int64) error {
+	return m.RunWhile(func(m *Machine) bool { return !m.Nodes[id].Halted() }, max)
+}
+
+// RunQuiescent runs until no node is busy and the network is drained.
+// The quiescence test runs every probe cycles (default 8) to keep the
+// scan off the critical path.
+func (m *Machine) RunQuiescent(max int64) error {
+	const probe = 8
+	start := m.cycle
+	for {
+		if m.Quiescent() {
+			return nil
+		}
+		if m.cycle-start >= max {
+			return ErrCycleLimit{Limit: max}
+		}
+		for i := 0; i < probe; i++ {
+			m.Step()
+		}
+		if err := m.FatalErr(); err != nil {
+			return err
+		}
+	}
+}
+
+// Quiescent reports whether no node has work and no traffic is in flight.
+func (m *Machine) Quiescent() bool {
+	if m.Net.Pending() {
+		return false
+	}
+	for _, n := range m.Nodes {
+		if n.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// FatalErr returns the first node fatal error, if any.
+func (m *Machine) FatalErr() error {
+	for _, n := range m.Nodes {
+		if err := n.Fatal(); err != nil {
+			return fmt.Errorf("node %d: %w", n.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package mdp implements the Message-Driven Processor core: an
+// instruction-level, cycle-counted interpreter with the MDP's
+// communication, synchronization, and naming mechanisms.
+//
+// Timing follows the paper's published rules: most instructions take one
+// cycle with register operands and two when one operand is in internal
+// memory; external memory adds the DRAM latency; a task is dispatched for
+// the message at the head of the queue in four cycles; send instructions
+// inject up to two words per cycle. Faults (presence tags, xlate misses,
+// send back-pressure, queue overflow) either stall-and-retry in hardware
+// or trap to system software supplied by package rt.
+package mdp
+
+// Timing collects the cycle-cost knobs. The defaults reproduce the
+// paper's cycle arithmetic; ablation benchmarks vary them.
+type Timing struct {
+	// ImemLoad is the extra cost of reading an operand from internal
+	// memory (total 2 cycles for a one-cycle instruction).
+	ImemLoad int32
+	// EmemLoad is the extra cost of reading an operand from external
+	// DRAM. The remote-read server observes 8 cycles per word served
+	// from external memory versus 2 from internal, fixing this at 7.
+	EmemLoad int32
+	// ImemStore is the extra cost of ST to internal memory. Relocating
+	// a queue word to internal memory takes at least 3 cycles (2-cycle
+	// queue read + 1-cycle store), fixing this at 0.
+	ImemStore int32
+	// EmemStore is the extra cost of ST to external memory (6-cycle
+	// total store, per the 6-cycle relocation cost the paper reports).
+	EmemStore int32
+	// QueueLoad is the extra cost of reading the message via A3 (the
+	// queue lives in on-chip memory).
+	QueueLoad int32
+	// BranchTaken is the extra cost of a taken branch (pipeline refill
+	// and instruction-alignment loss).
+	BranchTaken int32
+	// Mul and DivMod are the extra cycles of multiply and divide.
+	Mul    int32
+	DivMod int32
+	// Xlate is the total cost of a successful XLATE ("a successful
+	// xlate takes three cycles"); Enter of an ENTER.
+	Xlate int32
+	Enter int32
+	// Dispatch is the cost of creating a task for the message at the
+	// head of the queue ("a task is dispatched to handle it in four
+	// processor cycles").
+	Dispatch int32
+	// FaultVector is the hardware cost of vectoring to a fault handler,
+	// chosen so a presence-tag read failure costs 6 cycles before any
+	// software policy (Table 2).
+	FaultVector int32
+	// EmemFetch is the per-instruction penalty when code executes from
+	// external memory (two instructions per fetched word), reproducing
+	// the "fewer than 2 MIPS with code and data external" observation.
+	EmemFetch int32
+}
+
+// DefaultTiming returns the paper-calibrated costs.
+func DefaultTiming() Timing {
+	return Timing{
+		ImemLoad:    1,
+		EmemLoad:    7,
+		ImemStore:   0,
+		EmemStore:   5,
+		QueueLoad:   1,
+		BranchTaken: 2,
+		Mul:         1,
+		DivMod:      11,
+		Xlate:       3,
+		Enter:       2,
+		Dispatch:    4,
+		FaultVector: 4,
+		EmemFetch:   3,
+	}
+}
+
+// ClockHz is the MDP clock rate: 12.5 MHz (derived from a 25 MHz input
+// clock). Used to convert cycle counts to the paper's microsecond and
+// bits-per-second figures.
+const ClockHz = 12.5e6
+
+// CyclesToMicros converts a cycle count to microseconds at ClockHz.
+func CyclesToMicros(cycles float64) float64 { return cycles / ClockHz * 1e6 }
+
+// SoftQueueConfig models the system-level queue-overflow fault handler
+// the paper describes for N-Queens: when the priority-0 hardware queue
+// rises above a threshold, software relocates the head message into an
+// external-memory buffer; relocated messages dispatch from there (their
+// operands then pay DRAM latency) ahead of newer hardware-queue
+// messages. "It is relatively expensive and is intended to be used for
+// transient traffic overruns rather than as a general task management
+// mechanism."
+type SoftQueueConfig struct {
+	Enable bool
+	// ThresholdWords triggers relocation when the queue holds at least
+	// this many words (default: capacity minus 32).
+	ThresholdWords int
+	// CostPerMsg is the software overhead per relocation, on top of the
+	// per-word external-memory stores (default 20 cycles).
+	CostPerMsg int32
+	// BufWords sizes the external-memory ring holding relocated
+	// messages (default 4096 words, placed at the top of memory).
+	BufWords int
+}
+
+// Config describes one node's processor options.
+type Config struct {
+	Timing Timing
+	// CodeInEmem places the program image in external memory, applying
+	// the EmemFetch penalty to every instruction.
+	CodeInEmem bool
+	// MaxMsgWords bounds a single message's payload; SENDs beyond it
+	// fault. Must not exceed the network's injection buffer or the
+	// sender would wedge.
+	MaxMsgWords int
+	// SoftQueue enables the software queue-overflow handler.
+	SoftQueue SoftQueueConfig
+}
+
+// DefaultMaxMsgWords bounds message payloads; the applications use
+// messages of at most 16 words.
+const DefaultMaxMsgWords = 24
+
+func (c Config) withDefaults() Config {
+	if c.Timing == (Timing{}) {
+		c.Timing = DefaultTiming()
+	}
+	if c.MaxMsgWords == 0 {
+		c.MaxMsgWords = DefaultMaxMsgWords
+	}
+	return c
+}

@@ -1,0 +1,305 @@
+package mdp_test
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/mdp"
+	"jmachine/internal/mem"
+	"jmachine/internal/word"
+)
+
+// runProg runs an arbitrary program's "main" on a 1-node machine.
+func runProg(t *testing.T, b *asm.Builder, setup func(m *machine.Machine)) *machine.Machine {
+	t.Helper()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	if setup != nil {
+		setup(m)
+	}
+	m.Nodes[0].StartBackground(p.Entry("main"))
+	if err := m.RunUntilHalt(0, 100000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func bgRegs(m *machine.Machine) *[8]word.Word {
+	return &m.Nodes[0].Ctx(mdp.LvlBG).Regs
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, 7).
+		Mul(isa.R0, asm.Imm(-3)). // -21
+		MoveI(isa.R1, -21).
+		Div(isa.R1, asm.Imm(4)). // -5 (Go truncation)
+		MoveI(isa.R2, 21).
+		Mod(isa.R2, asm.Imm(4)). // 1
+		MoveI(isa.R3, 1).
+		Lsh(isa.R3, asm.Imm(10)). // 1024
+		Ash(isa.R3, asm.Imm(-4)). // 64
+		Halt()
+	m := runProg(t, b, nil)
+	r := bgRegs(m)
+	if r[isa.R0].Data() != -21 || r[isa.R1].Data() != -5 || r[isa.R2].Data() != 1 || r[isa.R3].Data() != 64 {
+		t.Errorf("regs = %v %v %v %v", r[isa.R0], r[isa.R1], r[isa.R2], r[isa.R3])
+	}
+}
+
+func TestShiftEdgeCases(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, -8).
+		Ash(isa.R0, asm.Imm(-1)). // arithmetic: -4
+		MoveI(isa.R1, -8).
+		Lsh(isa.R1, asm.Imm(-1)). // logical: large positive
+		MoveI(isa.R2, 1).
+		Lsh(isa.R2, asm.Imm(40)). // over-shift: 0
+		Halt()
+	m := runProg(t, b, nil)
+	r := bgRegs(m)
+	if r[isa.R0].Data() != -4 {
+		t.Errorf("ASH -8 >> 1 = %v", r[isa.R0])
+	}
+	if r[isa.R1].Data() != int32(uint32(0xFFFFFFF8)>>1) {
+		t.Errorf("LSH -8 >> 1 = %v", r[isa.R1])
+	}
+	if r[isa.R2].Data() != 0 {
+		t.Errorf("over-shift = %v", r[isa.R2])
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, 5).
+		Div(isa.R0, asm.Imm(0)).
+		Halt()
+	p := b.MustAssemble()
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	m.Nodes[0].StartBackground(p.Entry("main"))
+	if err := m.RunUntilHalt(0, 1000); err == nil || !strings.Contains(err.Error(), "bad-instr") {
+		t.Fatalf("expected bad-instr fault, got %v", err)
+	}
+}
+
+func TestXlateEnterProbeInstructions(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, 99).
+		Wtag(isa.R0, asm.Imm(int32(word.TagPtr))). // key
+		MoveI(isa.R1, 4321).
+		Enter(isa.R0, asm.R(isa.R1)).
+		Probe(isa.R2, asm.R(isa.R0)). // true
+		Xlate(isa.A0, asm.R(isa.R0)).
+		MoveI(isa.R3, 98).
+		Wtag(isa.R3, asm.Imm(int32(word.TagPtr))).
+		Probe(isa.R3, asm.R(isa.R3)). // false (unknown key)
+		Halt()
+	m := runProg(t, b, nil)
+	r := bgRegs(m)
+	if !r[isa.R2].Truthy() {
+		t.Error("PROBE of entered key false")
+	}
+	if r[isa.A0].Data() != 4321 {
+		t.Errorf("XLATE = %v", r[isa.A0])
+	}
+	if r[isa.R3].Truthy() {
+		t.Error("PROBE of unknown key true")
+	}
+}
+
+func TestSegmentDescriptorAddressing(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		Move(isa.R0, asm.Mem(isa.A0, 2)). // via descriptor
+		MoveI(isa.R1, 3).
+		Move(isa.R2, asm.MemR(isa.A0, isa.R1)). // indexed via descriptor
+		Halt()
+	m := runProg(t, b, func(m *machine.Machine) {
+		m.Nodes[0].Mem.Write(300, word.Int(10))
+		m.Nodes[0].Mem.Write(302, word.Int(12))
+		m.Nodes[0].Mem.Write(303, word.Int(13))
+		m.Nodes[0].Ctx(mdp.LvlBG).Regs[isa.A0] = mem.Seg(300, 8)
+	})
+	r := bgRegs(m)
+	if r[isa.R0].Data() != 12 || r[isa.R2].Data() != 13 {
+		t.Errorf("segment reads = %v %v", r[isa.R0], r[isa.R2])
+	}
+}
+
+func TestPriority1SendAndHandler(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		Send1(asm.R(isa.NNR)).
+		MoveHdr(isa.R1, "p1h", 2).
+		Send2E1(isa.R1, asm.Imm(55)).
+		Suspend()
+	b.Label("p1h").
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		MoveI(isa.A0, 64).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Halt()
+	m := runProg(t, b, nil)
+	got, _ := m.Nodes[0].Mem.Read(64)
+	if got.Data() != 55 {
+		t.Errorf("P1 handler argument = %v", got)
+	}
+	if m.Stats.Nodes[0].MsgsSent[1] != 1 {
+		t.Errorf("P1 msgs sent = %d", m.Stats.Nodes[0].MsgsSent[1])
+	}
+}
+
+func TestMessageBoundsFault(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("h").
+		Move(isa.R0, asm.Mem(isa.A3, 5)). // beyond the 2-word message
+		Suspend()
+	p := b.MustAssemble()
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	q := m.Nodes[0].Queues[0]
+	q.Push(word.MsgHeader(p.Entry("h"), 2))
+	q.Push(word.Int(1))
+	m.StepN(20)
+	if err := m.FatalErr(); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("expected bounds fault, got %v", err)
+	}
+}
+
+func TestQlenSpecialRegister(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		Move(isa.R0, asm.R(isa.QLEN)).
+		Halt()
+	p := b.MustAssemble()
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	// Queue an incomplete message so nothing dispatches but words are
+	// buffered.
+	m.Nodes[0].Queues[0].Push(word.MsgHeader(0, 3))
+	m.Nodes[0].Queues[0].Push(word.Int(1))
+	m.Nodes[0].StartBackground(p.Entry("main"))
+	if err := m.RunUntilHalt(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := bgRegs(m)[isa.R0].Data(); got != 2 {
+		t.Errorf("QLEN = %d, want 2", got)
+	}
+}
+
+func TestJmpThroughIPWord(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.A0, 64).
+		Move(isa.R0, asm.Mem(isa.A0, 0)). // IP-tagged target
+		Jmp(asm.R(isa.R0)).
+		Halt(). // skipped
+		Label("tail").
+		MoveI(isa.R2, 77).
+		Halt()
+	p := b.MustAssemble()
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	m.Nodes[0].Mem.Write(64, word.IP(p.Entry("tail")))
+	m.Nodes[0].StartBackground(p.Entry("main"))
+	if err := m.RunUntilHalt(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := bgRegs(m)[isa.R2].Data(); got != 77 {
+		t.Errorf("JMP did not reach tail: R2 = %d", got)
+	}
+}
+
+func TestXlateCostThreeCycles(t *testing.T) {
+	// "A successful xlate takes three cycles."
+	b := asm.NewBuilder()
+	b.Label("main").
+		Xlate(isa.A0, asm.R(isa.R0)).
+		Halt()
+	p := b.MustAssemble()
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	m.Nodes[0].Xl.Enter(word.Int(0), word.Int(5))
+	m.Nodes[0].StartBackground(p.Entry("main"))
+	if err := m.RunUntilHalt(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle() != 4 { // 3 for XLATE + 1 for HALT
+		t.Errorf("XLATE+HALT took %d cycles, want 4", m.Cycle())
+	}
+}
+
+func TestShiftExtremes(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, -5).
+		Ash(isa.R0, asm.Imm(-40)). // deep arithmetic right: sign
+		MoveI(isa.R1, 123).
+		Ash(isa.R1, asm.Imm(40)). // over-shift left: 0
+		MoveI(isa.R2, 3).
+		Ash(isa.R2, asm.Imm(4)). // plain left: 48
+		Halt()
+	m := runProg(t, b, nil)
+	r := bgRegs(m)
+	if r[isa.R0].Data() != -1 {
+		t.Errorf("ASH -5 >> 40 = %v, want -1", r[isa.R0])
+	}
+	if r[isa.R1].Data() != 0 {
+		t.Errorf("ASH 123 << 40 = %v, want 0", r[isa.R1])
+	}
+	if r[isa.R2].Data() != 48 {
+		t.Errorf("ASH 3 << 4 = %v", r[isa.R2])
+	}
+}
+
+func TestWritesToSpecialRegistersDiscarded(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.ZERO, 99). // discarded
+		Move(isa.R0, asm.R(isa.ZERO)).
+		MoveI(isa.NNR, 7). // discarded
+		Move(isa.R1, asm.R(isa.NNR)).
+		Halt()
+	m := runProg(t, b, nil)
+	r := bgRegs(m)
+	if r[isa.R0].Data() != 0 {
+		t.Errorf("ZERO readable as %v after write", r[isa.R0])
+	}
+	if r[isa.R1].Tag() != word.TagNode {
+		t.Errorf("NNR corrupted by write: %v", r[isa.R1])
+	}
+}
+
+func TestNotAndLogic(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, 0).
+		Not(isa.R0). // -1
+		MoveI(isa.R1, 6).
+		And(isa.R1, asm.Imm(3)). // 2
+		Or(isa.R1, asm.Imm(8)).  // 10
+		Xor(isa.R1, asm.Imm(2)). // 8
+		Halt()
+	m := runProg(t, b, nil)
+	r := bgRegs(m)
+	if r[isa.R0].Data() != -1 || r[isa.R1].Data() != 8 {
+		t.Errorf("logic results: %v %v", r[isa.R0], r[isa.R1])
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for k := mdp.FaultCfut; k <= mdp.FaultTrap; k++ {
+		if k.String() == "" {
+			t.Errorf("fault %d has empty name", k)
+		}
+	}
+	f := mdp.Fault{Kind: mdp.FaultBounds, Addr: 7, IP: 3}
+	if !strings.Contains(f.Error(), "bounds") {
+		t.Errorf("fault error = %q", f.Error())
+	}
+}

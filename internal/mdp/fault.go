@@ -1,0 +1,90 @@
+package mdp
+
+import (
+	"fmt"
+
+	"jmachine/internal/isa"
+	"jmachine/internal/word"
+)
+
+// FaultKind classifies processor faults that trap to system software.
+type FaultKind uint8
+
+const (
+	// FaultCfut: a consuming read touched a cfut-tagged word.
+	FaultCfut FaultKind = iota
+	// FaultFut: an arithmetic or branching use touched a fut-tagged
+	// word (futures may be copied but not consumed).
+	FaultFut
+	// FaultXlateMiss: XLATE found no entry for the key.
+	FaultXlateMiss
+	// FaultBounds: a memory access fell outside the node's address
+	// space, a segment descriptor's extent, or the current message.
+	FaultBounds
+	// FaultBadTag: an operand had a type the instruction cannot use
+	// (e.g. indexing through a non-address register, SENDing a message
+	// with no destination word).
+	FaultBadTag
+	// FaultBadInstr: an undefined or malformed instruction.
+	FaultBadInstr
+	// FaultQueueOverflow: raised by the runtime's overflow machinery
+	// when a hardware queue fills and software must relocate messages.
+	FaultQueueOverflow
+	// FaultTrap: an explicit TRAP instruction; Val holds the service
+	// number.
+	FaultTrap
+)
+
+var faultNames = [...]string{
+	"cfut", "fut", "xlate-miss", "bounds", "bad-tag", "bad-instr", "queue-overflow", "trap",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault%d", uint8(k))
+}
+
+// Fault carries the trap state handed to system software.
+type Fault struct {
+	Kind  FaultKind
+	Addr  int32     // memory address involved, or -1
+	Val   word.Word // offending word (cfut word, failed key, ...)
+	IP    int32     // code address of the faulting instruction
+	Level int       // execution level that faulted
+	Instr isa.Instr // the faulting instruction
+}
+
+// Error renders the fault for diagnostics.
+func (f Fault) Error() string {
+	return fmt.Sprintf("mdp: %s fault at ip=%d level=%d addr=%d val=%s (%s)",
+		f.Kind, f.IP, f.Level, f.Addr, f.Val, f.Instr)
+}
+
+// FaultAction tells the processor how to resume after software service.
+type FaultAction uint8
+
+const (
+	// ActRetry re-executes the faulting instruction (e.g. after the
+	// handler re-entered an evicted translation).
+	ActRetry FaultAction = iota
+	// ActAdvance resumes at the next instruction (the handler completed
+	// the instruction's effect itself).
+	ActAdvance
+	// ActSuspend ends the faulting thread: the runtime saved what it
+	// needed and will restart the computation later.
+	ActSuspend
+	// ActResume continues with whatever context the handler installed
+	// (registers and IP untouched by the processor) — used when system
+	// software restores a saved thread into the current level.
+	ActResume
+	// ActHalt stops the node, recording the fault as fatal.
+	ActHalt
+)
+
+// FaultFn is the system-software trap entry. It returns the cycles the
+// software service consumed (charged to the appropriate category) and
+// how to resume. A nil FaultFn halts the node on any fault.
+type FaultFn func(n *Node, f Fault) (serviceCycles int32, act FaultAction)

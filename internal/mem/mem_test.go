@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"jmachine/internal/word"
+)
+
+func TestDefaults(t *testing.T) {
+	m := New(Config{})
+	if m.ImemWords() != DefaultImemWords {
+		t.Errorf("ImemWords = %d", m.ImemWords())
+	}
+	if m.Size() != DefaultImemWords+DefaultEmemWords {
+		t.Errorf("Size = %d", m.Size())
+	}
+}
+
+func TestInternalBoundary(t *testing.T) {
+	m := New(Config{ImemWords: 16, EmemWords: 16})
+	if !m.IsInternal(0) || !m.IsInternal(15) {
+		t.Error("SRAM misclassified")
+	}
+	if m.IsInternal(16) || m.IsInternal(-1) {
+		t.Error("DRAM or negative misclassified as internal")
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m := New(Config{ImemWords: 8, EmemWords: 8})
+	w := word.New(word.TagSym, 77)
+	if err := m.Write(3, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(3)
+	if err != nil || got != w {
+		t.Fatalf("Read = %v, %v", got, err)
+	}
+	if _, err := m.Read(16); !errors.Is(err, ErrBounds) {
+		t.Error("out-of-range read did not fault")
+	}
+	if err := m.Write(-1, w); !errors.Is(err, ErrBounds) {
+		t.Error("negative write did not fault")
+	}
+}
+
+func TestLoadAndFillCfut(t *testing.T) {
+	m := New(Config{ImemWords: 8, EmemWords: 8})
+	ws := []word.Word{word.Int(1), word.Int(2), word.Int(3)}
+	if err := m.Load(2, ws); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		got, _ := m.Read(int32(2 + i))
+		if got != w {
+			t.Errorf("word %d = %v", i, got)
+		}
+	}
+	if err := m.Load(14, ws); !errors.Is(err, ErrBounds) {
+		t.Error("overlong load did not fault")
+	}
+	if err := m.FillCfut(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Read(0)
+	if !got.IsCfut() {
+		t.Error("FillCfut did not tag")
+	}
+	if err := m.FillCfut(15, 2); !errors.Is(err, ErrBounds) {
+		t.Error("overlong FillCfut did not fault")
+	}
+}
+
+func TestSegmentDescriptors(t *testing.T) {
+	d := Seg(1000, 16)
+	if SegBase(d) != 1000 || SegLen(d) != 16 {
+		t.Fatalf("descriptor fields: base=%d len=%d", SegBase(d), SegLen(d))
+	}
+	if d.Tag() != word.TagAddr {
+		t.Errorf("descriptor tag = %v", d.Tag())
+	}
+	addr, err := SegAddr(d, 15)
+	if err != nil || addr != 1015 {
+		t.Errorf("SegAddr(15) = %d, %v", addr, err)
+	}
+	if _, err := SegAddr(d, 16); err == nil {
+		t.Error("index == length did not fault")
+	}
+	if _, err := SegAddr(d, -1); err == nil {
+		t.Error("negative index did not fault")
+	}
+}
+
+func TestSegProperty(t *testing.T) {
+	f := func(base int32, length uint16, idx int32) bool {
+		b := base & SegMaxBase
+		l := int(length) % (SegMaxLen + 1)
+		d := Seg(b, l)
+		if SegBase(d) != b || SegLen(d) != l {
+			return false
+		}
+		addr, err := SegAddr(d, idx)
+		if idx >= 0 && int(idx) < l {
+			return err == nil && addr == b+idx
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

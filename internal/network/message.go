@@ -1,0 +1,70 @@
+// Package network simulates the J-Machine's 3-D mesh interconnect at the
+// phit level.
+//
+// Messages are routed with deterministic e-cube wormhole routing: a
+// message fully traverses the X dimension, then Y, then Z, then is
+// delivered. Channels carry one phit (half of a 36-bit word) per cycle,
+// giving the paper's channel bandwidth of 0.5 words/cycle, and a head
+// phit advances one hop per cycle, giving the minimum latency of 1
+// cycle/hop. Two message priorities share each physical link; priority 1
+// receives preference during channel arbitration. Output-channel
+// arbitration among competing inputs is at a fixed priority — the source
+// of the injection unfairness the paper observed in radix sort — with a
+// round-robin option for the fairness ablation.
+package network
+
+import "jmachine/internal/word"
+
+// Message is one network message: destination coordinates plus payload
+// words (header first). On the wire the message is preceded by a
+// destination word, so a message of L words occupies 2·(L+1) phits.
+type Message struct {
+	DestX, DestY, DestZ int8
+	Pri                 int8
+	Src                 int32 // source node id, for statistics and return-to-sender
+	Words               []word.Word
+
+	// EnqueueCycle is the cycle at which injection was requested (SENDE
+	// retired); DeliverCycle is when the last word entered the
+	// destination queue. Both are maintained by the network for latency
+	// statistics.
+	EnqueueCycle int64
+	DeliverCycle int64
+
+	// Return-to-sender flow control (the paper's critique proposes it:
+	// "a 'return-to-sender' protocol that refuses messages when the
+	// queue is above a certain threshold by returning them to the
+	// sending node"). Returning marks a refused message on its way
+	// back; absorb marks a worm being drained at a delivery port
+	// without entering the queue.
+	Returning bool
+	absorb    bool
+	Returns   int32 // times this message has been refused
+	// origX/Y/Z preserve the true destination while the message is on
+	// its way back to the sender.
+	origX, origY, origZ int8
+}
+
+// WirePhits returns the number of phits the message occupies on a
+// channel: two per payload word, two for the destination word, and two
+// framing phits (the hardware's route/length control phits).
+func (m *Message) WirePhits() int32 { return int32(2*len(m.Words) + 4) }
+
+// phitRef locates one phit of an in-flight message.
+type phitRef struct {
+	m       *Message
+	idx     int32 // 0,1 = destination word; 2,3 = framing; 4+2k,5+2k = payload word k
+	arrived int64 // cycle the phit entered its current buffer
+}
+
+// isTail reports whether the phit is the message's last.
+func (p phitRef) isTail() bool { return p.idx == p.m.WirePhits()-1 }
+
+// payloadWord returns (word, true) when the phit completes a payload
+// word at the delivery port; destination and framing phits yield false.
+func (p phitRef) payloadWord() (word.Word, bool) {
+	if p.idx&1 == 0 || p.idx < 5 {
+		return 0, false
+	}
+	return p.m.Words[(p.idx-5)/2], true
+}

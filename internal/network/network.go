@@ -1,0 +1,443 @@
+package network
+
+import (
+	"fmt"
+
+	"jmachine/internal/queue"
+	"jmachine/internal/word"
+)
+
+// Arbitration selects how competing inputs win an output channel.
+type Arbitration int
+
+const (
+	// FixedPriority arbitrates in fixed input-port order, as the MDP
+	// router did. Under congestion some nodes can be locked out for
+	// arbitrarily long — the unfairness the paper measured in radix sort.
+	FixedPriority Arbitration = iota
+	// RoundRobin rotates the winning input each cycle (fairness ablation).
+	RoundRobin
+)
+
+// DefaultOutboxWords is the default per-priority injection buffer
+// capacity in words. SEND instructions fault (and retry) when a message
+// would overflow it — the network back-pressure the paper describes.
+const DefaultOutboxWords = 32
+
+// DefaultLaunchCycles is the network-interface pipeline latency between
+// a completed send and the message's first phit entering the router —
+// calibrated so a node's self-ping round trip lands at the paper's 43
+// cycles (24 of network, 19 of thread execution).
+const DefaultLaunchCycles = 3
+
+// Config describes a mesh.
+type Config struct {
+	DimX, DimY, DimZ int
+	OutboxWords      int // injection capacity per node per priority
+	LaunchCycles     int // NI latency from send completion to first phit (-1 = none)
+	Arbitration      Arbitration
+	// ReturnToSender enables the flow-control protocol from the paper's
+	// critique: a message whose destination queue cannot hold it is
+	// drained at the delivery port and sent back to its source, which
+	// retransmits it after RTSBackoff cycles. This keeps a stopped
+	// receiver from blocking the network, at the cost of retry traffic.
+	ReturnToSender bool
+	// RTSBackoff is the retransmission delay in cycles (default 64).
+	RTSBackoff int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DimX == 0 {
+		c.DimX = 1
+	}
+	if c.DimY == 0 {
+		c.DimY = 1
+	}
+	if c.DimZ == 0 {
+		c.DimZ = 1
+	}
+	if c.OutboxWords == 0 {
+		c.OutboxWords = DefaultOutboxWords
+	}
+	if c.LaunchCycles == 0 {
+		c.LaunchCycles = DefaultLaunchCycles
+	} else if c.LaunchCycles < 0 {
+		c.LaunchCycles = 0
+	}
+	if c.RTSBackoff == 0 {
+		c.RTSBackoff = 64
+	}
+	return c
+}
+
+// outbox is the per-node, per-priority injection queue: complete messages
+// awaiting streaming into the router's local input port.
+type outbox struct {
+	msgs    []*Message
+	phitIdx int32 // next phit of msgs[0] to inject
+	words   int   // payload words across all queued messages
+}
+
+// Stats accumulates network-wide counters.
+type Stats struct {
+	Cycles         int64
+	PhitHops       uint64 // phit-link traversals (mesh links only)
+	BisectionPhits uint64 // phits crossing the mid-X plane, both directions
+	DeliveredMsgs  [2]uint64
+	DeliveredWords [2]uint64
+	LatencySum     [2]uint64 // enqueue→final-word-delivered, in cycles
+	DeliveryStalls uint64    // cycles a completed word waited on a full queue
+	ReturnedMsgs   uint64    // messages refused and sent back (return-to-sender)
+	Retransmits    uint64    // returned messages re-injected at their source
+}
+
+// BisectionBits returns the bisection traffic in bits, per direction
+// (18 bits per phit; BisectionPhits counts both directions, while the
+// paper's 14.4 Gbits/sec capacity figure is per direction: 64 channels
+// at 0.5 words/cycle).
+func (s Stats) BisectionBits() float64 { return float64(s.BisectionPhits) * 18 / 2 }
+
+// MeanLatency returns the average message latency at priority pri.
+func (s Stats) MeanLatency(pri int) float64 {
+	if s.DeliveredMsgs[pri] == 0 {
+		return 0
+	}
+	return float64(s.LatencySum[pri]) / float64(s.DeliveredMsgs[pri])
+}
+
+// Network is a DimX×DimY×DimZ mesh of wormhole routers with one delivery
+// queue pair per node.
+type Network struct {
+	cfg     Config
+	routers []router
+	nbr     [][6]int32 // neighbour node index per direction, -1 at edges
+	queues  [][2]*queue.Queue
+	out     [][2]outbox
+	rr      []uint8 // round-robin scan offsets
+	cycle   int64
+	midX    int8
+	stats   Stats
+}
+
+// New builds a mesh. queues supplies each node's priority-0 and
+// priority-1 delivery queues, indexed by node id = x + DimX·(y + DimY·z).
+func New(cfg Config, queues [][2]*queue.Queue) (*Network, error) {
+	cfg = cfg.withDefaults()
+	nodes := cfg.DimX * cfg.DimY * cfg.DimZ
+	if len(queues) != nodes {
+		return nil, fmt.Errorf("network: %d queue pairs for %d nodes", len(queues), nodes)
+	}
+	n := &Network{
+		cfg:     cfg,
+		routers: make([]router, nodes),
+		nbr:     make([][6]int32, nodes),
+		queues:  queues,
+		out:     make([][2]outbox, nodes),
+		rr:      make([]uint8, nodes),
+		midX:    int8(cfg.DimX / 2),
+	}
+	for z := 0; z < cfg.DimZ; z++ {
+		for y := 0; y < cfg.DimY; y++ {
+			for x := 0; x < cfg.DimX; x++ {
+				id := n.NodeID(x, y, z)
+				n.routers[id].init(x, y, z)
+				nb := &n.nbr[id]
+				for d := 0; d < 6; d++ {
+					nb[d] = -1
+				}
+				if x+1 < cfg.DimX {
+					nb[PortXP] = int32(n.NodeID(x+1, y, z))
+				}
+				if x > 0 {
+					nb[PortXM] = int32(n.NodeID(x-1, y, z))
+				}
+				if y+1 < cfg.DimY {
+					nb[PortYP] = int32(n.NodeID(x, y+1, z))
+				}
+				if y > 0 {
+					nb[PortYM] = int32(n.NodeID(x, y-1, z))
+				}
+				if z+1 < cfg.DimZ {
+					nb[PortZP] = int32(n.NodeID(x, y, z+1))
+				}
+				if z > 0 {
+					nb[PortZM] = int32(n.NodeID(x, y, z-1))
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return len(n.routers) }
+
+// Dims returns the mesh dimensions.
+func (n *Network) Dims() (x, y, z int) { return n.cfg.DimX, n.cfg.DimY, n.cfg.DimZ }
+
+// NodeID maps coordinates to a node id.
+func (n *Network) NodeID(x, y, z int) int {
+	return x + n.cfg.DimX*(y+n.cfg.DimY*z)
+}
+
+// NodeCoords maps a node id to coordinates.
+func (n *Network) NodeCoords(id int) (x, y, z int) {
+	x = id % n.cfg.DimX
+	id /= n.cfg.DimX
+	return x, id % n.cfg.DimY, id / n.cfg.DimY
+}
+
+// NodeWord returns the node-tagged router address of a node id.
+func (n *Network) NodeWord(id int) word.Word {
+	x, y, z := n.NodeCoords(id)
+	return word.Node(x, y, z)
+}
+
+// NodeFromWord resolves a node-tagged router address to a node id, or -1
+// if the coordinates fall outside the mesh.
+func (n *Network) NodeFromWord(w word.Word) int {
+	x, y, z := w.NodeXYZ()
+	if x >= n.cfg.DimX || y >= n.cfg.DimY || z >= n.cfg.DimZ {
+		return -1
+	}
+	return n.NodeID(x, y, z)
+}
+
+// OutboxFree returns the free injection capacity, in words, at a node
+// and priority. The processor's SEND instructions fault while a message
+// would not fit.
+func (n *Network) OutboxFree(node, pri int) int {
+	return n.cfg.OutboxWords - n.out[node][pri].words
+}
+
+// Inject queues a complete message for transmission from node. The
+// caller must have confirmed capacity via OutboxFree. delay defers the
+// first phit by that many extra cycles (e.g. the memory latency of the
+// send instruction's final operand).
+func (n *Network) Inject(node int, m *Message, delay int32) {
+	ob := &n.out[node][m.Pri]
+	m.EnqueueCycle = n.cycle + int64(delay)
+	ob.msgs = append(ob.msgs, m)
+	ob.words += len(m.Words)
+}
+
+// Pending reports whether any message traffic is still in flight
+// anywhere in the network (buffers or outboxes).
+func (n *Network) Pending() bool {
+	for i := range n.routers {
+		if n.routers[i].occ > 0 {
+			return true
+		}
+		if len(n.out[i][0].msgs) > 0 || len(n.out[i][1].msgs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns accumulated counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.Cycles = n.cycle
+	return s
+}
+
+// Step advances the network one cycle: injection feeds, phit movement,
+// and delivery, honouring priority-1 channel preference.
+func (n *Network) Step() {
+	n.cycle++
+	cyc := n.cycle
+	for v := 1; v >= 0; v-- {
+		for ri := range n.routers {
+			r := &n.routers[ri]
+			ob := &n.out[ri][v]
+			if r.occ == 0 && len(ob.msgs) == 0 {
+				continue
+			}
+			n.stepRouter(ri, r, v, cyc)
+			n.feedInjection(r, ob, v, cyc)
+		}
+	}
+}
+
+// stepRouter attempts to advance the head phit of each input buffer at
+// priority v.
+func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
+	start := 0
+	if n.cfg.Arbitration == RoundRobin {
+		start = int(n.rr[ri]) % NumPorts
+		if v == 0 { // advance once per cycle, after both priority passes
+			n.rr[ri]++
+		}
+	}
+	for k := 0; k < NumPorts; k++ {
+		q := (start + k) % NumPorts
+		b := &r.in[v][q]
+		if b.empty() {
+			continue
+		}
+		head := b.peek()
+		if head.arrived >= cyc {
+			continue // entered this cycle; moves next cycle at the earliest
+		}
+		out := r.inRoute[v][q]
+		if out == noPort {
+			out = r.route(head.m)
+			if r.outOwner[v][out] != noPort {
+				continue // output channel held by another worm
+			}
+			r.outOwner[v][out] = int8(q)
+			r.inRoute[v][q] = out
+		}
+		if r.linkStamp[out] == cyc {
+			continue // physical channel already used this cycle
+		}
+		if out == PortLocal {
+			n.deliverPhit(ri, r, v, q, b, cyc)
+			continue
+		}
+		nb := n.nbr[ri][out]
+		if nb < 0 {
+			// e-cube can never route off the mesh edge; treat as a
+			// wedged-worm bug rather than silently dropping traffic.
+			panic(fmt.Sprintf("network: route off mesh edge at node %d port %d", ri, out))
+		}
+		nbuf := &n.routers[nb].in[v][opposite[out]]
+		occStart := int(nbuf.n)
+		if nbuf.popStamp == cyc {
+			occStart++
+		}
+		if occStart >= bufCap {
+			continue // downstream buffer full at cycle start
+		}
+		p := b.pop()
+		b.popStamp = cyc
+		r.occ--
+		r.linkStamp[out] = cyc
+		p.arrived = cyc
+		nbuf.push(p)
+		n.routers[nb].occ++
+		n.stats.PhitHops++
+		if (out == PortXP && r.x == n.midX-1) || (out == PortXM && r.x == n.midX) {
+			n.stats.BisectionPhits++
+		}
+		if p.isTail() {
+			r.outOwner[v][out] = noPort
+			r.inRoute[v][q] = noPort
+		}
+	}
+}
+
+// deliverPhit retires the head phit of input q into the local delivery
+// queue. Even phits (first half of a word) are absorbed freely; odd
+// phits complete a word, which must be accepted by the queue.
+//
+// With return-to-sender flow control, a message that would not fit in
+// the destination queue is instead drained at the delivery port and sent
+// back to its source for retransmission after a backoff.
+func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
+	head := b.peek()
+	m := head.m
+	if head.idx == 0 && n.cfg.ReturnToSender && !m.absorb {
+		switch {
+		case m.Returning:
+			m.absorb = true // arriving back home: drain and requeue
+		case n.queues[ri][v].Free() < len(m.Words) && n.queues[ri][v].Cap() >= len(m.Words):
+			m.absorb = true // refuse: drain and turn around
+		}
+	}
+	if m.absorb {
+		n.absorbPhit(ri, r, v, q, b, cyc)
+		return
+	}
+	w, complete := head.payloadWord()
+	if complete {
+		if !n.queues[ri][v].Push(w) {
+			n.stats.DeliveryStalls++
+			return // queue full; back-pressure into the network
+		}
+	}
+	p := b.pop()
+	b.popStamp = cyc
+	r.occ--
+	r.linkStamp[PortLocal] = cyc
+	if complete {
+		n.stats.DeliveredWords[v]++
+	}
+	if p.isTail() {
+		p.m.DeliverCycle = cyc
+		n.stats.DeliveredMsgs[v]++
+		n.stats.LatencySum[v] += uint64(cyc - p.m.EnqueueCycle)
+		r.outOwner[v][PortLocal] = noPort
+		r.inRoute[v][q] = noPort
+	}
+}
+
+// absorbPhit drains one phit of a refused or homecoming worm at the
+// delivery port, and at the tail re-injects the message: back toward the
+// source (refusal) or toward its true destination after the backoff
+// (retransmission).
+func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
+	p := b.pop()
+	b.popStamp = cyc
+	r.occ--
+	r.linkStamp[PortLocal] = cyc
+	if !p.isTail() {
+		return
+	}
+	m := p.m
+	r.outOwner[v][PortLocal] = noPort
+	r.inRoute[v][q] = noPort
+	m.absorb = false
+	ob := &n.out[ri][v]
+	if m.Returning {
+		// Home again: restore the true destination and retransmit
+		// after the backoff.
+		m.Returning = false
+		m.DestX, m.DestY, m.DestZ = m.origX, m.origY, m.origZ
+		m.EnqueueCycle = cyc + int64(n.cfg.RTSBackoff)
+		n.stats.Retransmits++
+	} else {
+		// Refused: turn the message around toward its source.
+		m.Returning = true
+		m.Returns++
+		m.origX, m.origY, m.origZ = m.DestX, m.DestY, m.DestZ
+		sx, sy, sz := n.NodeCoords(int(m.Src))
+		m.DestX, m.DestY, m.DestZ = int8(sx), int8(sy), int8(sz)
+		m.EnqueueCycle = cyc
+		n.stats.ReturnedMsgs++
+	}
+	// Hardware-level requeue: bypasses the injection capacity check
+	// (the words were already accounted to this node's outbox only if
+	// it was the original sender; returns ride free).
+	ob.msgs = append(ob.msgs, m)
+	ob.words += len(m.Words)
+}
+
+// feedInjection streams the node's next outgoing phit at priority v into
+// the router's local input buffer, one phit per cycle.
+func (n *Network) feedInjection(r *router, ob *outbox, v int, cyc int64) {
+	if len(ob.msgs) == 0 {
+		return
+	}
+	b := &r.in[v][PortLocal]
+	occStart := int(b.n)
+	if b.popStamp == cyc {
+		occStart++
+	}
+	if occStart >= bufCap {
+		return
+	}
+	m := ob.msgs[0]
+	if ob.phitIdx == 0 && cyc < m.EnqueueCycle+int64(n.cfg.LaunchCycles) {
+		return // network-interface launch latency
+	}
+	b.push(phitRef{m: m, idx: ob.phitIdx, arrived: cyc})
+	r.occ++
+	ob.phitIdx++
+	if ob.phitIdx == m.WirePhits() {
+		ob.msgs = ob.msgs[1:]
+		ob.words -= len(m.Words)
+		ob.phitIdx = 0
+	}
+}

@@ -1,0 +1,149 @@
+// Package queue models the MDP's hardware message queues.
+//
+// Arriving messages are buffered in a fixed-size hardware queue per
+// priority. A message's words arrive contiguously (wormhole delivery);
+// the first word is the header carrying the handler address and message
+// length. When a complete message reaches the head of the queue the
+// processor dispatches a task for it in four cycles, addressing the
+// message body through address register A3.
+//
+// The paper configures the priority-0 queue for 128 minimum-length
+// (4-word) messages in Tuned-J out of a hardware maximum of 256; the
+// default capacity here matches that 512-word configuration. When the
+// queue fills, delivery back-pressure propagates into the network — the
+// behaviour whose consequences the paper's critique discusses.
+package queue
+
+import "jmachine/internal/word"
+
+// DefaultCapWords is the default queue capacity in words (the Tuned-J
+// configuration: 128 four-word messages).
+const DefaultCapWords = 512
+
+// Queue is one hardware message queue.
+type Queue struct {
+	buf  []word.Word
+	head int // ring index of the head message's header
+	used int // words currently buffered (complete + arriving)
+
+	arriving  int // words of the incomplete message received so far
+	expecting int // total words of the incomplete message (0 = none)
+	msgs      int // complete messages buffered
+
+	// Statistics.
+	maxUsed   int
+	delivered uint64 // complete messages received
+	rejected  uint64 // words refused because the queue was full
+}
+
+// New returns a queue of the given capacity in words (0 selects the
+// default).
+func New(capWords int) *Queue {
+	if capWords <= 0 {
+		capWords = DefaultCapWords
+	}
+	return &Queue{buf: make([]word.Word, capWords)}
+}
+
+// Cap returns the capacity in words.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Used returns the number of buffered words.
+func (q *Queue) Used() int { return q.used }
+
+// Free returns the number of free words.
+func (q *Queue) Free() int { return len(q.buf) - q.used }
+
+// Messages returns the number of complete messages buffered.
+func (q *Queue) Messages() int { return q.msgs }
+
+// Push delivers one word from the network. The first word of each
+// message must be a MSG-tagged header whose length field covers the
+// whole message including the header itself. Push reports false — and
+// the word must be retried — when the queue is full.
+func (q *Queue) Push(w word.Word) bool {
+	if q.used >= len(q.buf) {
+		q.rejected++
+		return false
+	}
+	if q.expecting == 0 {
+		// Header word of a new message.
+		n := w.HeaderLen()
+		if w.Tag() != word.TagMsg || n < 1 {
+			// Malformed traffic: frame it as a 1-word message so the
+			// fault surfaces at dispatch rather than wedging the queue.
+			w = word.MsgHeader(w.Data(), 1)
+			n = 1
+		}
+		q.expecting = n
+		q.arriving = 0
+	}
+	q.buf[(q.head+q.used)%len(q.buf)] = w
+	q.used++
+	q.arriving++
+	if q.used > q.maxUsed {
+		q.maxUsed = q.used
+	}
+	if q.arriving == q.expecting {
+		q.msgs++
+		q.delivered++
+		q.expecting = 0
+		q.arriving = 0
+	}
+	return true
+}
+
+// HeadReady reports whether a complete message is available at the head.
+func (q *Queue) HeadReady() bool { return q.msgs > 0 }
+
+// HeadLen returns the length in words of the head message. It must only
+// be called when HeadReady.
+func (q *Queue) HeadLen() int { return q.buf[q.head].HeaderLen() }
+
+// WordAt reads word i of the head message (0 = header). Reads beyond the
+// head message's extent return an integer zero; the processor's segment
+// checks fault before that can happen in well-formed programs.
+func (q *Queue) WordAt(i int) word.Word {
+	if i < 0 || !q.HeadReady() || i >= q.HeadLen() {
+		return word.Int(0)
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Pop consumes the head message, freeing its words.
+func (q *Queue) Pop() {
+	if !q.HeadReady() {
+		return
+	}
+	n := q.HeadLen()
+	q.head = (q.head + n) % len(q.buf)
+	q.used -= n
+	q.msgs--
+}
+
+// PopTo removes the head message, copying it into dst (which must have
+// room); used by the software queue-overflow handler to relocate
+// messages into memory.
+func (q *Queue) PopTo(dst []word.Word) int {
+	if !q.HeadReady() {
+		return 0
+	}
+	n := q.HeadLen()
+	for i := 0; i < n && i < len(dst); i++ {
+		dst[i] = q.WordAt(i)
+	}
+	q.Pop()
+	return n
+}
+
+// Stats reports queue counters.
+type Stats struct {
+	MaxUsedWords  int
+	Delivered     uint64
+	RejectedWords uint64
+}
+
+// Stats returns accumulated counters.
+func (q *Queue) Stats() Stats {
+	return Stats{MaxUsedWords: q.maxUsed, Delivered: q.delivered, RejectedWords: q.rejected}
+}

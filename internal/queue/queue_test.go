@@ -1,0 +1,154 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jmachine/internal/word"
+)
+
+func pushMsg(q *Queue, handler int32, body ...int32) bool {
+	if !q.Push(word.MsgHeader(handler, len(body)+1)) {
+		return false
+	}
+	for _, v := range body {
+		if !q.Push(word.Int(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicDelivery(t *testing.T) {
+	q := New(16)
+	if q.HeadReady() {
+		t.Fatal("empty queue reports ready")
+	}
+	if !pushMsg(q, 7, 10, 20) {
+		t.Fatal("push failed")
+	}
+	if !q.HeadReady() {
+		t.Fatal("complete message not ready")
+	}
+	if q.HeadLen() != 3 {
+		t.Errorf("HeadLen = %d", q.HeadLen())
+	}
+	if q.WordAt(0).HeaderIP() != 7 {
+		t.Errorf("header ip = %d", q.WordAt(0).HeaderIP())
+	}
+	if q.WordAt(1).Data() != 10 || q.WordAt(2).Data() != 20 {
+		t.Errorf("body = %v %v", q.WordAt(1), q.WordAt(2))
+	}
+	q.Pop()
+	if q.HeadReady() || q.Used() != 0 {
+		t.Error("pop did not free queue")
+	}
+}
+
+func TestPartialMessageNotReady(t *testing.T) {
+	q := New(16)
+	q.Push(word.MsgHeader(1, 3))
+	q.Push(word.Int(5))
+	if q.HeadReady() {
+		t.Error("incomplete message reported ready")
+	}
+	q.Push(word.Int(6))
+	if !q.HeadReady() {
+		t.Error("complete message not ready")
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	q := New(4)
+	if !pushMsg(q, 1, 1, 2, 3) {
+		t.Fatal("4-word message should fit a 4-word queue")
+	}
+	if q.Push(word.MsgHeader(1, 1)) {
+		t.Error("push into full queue succeeded")
+	}
+	if q.Stats().RejectedWords != 1 {
+		t.Errorf("rejected = %d", q.Stats().RejectedWords)
+	}
+	q.Pop()
+	if !q.Push(word.MsgHeader(1, 1)) {
+		t.Error("push after pop failed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 50; i++ {
+		if !pushMsg(q, int32(i), int32(i*10), int32(i*10+1)) {
+			t.Fatalf("push %d failed", i)
+		}
+		if q.WordAt(1).Data() != int32(i*10) || q.WordAt(2).Data() != int32(i*10+1) {
+			t.Fatalf("iteration %d: body wrong", i)
+		}
+		q.Pop()
+	}
+	if q.Stats().Delivered != 50 {
+		t.Errorf("delivered = %d", q.Stats().Delivered)
+	}
+}
+
+func TestFIFOProperty(t *testing.T) {
+	// Messages come out in the order they went in, with bodies intact.
+	f := func(bodies [][4]int32) bool {
+		if len(bodies) > 16 {
+			bodies = bodies[:16]
+		}
+		q := New(256)
+		for i, b := range bodies {
+			if !pushMsg(q, int32(i), b[0], b[1], b[2], b[3]) {
+				return false
+			}
+		}
+		for i, b := range bodies {
+			if !q.HeadReady() || q.WordAt(0).HeaderIP() != int32(i) {
+				return false
+			}
+			for j, v := range b {
+				if q.WordAt(j+1).Data() != v {
+					return false
+				}
+			}
+			q.Pop()
+		}
+		return q.Used() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMalformedHeaderCoerced(t *testing.T) {
+	q := New(8)
+	q.Push(word.Int(99)) // not a MSG-tagged header
+	if !q.HeadReady() {
+		t.Fatal("coerced message not ready")
+	}
+	if q.HeadLen() != 1 {
+		t.Errorf("coerced len = %d", q.HeadLen())
+	}
+}
+
+func TestPopTo(t *testing.T) {
+	q := New(16)
+	pushMsg(q, 3, 8, 9)
+	buf := make([]word.Word, 8)
+	n := q.PopTo(buf)
+	if n != 3 {
+		t.Fatalf("PopTo = %d", n)
+	}
+	if buf[0].HeaderIP() != 3 || buf[1].Data() != 8 || buf[2].Data() != 9 {
+		t.Error("PopTo copied wrong words")
+	}
+}
+
+func TestMaxUsedStat(t *testing.T) {
+	q := New(16)
+	pushMsg(q, 1, 1, 2, 3, 4, 5)
+	if q.Stats().MaxUsedWords != 6 {
+		t.Errorf("MaxUsedWords = %d", q.Stats().MaxUsedWords)
+	}
+}

@@ -1,0 +1,87 @@
+// Package rt is the J-Machine's system software ("JOS" in spirit): boot
+// conventions, fault service (presence-tag suspension and restart, xlate
+// misses), synchronizing writes, the barrier-synchronization library the
+// paper measures in Table 3, and the remote-read/ping handlers behind
+// Figure 2.
+//
+// The runtime has two halves. The assembly half (lib.go) is ordinary MDP
+// code appended to each application program; its costs are measured in
+// simulated cycles like any other code. The Go half stands in for the
+// privileged trap handlers: it is entered only through processor faults
+// and TRAP instructions, and charges configurable cycle costs for the
+// work it performs — the paper itself reports thread save/restore as a
+// policy range (20–50 cycles) rather than a fixed number.
+package rt
+
+// Node memory-map conventions. The runtime owns internal-memory words
+// [0, AppBase); applications allocate from AppBase up.
+const (
+	// AddrNodeID holds this node's linear index (boot-time constant).
+	AddrNodeID = 0
+	// AddrNumNodes holds the machine's node count.
+	AddrNumNodes = 1
+	// AddrDimX/Y/Z hold the mesh dimensions, for index↔router-address
+	// conversions ("NNR calculations").
+	AddrDimX = 2
+	AddrDimY = 3
+	AddrDimZ = 4
+
+	// AddrFlag is the generic reply/completion spin flag used by the
+	// ping and remote-read clients.
+	AddrFlag = 8
+	// AddrReplyBuf is a 7-word buffer receiving remote-read replies.
+	AddrReplyBuf = 9
+
+	// AddrBarrier is the base of the barrier wave counters, one word
+	// per butterfly stage (log₂N ≤ 16).
+	AddrBarrier = 16
+
+	// AddrScratch is runtime scratch space (subroutine linkage spills —
+	// the MDP's paucity of registers forces memory saves, exactly the
+	// cost the paper's critique describes).
+	AddrScratch = 32
+
+	// AppBase is the first internal-memory word owned by applications.
+	AppBase = 64
+)
+
+// Trap service numbers.
+const (
+	// SvcWriteSync completes a synchronizing write that found a cfut
+	// tag: A0 holds the slot address, R0 the value. Restarts the waiter
+	// recorded in the slot, if any.
+	SvcWriteSync = 1
+	// SvcRestore restores a suspended thread: invoked by the rt.restore
+	// message handler with the saved-thread id at message word 1.
+	SvcRestore = 2
+	// SvcUserBase is the first service number available to language
+	// runtimes (the CST runtime registers its services here).
+	SvcUserBase = 16
+)
+
+// Policy sets the software cost constants. The defaults sit inside the
+// ranges Table 2 reports for thread save/restore.
+type Policy struct {
+	// SaveCycles is charged when a faulting thread is suspended
+	// (Table 2 "Save/Restore": 30–50 for suspension policies).
+	SaveCycles int32
+	// RestoreCycles is charged when a suspended thread is restarted
+	// (Table 2: 20–50).
+	RestoreCycles int32
+	// WriteRestartCycles is charged by SvcWriteSync when a write finds
+	// a waiter to restart.
+	WriteRestartCycles int32
+	// XlateMissCycles is charged to re-enter an evicted translation
+	// from the memory-resident table.
+	XlateMissCycles int32
+}
+
+// DefaultPolicy returns mid-range costs.
+func DefaultPolicy() Policy {
+	return Policy{
+		SaveCycles:         40,
+		RestoreCycles:      30,
+		WriteRestartCycles: 25,
+		XlateMissCycles:    30,
+	}
+}

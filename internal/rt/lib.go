@@ -1,0 +1,280 @@
+package rt
+
+import (
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/stats"
+	"jmachine/internal/word"
+)
+
+// Labels defined by the runtime library. Message handlers are entered by
+// header words; subroutines expect their return address in R3 (spilled
+// to scratch when they call others — the register-paucity cost the
+// paper's critique describes).
+const (
+	// LRestore is the handler restarting a suspended thread (message:
+	// [hdr, savedID]).
+	LRestore = "rt.restore"
+	// LHalt is a handler that halts the receiving node.
+	LHalt = "rt.halt"
+	// LAck sets the node's completion flag (1-word message; the ack of
+	// the Figure 2 ping experiment).
+	LAck = "rt.ack"
+	// LPing replies to [hdr, replyNode] with a 1-word ack.
+	LPing = "rt.ping"
+	// LRRead1 serves a 1-word remote read: [hdr, addr, replyNode] →
+	// 2-word reply to LRReply1.
+	LRRead1 = "rt.rread1"
+	// LRReply1 stores a 1-word reply at AddrReplyBuf and sets the flag.
+	LRReply1 = "rt.rreply1"
+	// LRRead6 serves a 6-word remote read → 7-word reply to LRReply6.
+	LRRead6 = "rt.rread6"
+	// LRReply6 stores a 6-word reply and sets the flag.
+	LRReply6 = "rt.rreply6"
+	// LWriteSync is the synchronizing-write subroutine: A0 = slot
+	// address, R0 = value, link in R3. Fast path 4 cycles (Table 2).
+	LWriteSync = "rt.writesync"
+	// LId2Node converts a linear node index (R0) to a router address
+	// word (R0); clobbers R1, R2, A2. This is the "NNR calculation" of
+	// Figure 6.
+	LId2Node = "rt.id2node"
+	// LBarInit precomputes the barrier partner table (call once after
+	// boot; clobbers R0-R3, A0-A2).
+	LBarInit = "rt.barinit"
+	// LBarrier runs one scan-style barrier (Table 3): link in R3,
+	// clobbers R0-R2, A0, A1.
+	LBarrier = "rt.barrier"
+	// LBarWave is the priority-1 handler counting barrier arrivals.
+	LBarWave = "rt.barwave"
+)
+
+// AddrNWaves holds log₂(N), filled by LBarInit.
+const AddrNWaves = 5
+
+// AddrBarTable is the per-wave partner router-address table.
+const AddrBarTable = 48
+
+// ProgramInfo carries the runtime entry points Attach needs.
+type ProgramInfo struct {
+	RestoreEntry int32
+}
+
+// Info extracts runtime entry points from an assembled program.
+func Info(p *asm.Program) ProgramInfo {
+	return ProgramInfo{RestoreEntry: p.Entry(LRestore)}
+}
+
+// BuildLib appends the runtime library to a program under construction.
+// Applications call it once, after their own code, before Assemble.
+func BuildLib(b *asm.Builder) {
+	libRestore(b)
+	libSimpleHandlers(b)
+	libRemoteRead(b)
+	libWriteSync(b)
+	libId2Node(b)
+	libBarrier(b)
+}
+
+func libRestore(b *asm.Builder) {
+	b.Label(LRestore).
+		Trap(SvcRestore).
+		Suspend() // unreachable: the service resumes or suspends
+
+	b.Label(LHalt).
+		Halt()
+}
+
+func libSimpleHandlers(b *asm.Builder) {
+	// rt.ack: [hdr] — set the completion flag. The flag value is the
+	// arrival cycle (CYC is this simulator's statistics counter,
+	// standing in for the hand-placed timers the paper's authors used),
+	// so latency measurements are exact rather than quantized by the
+	// waiter's spin loop.
+	b.Label(LAck).
+		MoveI(isa.A0, AddrFlag).
+		Move(isa.R0, asm.R(isa.CYC)).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Suspend()
+
+	// rt.ping: [hdr, replyNode] — send a 1-word ack back.
+	b.Label(LPing).
+		Send(asm.Mem(isa.A3, 1)).
+		MoveHdr(isa.R1, LAck, 1).
+		SendE(asm.R(isa.R1)).
+		Suspend()
+}
+
+func libRemoteRead(b *asm.Builder) {
+	// rt.rread1: [hdr, addr, replyNode] — read one word at addr, reply.
+	b.Label(LRRead1).
+		Move(isa.A0, asm.Mem(isa.A3, 1)).
+		Send(asm.Mem(isa.A3, 2)).
+		MoveHdr(isa.R1, LRReply1, 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.Mem(isa.A0, 0)). // 2 cycles from Imem, 8 from Emem
+		Suspend()
+
+	b.Label(LRReply1).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		MoveI(isa.A0, AddrReplyBuf).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		MoveI(isa.A1, AddrFlag).
+		Move(isa.R1, asm.R(isa.CYC)).
+		St(isa.R1, asm.Mem(isa.A1, 0)).
+		Suspend()
+
+	// rt.rread6: as rread1 but six data words.
+	b.Label(LRRead6).
+		Move(isa.A0, asm.Mem(isa.A3, 1)).
+		Send(asm.Mem(isa.A3, 2)).
+		MoveHdr(isa.R1, LRReply6, 7).
+		Send(asm.R(isa.R1))
+	for i := int32(0); i < 5; i++ {
+		b.Send(asm.Mem(isa.A0, i))
+	}
+	b.SendE(asm.Mem(isa.A0, 5)).
+		Suspend()
+
+	b.Label(LRReply6).
+		MoveI(isa.A0, AddrReplyBuf)
+	for i := int32(0); i < 6; i++ {
+		b.Move(isa.R0, asm.Mem(isa.A3, 1+i)).
+			St(isa.R0, asm.Mem(isa.A0, i))
+	}
+	b.MoveI(isa.A1, AddrFlag).
+		Move(isa.R1, asm.R(isa.CYC)).
+		St(isa.R1, asm.Mem(isa.A1, 0)).
+		Suspend()
+}
+
+func libWriteSync(b *asm.Builder) {
+	// rt.writesync: A0 = slot, R0 = value, link R3.
+	// Fast path (slot already written once / plain): test-tag, store —
+	// 4 cycles, versus 6 for the software-flag protocol of Table 2.
+	b.Label(LWriteSync).
+		Iscf(isa.R1, asm.Mem(isa.A0, 0)).
+		Bt(isa.R1, "rt.writesync.slow").
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Jmp(asm.R(isa.R3)).
+		Label("rt.writesync.slow").
+		Trap(SvcWriteSync).
+		Jmp(asm.R(isa.R3))
+}
+
+func libId2Node(b *asm.Builder) {
+	// rt.id2node: R0 = linear id → R0 = router address word.
+	// Divides by the mesh dimensions — the expensive conversion the
+	// paper attributes to "NNR calculations".
+	b.Label(LId2Node).
+		MoveI(isa.RGN, int32(stats.CatNNR)).
+		MoveI(isa.A2, 0).
+		Move(isa.R1, asm.R(isa.R0)).
+		Mod(isa.R1, asm.Mem(isa.A2, AddrDimX)). // x
+		Div(isa.R0, asm.Mem(isa.A2, AddrDimX)).
+		Move(isa.R2, asm.R(isa.R0)).
+		Mod(isa.R2, asm.Mem(isa.A2, AddrDimY)). // y
+		Div(isa.R0, asm.Mem(isa.A2, AddrDimY)). // z
+		Lsh(isa.R2, asm.Imm(8)).
+		Or(isa.R1, asm.R(isa.R2)).
+		Lsh(isa.R0, asm.Imm(16)).
+		Or(isa.R1, asm.R(isa.R0)).
+		Wtag(isa.R1, asm.Imm(int32(word.TagNode))).
+		Move(isa.R0, asm.R(isa.R1)).
+		MoveI(isa.RGN, 0).
+		Jmp(asm.R(isa.R3))
+}
+
+func libBarrier(b *asm.Builder) {
+	// rt.barinit: fill AddrBarTable with partner router addresses and
+	// AddrNWaves with log₂(N). Scratch: [+1]=link, [+2]=bit, [+3]=wave.
+	b.Label(LBarInit).
+		MoveI(isa.A0, AddrScratch).
+		St(isa.R3, asm.Mem(isa.A0, 1)).
+		MoveI(isa.R1, 1).
+		St(isa.R1, asm.Mem(isa.A0, 2)).
+		MoveI(isa.R1, 0).
+		St(isa.R1, asm.Mem(isa.A0, 3)).
+		Label("rt.barinit.loop").
+		MoveI(isa.A0, AddrScratch).
+		Move(isa.R1, asm.Mem(isa.A0, 2)). // bit
+		MoveI(isa.A1, 0).
+		Move(isa.R0, asm.Mem(isa.A1, AddrNumNodes)).
+		Move(isa.R2, asm.R(isa.R1)).
+		Ge(isa.R2, asm.R(isa.R0)). // bit >= N?
+		Bt(isa.R2, "rt.barinit.done").
+		Move(isa.R0, asm.Mem(isa.A1, AddrNodeID)).
+		Xor(isa.R0, asm.R(isa.R1)). // partner id
+		Bsr(isa.R3, LId2Node).
+		MoveI(isa.A0, AddrScratch).
+		Move(isa.R2, asm.Mem(isa.A0, 3)). // wave
+		MoveI(isa.A1, AddrBarTable).
+		St(isa.R0, asm.MemR(isa.A1, isa.R2)).
+		Move(isa.R1, asm.Mem(isa.A0, 2)).
+		Lsh(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.Mem(isa.A0, 2)).
+		Add(isa.R2, asm.Imm(1)).
+		St(isa.R2, asm.Mem(isa.A0, 3)).
+		Br("rt.barinit.loop").
+		Label("rt.barinit.done").
+		Move(isa.R2, asm.Mem(isa.A0, 3)).
+		MoveI(isa.A1, 0).
+		St(isa.R2, asm.Mem(isa.A1, AddrNWaves)).
+		Move(isa.R3, asm.Mem(isa.A0, 1)).
+		Jmp(asm.R(isa.R3))
+
+	// rt.barrier: one barrier episode. For an N-node machine,
+	// (N/2)·log₂N messages are sent machine-wide, N per wave, in a
+	// butterfly pattern; each wave's arrival invokes the priority-1
+	// handler below, matched by wave index.
+	b.Label(LBarrier).
+		MoveI(isa.A0, AddrScratch).
+		St(isa.R3, asm.Mem(isa.A0, 0)).
+		MoveI(isa.R2, 0). // wave index, live across the loop
+		Label("rt.barrier.loop").
+		MoveI(isa.A1, 0).
+		Move(isa.R1, asm.Mem(isa.A1, AddrNWaves)).
+		Move(isa.R0, asm.R(isa.R2)).
+		Ge(isa.R0, asm.R(isa.R1)).
+		Bt(isa.R0, "rt.barrier.done").
+		MoveI(isa.A1, AddrBarTable).
+		Send1(asm.MemR(isa.A1, isa.R2)). // partner router address
+		MoveHdr(isa.R1, LBarWave, 2).
+		Send1(asm.R(isa.R1)).
+		SendE1(asm.R(isa.R2)). // wave index
+		MoveI(isa.A1, AddrBarrier).
+		Label("rt.barrier.spin").
+		Move(isa.R1, asm.MemR(isa.A1, isa.R2)).
+		Bf(isa.R1, "rt.barrier.spin").
+		Sub(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.MemR(isa.A1, isa.R2)).
+		Add(isa.R2, asm.Imm(1)).
+		Br("rt.barrier.loop").
+		Label("rt.barrier.done").
+		MoveI(isa.A0, AddrScratch).
+		Move(isa.R3, asm.Mem(isa.A0, 0)).
+		Jmp(asm.R(isa.R3))
+
+	// rt.barwave: [hdr, wave] at priority 1 — count the arrival. The
+	// fast hardware dispatch matches each wave to its counter.
+	b.Label(LBarWave).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		MoveI(isa.A0, AddrBarrier).
+		Move(isa.R1, asm.MemR(isa.A0, isa.R0)).
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.MemR(isa.A0, isa.R0)).
+		Suspend()
+}
+
+// StartAll boots every node's background thread at the program label.
+func StartAll(m *machine.Machine, p *asm.Program, label string) {
+	entry := p.Entry(label)
+	for _, n := range m.Nodes {
+		n.StartBackground(entry)
+	}
+}
+
+// StartNode boots one node's background thread at the program label.
+func StartNode(m *machine.Machine, p *asm.Program, id int, label string) {
+	m.Nodes[id].StartBackground(p.Entry(label))
+}

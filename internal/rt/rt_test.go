@@ -1,0 +1,472 @@
+package rt_test
+
+import (
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// buildWith assembles app code plus the runtime library.
+func buildWith(t *testing.T, build func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	rt.BuildLib(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// pingClient emits a driver that pings the node word at AppBase and halts
+// once the ack flag rises.
+func pingClient(b *asm.Builder) {
+	b.Label("main").
+		MoveI(isa.A0, rt.AppBase).
+		Move(isa.R2, asm.R(isa.CYC)). // departure timestamp
+		St(isa.R2, asm.Mem(isa.A0, 3)).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveHdr(isa.R1, rt.LPing, 2).
+		Send(asm.R(isa.R1)).
+		SendE(asm.R(isa.NNR)).
+		// Suspend rather than spin so the ack dispatches the moment it
+		// arrives (spinning quantizes dispatch to the loop period).
+		Suspend()
+}
+
+// rtt extracts the exact round-trip time: arrival timestamp written by
+// the ack/reply handler minus the client's departure timestamp.
+func rtt(m *machine.Machine) int64 {
+	flag, _ := m.Nodes[0].Mem.Read(rt.AddrFlag)
+	start, _ := m.Nodes[0].Mem.Read(rt.AppBase + 3)
+	return int64(flag.Data() - start.Data())
+}
+
+// runFlagged runs until node 0's completion flag rises.
+func runFlagged(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	err := m.RunWhile(func(m *machine.Machine) bool {
+		w, _ := m.Nodes[0].Mem.Read(rt.AddrFlag)
+		return !w.Truthy()
+	}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runPing(t *testing.T, dims [3]int, target int) int64 {
+	t.Helper()
+	p := buildWith(t, pingClient)
+	m := machine.MustNew(machine.Grid(dims[0], dims[1], dims[2]), p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(target))
+	rt.StartNode(m, p, 0, "main")
+	runFlagged(t, m)
+	return rtt(m)
+}
+
+func TestSelfPingBaseLatency(t *testing.T) {
+	// The paper's base round-trip latency — a node pinging itself — is
+	// 43 cycles (24 network + 19 thread execution). The simulator must
+	// land in that neighbourhood.
+	got := runPing(t, [3]int{1, 1, 1}, 0)
+	if got < 33 || got > 55 {
+		t.Errorf("self-ping RTT = %d cycles, want ≈43", got)
+	}
+	t.Logf("self-ping RTT = %d cycles (paper: 43)", got)
+}
+
+func TestPingSlopeTwoCyclesPerHop(t *testing.T) {
+	// Round-trip latency grows by 2 cycles per hop of distance.
+	prev := runPing(t, [3]int{8, 1, 1}, 0)
+	for d := 1; d < 8; d++ {
+		got := runPing(t, [3]int{8, 1, 1}, d)
+		if diff := got - prev; diff != 2 {
+			t.Errorf("hop %d: RTT %d -> %d (slope %d, want 2)", d, prev, got, diff)
+		}
+		prev = got
+	}
+}
+
+func TestCornerToCornerUnder98Cycles(t *testing.T) {
+	// "...read a word from the memory of its nearest neighbour in 60
+	// cycles and from the opposite corner node in 98 cycles" — on an
+	// 8×8×8 machine the corner-to-corner ping (21 hops) plus read costs
+	// must stay in that regime. Use a 4×4×4 here (9 hops) to keep the
+	// test fast and check the distance formula instead.
+	near := runPing(t, [3]int{4, 4, 4}, 1) // 1 hop
+	far := runPing(t, [3]int{4, 4, 4}, 63) // 9 hops
+	if far-near != 2*8 {
+		t.Errorf("corner ping = %d, near = %d, slope error", far, near)
+	}
+}
+
+// remote read client: reads n words from target's memory at srcAddr.
+func readClient(handler string, replyLen int) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		b.Label("main").
+			MoveI(isa.A0, rt.AppBase).
+			Move(isa.R2, asm.R(isa.CYC)). // departure timestamp
+			St(isa.R2, asm.Mem(isa.A0, 3)).
+			Send(asm.Mem(isa.A0, 0)). // dest
+			MoveHdr(isa.R1, handler, 3).
+			Send(asm.R(isa.R1)).
+			Send(asm.Mem(isa.A0, 1)). // remote address
+			SendE(asm.R(isa.NNR)).    // reply node
+			Suspend()
+	}
+}
+
+func runRead(t *testing.T, handler string, n int, remoteAddr int32) (int64, []word.Word) {
+	t.Helper()
+	p := buildWith(t, readClient(handler, n))
+	m := machine.MustNew(machine.Grid(2, 1, 1), p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(1))
+	m.Nodes[0].Mem.Write(rt.AppBase+1, word.Int(remoteAddr))
+	for i := 0; i < n; i++ {
+		m.Nodes[1].Mem.Write(remoteAddr+int32(i), word.Int(int32(1000+i)))
+	}
+	rt.StartNode(m, p, 0, "main")
+	runFlagged(t, m)
+	out := make([]word.Word, n)
+	for i := range out {
+		out[i], _ = m.Nodes[0].Mem.Read(rt.AddrReplyBuf + int32(i))
+	}
+	return rtt(m), out
+}
+
+func TestRemoteRead1(t *testing.T) {
+	imemCycles, data := runRead(t, rt.LRRead1, 1, 200) // internal memory
+	if data[0].Data() != 1000 {
+		t.Fatalf("read returned %v", data[0])
+	}
+	ememCycles, data := runRead(t, rt.LRRead1, 1, 6000) // external memory
+	if data[0].Data() != 1000 {
+		t.Fatalf("read returned %v", data[0])
+	}
+	// External memory access adds ~6 cycles for the single word.
+	diff := ememCycles - imemCycles
+	if diff < 4 || diff > 8 {
+		t.Errorf("Emem - Imem = %d cycles for 1 word, want ≈6", diff)
+	}
+	t.Logf("Read1 Imem RTT = %d, Emem RTT = %d", imemCycles, ememCycles)
+}
+
+func TestRemoteRead6(t *testing.T) {
+	imemCycles, data := runRead(t, rt.LRRead6, 6, 200)
+	for i, w := range data {
+		if w.Data() != int32(1000+i) {
+			t.Fatalf("word %d = %v", i, w)
+		}
+	}
+	ememCycles, _ := runRead(t, rt.LRRead6, 6, 6000)
+	// 6 words at ~6 extra cycles per external word.
+	diff := ememCycles - imemCycles
+	if diff < 30 || diff > 44 {
+		t.Errorf("Emem - Imem = %d cycles for 6 words, want ≈36", diff)
+	}
+	t.Logf("Read6 Imem RTT = %d, Emem RTT = %d", imemCycles, ememCycles)
+}
+
+// barrierProgram: every node initializes the partner table, runs k
+// barriers, and node 0 halts. Other nodes suspend their background
+// thread after the barriers.
+func barrierProgram(k int) func(b *asm.Builder) {
+	return func(b *asm.Builder) {
+		bb := b.Label("main").
+			Bsr(isa.R3, rt.LBarInit).
+			MoveI(isa.A2, rt.AppBase).
+			MoveI(isa.R0, int32(k)).
+			St(isa.R0, asm.Mem(isa.A2, 1))
+		bb.Label("main.loop").
+			Bsr(isa.R3, rt.LBarrier).
+			MoveI(isa.A2, rt.AppBase).
+			Move(isa.R0, asm.Mem(isa.A2, 1)).
+			Sub(isa.R0, asm.Imm(1)).
+			St(isa.R0, asm.Mem(isa.A2, 1)).
+			Bt(isa.R0, "main.loop").
+			// done: node 0 halts, others idle.
+			MoveI(isa.A2, 0).
+			Move(isa.R1, asm.Mem(isa.A2, rt.AddrNodeID)).
+			Bt(isa.R1, "main.rest").
+			Halt().
+			Label("main.rest").
+			Suspend()
+	}
+}
+
+func runBarriers(t *testing.T, nodes, k int) *machine.Machine {
+	t.Helper()
+	p := buildWith(t, barrierProgram(k))
+	cfg := machine.GridForNodes(nodes)
+	m := machine.MustNew(cfg, p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	rt.StartAll(m, p, "main")
+	if err := m.RunUntilHalt(0, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	for _, nodes := range []int{2, 4, 8, 16} {
+		m := runBarriers(t, nodes, 3)
+		if err := m.RunQuiescent(100000); err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+	}
+}
+
+func TestBarrierMessageCount(t *testing.T) {
+	// An N-node barrier sends N·log₂(N) messages (N per wave).
+	const nodes, k = 8, 2
+	m := runBarriers(t, nodes, k)
+	var sent uint64
+	for _, ns := range m.Stats.Nodes {
+		sent += ns.MsgsSent[1]
+	}
+	want := uint64(nodes * 3 * k) // log2(8)=3 waves, k barriers
+	if sent != want {
+		t.Errorf("barrier P1 messages = %d, want %d", sent, want)
+	}
+}
+
+func TestBarrierScaling(t *testing.T) {
+	// Barrier time grows roughly logarithmically: going from 2 to 16
+	// nodes (1 -> 4 waves) must far less than quadruple the time.
+	t2 := runBarriers(t, 2, 4).Cycle()
+	t16 := runBarriers(t, 16, 4).Cycle()
+	if t16 <= t2 {
+		t.Errorf("16-node barrier (%d cycles) not slower than 2-node (%d)", t16, t2)
+	}
+	if float64(t16) > 6*float64(t2) {
+		t.Errorf("barrier scaling worse than logarithmic: %d -> %d", t2, t16)
+	}
+	t.Logf("4 barriers: 2 nodes = %d cycles, 16 nodes = %d cycles", t2, t16)
+}
+
+func TestWriteSyncFastPath(t *testing.T) {
+	// Writing a slot that holds a plain value takes the 4-cycle path.
+	p := buildWith(t, func(b *asm.Builder) {
+		b.Label("main").
+			MoveI(isa.A0, rt.AppBase).
+			MoveI(isa.R0, 99).
+			Bsr(isa.R3, rt.LWriteSync).
+			Halt()
+	})
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, word.Int(0))
+	rt.StartNode(m, p, 0, "main")
+	if err := m.RunUntilHalt(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Nodes[0].Mem.Read(rt.AppBase)
+	if got.Data() != 99 {
+		t.Fatalf("writesync stored %v", got)
+	}
+	// MoveI+MoveI (2) + BSR (3) + fast path ISCF/BT/ST (4) + JMP (3) + halt 1.
+	if m.Cycle() != 13 {
+		t.Errorf("fast-path write total = %d cycles, want 13", m.Cycle())
+	}
+}
+
+func TestSuspendAndRestart(t *testing.T) {
+	// A consumer reads a cfut slot and suspends; a later producer uses
+	// the synchronizing write to deliver the value and restart it.
+	p := buildWith(t, func(b *asm.Builder) {
+		// consumer handler: read the slot, double it, store result.
+		b.Label("consumer").
+			MoveI(isa.A0, rt.AppBase).
+			Move(isa.R0, asm.Mem(isa.A0, 0)). // faults: slot is cfut
+			Add(isa.R0, asm.R(isa.R0)).
+			MoveI(isa.A1, rt.AppBase+1).
+			St(isa.R0, asm.Mem(isa.A1, 0)).
+			Suspend()
+		// producer handler: writesync the value 21 into the slot.
+		b.Label("producer").
+			MoveI(isa.A0, rt.AppBase).
+			MoveI(isa.R0, 21).
+			Bsr(isa.R3, rt.LWriteSync).
+			Suspend()
+	})
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	n := m.Nodes[0]
+	n.Mem.FillCfut(rt.AppBase, 1)
+	// Dispatch the consumer first.
+	n.Queues[0].Push(word.MsgHeader(p.Entry("consumer"), 1))
+	m.StepN(40)
+	if r.SavedThreads(0) != 1 {
+		t.Fatalf("consumer not suspended: %d saved", r.SavedThreads(0))
+	}
+	// Now the producer arrives.
+	n.Queues[0].Push(word.MsgHeader(p.Entry("producer"), 1))
+	m.StepN(300)
+	got, _ := n.Mem.Read(rt.AppBase + 1)
+	if got.Data() != 42 {
+		t.Fatalf("restarted consumer computed %v, want 42", got)
+	}
+	if r.SavedThreads(0) != 0 {
+		t.Error("saved thread not cleaned up")
+	}
+	if m.Stats.Nodes[0].CfutFaults != 1 {
+		t.Errorf("cfut faults = %d", m.Stats.Nodes[0].CfutFaults)
+	}
+}
+
+func TestXlateMissRefill(t *testing.T) {
+	// An evicted translation is re-entered from the memory-resident
+	// table by the miss handler, and the XLATE retries successfully.
+	p := buildWith(t, func(b *asm.Builder) {
+		b.Label("main").
+			MoveI(isa.R0, 777).
+			Wtag(isa.R0, asm.Imm(int32(word.TagPtr))).
+			Xlate(isa.A0, asm.R(isa.R0)).
+			Move(isa.R1, asm.R(isa.A0)).
+			MoveI(isa.A1, rt.AppBase).
+			St(isa.R1, asm.Mem(isa.A1, 0)).
+			Halt()
+	})
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	key := word.New(word.TagPtr, 777)
+	r.DefineName(0, key, word.Int(4242))
+	m.Nodes[0].Xl.Invalidate(key) // force a hardware miss
+	rt.StartNode(m, p, 0, "main")
+	if err := m.RunUntilHalt(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Nodes[0].Mem.Read(rt.AppBase)
+	if got.Data() != 4242 {
+		t.Fatalf("xlate result = %v", got)
+	}
+	if m.Stats.Nodes[0].XlateFaults != 1 {
+		t.Errorf("xlate faults = %d", m.Stats.Nodes[0].XlateFaults)
+	}
+}
+
+func TestId2Node(t *testing.T) {
+	p := buildWith(t, func(b *asm.Builder) {
+		b.Label("main").
+			MoveI(isa.A0, rt.AppBase).
+			Move(isa.R0, asm.Mem(isa.A0, 0)). // id to convert
+			Bsr(isa.R3, rt.LId2Node).
+			St(isa.R0, asm.Mem(isa.A0, 1)).
+			Halt()
+	})
+	m := machine.MustNew(machine.Grid(4, 3, 2), p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	for id := 0; id < m.NumNodes(); id++ {
+		m2 := machine.MustNew(machine.Grid(4, 3, 2), p)
+		rt.Attach(m2, rt.Info(p), rt.DefaultPolicy())
+		m2.Nodes[0].Mem.Write(rt.AppBase, word.Int(int32(id)))
+		rt.StartNode(m2, p, 0, "main")
+		if err := m2.RunUntilHalt(0, 5000); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m2.Nodes[0].Mem.Read(rt.AppBase + 1)
+		if got != m2.Net.NodeWord(id) {
+			t.Fatalf("id %d converted to %v, want %v", id, got, m2.Net.NodeWord(id))
+		}
+	}
+	_ = m
+}
+
+func TestXlateMissUnknownKeyIsFatal(t *testing.T) {
+	p := buildWith(t, func(b *asm.Builder) {
+		b.Label("main").
+			MoveI(isa.R0, 12345).
+			Wtag(isa.R0, asm.Imm(int32(word.TagPtr))).
+			Xlate(isa.A0, asm.R(isa.R0)).
+			Halt()
+	})
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	rt.StartNode(m, p, 0, "main")
+	if err := m.RunUntilHalt(0, 1000); err == nil {
+		t.Fatal("unknown name translated")
+	}
+}
+
+func TestRemoteProducerRestartsConsumer(t *testing.T) {
+	// The futures pattern across nodes: node 0's background thread
+	// blocks on a cfut slot; node 1 sends the value to node 0's
+	// synchronizing-write handler, which restarts the thread.
+	p := buildWith(t, func(b *asm.Builder) {
+		b.Label("consumer").
+			MoveI(isa.A0, rt.AppBase).
+			Move(isa.R0, asm.Mem(isa.A0, 0)). // suspends on cfut
+			Add(isa.R0, asm.Imm(1)).
+			MoveI(isa.A1, rt.AppBase+1).
+			St(isa.R0, asm.Mem(isa.A1, 0)).
+			Halt()
+		b.Label("producer").
+			MoveI(isa.R2, 30).
+			Label("w").
+			Sub(isa.R2, asm.Imm(1)).
+			Bt(isa.R2, "w").
+			MoveI(isa.R1, 0).
+			Wtag(isa.R1, asm.Imm(int32(word.TagNode))).
+			Send(asm.R(isa.R1)).
+			MoveHdr(isa.R1, "deliver", 2).
+			Send2E(isa.R1, asm.Imm(99)).
+			Suspend()
+		b.Label("deliver").
+			MoveI(isa.A0, rt.AppBase).
+			Move(isa.R0, asm.Mem(isa.A3, 1)).
+			Bsr(isa.R3, rt.LWriteSync).
+			Suspend()
+	})
+	m := machine.MustNew(machine.Grid(2, 1, 1), p)
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.FillCfut(rt.AppBase, 1)
+	rt.StartNode(m, p, 0, "consumer")
+	rt.StartNode(m, p, 1, "producer")
+	if err := m.RunUntilHalt(0, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Nodes[0].Mem.Read(rt.AppBase + 1)
+	if got.Data() != 100 {
+		t.Errorf("restarted consumer computed %v, want 100", got)
+	}
+	if r.SavedThreads(0) != 0 {
+		t.Error("saved thread leaked")
+	}
+}
+
+func TestWriteSyncPlainOverwrite(t *testing.T) {
+	// Writing a slot that holds a plain value must not trip the restart
+	// machinery, repeatedly.
+	p := buildWith(t, func(b *asm.Builder) {
+		b.Label("main").
+			MoveI(isa.A0, rt.AppBase).
+			MoveI(isa.R2, 5).
+			Label("loop").
+			Move(isa.R0, asm.R(isa.R2)).
+			Bsr(isa.R3, rt.LWriteSync).
+			Sub(isa.R2, asm.Imm(1)).
+			Bt(isa.R2, "loop").
+			Halt()
+	})
+	m := machine.MustNew(machine.Grid(1, 1, 1), p)
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	m.Nodes[0].Mem.Write(rt.AppBase, word.Int(0))
+	rt.StartNode(m, p, 0, "main")
+	if err := m.RunUntilHalt(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Nodes[0].Mem.Read(rt.AppBase)
+	if got.Data() != 1 { // last iteration writes R2 == 1
+		t.Errorf("slot = %v", got)
+	}
+	if m.Stats.Nodes[0].CfutFaults != 0 {
+		t.Error("plain writes tripped faults")
+	}
+}

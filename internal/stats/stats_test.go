@@ -1,0 +1,120 @@
+package stats
+
+import "testing"
+
+func TestAttribution(t *testing.T) {
+	n := NewNode()
+	n.Add(CatComp)
+	n.Add(CatComp)
+	n.AddN(CatComm, 3)
+	n.Add(CatIdle)
+	if n.Cycles[CatComp] != 2 || n.Cycles[CatComm] != 3 || n.Cycles[CatIdle] != 1 {
+		t.Errorf("cycles = %v", n.Cycles)
+	}
+	if n.TotalCycles() != 6 {
+		t.Errorf("total = %d", n.TotalCycles())
+	}
+}
+
+func TestThreadClasses(t *testing.T) {
+	n := NewNode()
+	n.BeginThread(10, 3)
+	n.CountInstr()
+	n.CountInstr()
+	n.BeginThread(20, 5)
+	n.CountInstr()
+	n.SetCurrent(10)
+	n.CountInstr()
+	if n.Threads != 2 {
+		t.Errorf("threads = %d", n.Threads)
+	}
+	h10 := n.Handler(10)
+	if h10.Invocations != 1 || h10.Instrs != 3 || h10.MsgWords != 3 {
+		t.Errorf("h10 = %+v", h10)
+	}
+	h20 := n.Handler(20)
+	if h20.Invocations != 1 || h20.Instrs != 1 || h20.MsgWords != 5 {
+		t.Errorf("h20 = %+v", h20)
+	}
+	if n.Instrs != 4 {
+		t.Errorf("instrs = %d", n.Instrs)
+	}
+}
+
+func TestMachineAggregation(t *testing.T) {
+	m := NewMachine(2)
+	m.Nodes[0].Add(CatComp)
+	m.Nodes[0].Add(CatComp)
+	m.Nodes[1].Add(CatIdle)
+	m.Nodes[1].Add(CatIdle)
+	bd := m.Breakdown()
+	if bd[CatComp] != 0.5 || bd[CatIdle] != 0.5 {
+		t.Errorf("breakdown = %v", bd)
+	}
+	if m.Cycles(CatComp) != 2 {
+		t.Errorf("comp cycles = %d", m.Cycles(CatComp))
+	}
+	if m.IdleFraction() != 0.5 {
+		t.Errorf("idle = %v", m.IdleFraction())
+	}
+
+	m.Nodes[0].BeginThread(7, 2)
+	m.Nodes[1].BeginThread(7, 2)
+	m.Nodes[1].CountInstr()
+	h := m.HandlerTotal(7)
+	if h.Invocations != 2 || h.Instrs != 1 {
+		t.Errorf("handler total = %+v", h)
+	}
+	if m.Threads() != 2 || m.Instrs() != 1 {
+		t.Errorf("threads=%d instrs=%d", m.Threads(), m.Instrs())
+	}
+}
+
+func TestSendFaultSkew(t *testing.T) {
+	m := NewMachine(4)
+	m.Nodes[0].SendFaults = 100
+	m.Nodes[1].SendFaults = 1
+	m.Nodes[2].SendFaults = 1
+	m.Nodes[3].SendFaults = 2
+	skew := m.SendFaultSkew()
+	if skew < 3.8 || skew > 3.9 { // 100 / (104/4) = 3.846
+		t.Errorf("skew = %v", skew)
+	}
+	if NewMachine(2).SendFaultSkew() != 0 {
+		t.Error("skew of zero faults should be 0")
+	}
+}
+
+func TestTopHandlers(t *testing.T) {
+	m := NewMachine(2)
+	for i := 0; i < 5; i++ {
+		m.Nodes[0].BeginThread(1, 1)
+	}
+	for i := 0; i < 3; i++ {
+		m.Nodes[1].BeginThread(2, 1)
+	}
+	m.Nodes[0].BeginThread(3, 1)
+	top := m.TopHandlers(2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestCatNames(t *testing.T) {
+	if CatComp.String() != "comp" || CatIdle.String() != "idle" || CatNNR.String() != "nnr" {
+		t.Error("category names wrong")
+	}
+	if Cat(200).String() != "?" {
+		t.Error("out-of-range category name")
+	}
+}
+
+func TestEmptyBreakdown(t *testing.T) {
+	m := NewMachine(1)
+	bd := m.Breakdown()
+	for _, v := range bd {
+		if v != 0 {
+			t.Error("empty machine has nonzero breakdown")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace records machine-level events — dispatches, suspends,
+// sends, faults — into per-node ring buffers for debugging simulated
+// MDP programs. Tracing is off unless a buffer is attached, and the
+// hot paths pay only a nil check.
+//
+// The real J-Machine had no such facility; the paper's critique wishes
+// it had ("including statistics collection hardware in the machine
+// design would have greatly simplified ... the measurement collection
+// process").
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// Dispatch: a task was created for a message (A = handler IP,
+	// B = message words).
+	Dispatch Kind = iota
+	// Resume: a suspended thread was restored (A = IP).
+	Resume
+	// Suspend: the running thread ended (A = IP reached).
+	Suspend
+	// Send: a message was injected (A = destination node, B = words).
+	Send
+	// Fault: a processor fault was serviced (A = fault kind, B = IP).
+	Fault
+	// Halt: the node stopped (A = IP).
+	Halt
+	// Mark: an application-defined annotation.
+	Mark
+)
+
+var kindNames = [...]string{
+	"dispatch", "resume", "suspend", "send", "fault", "halt", "mark",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Cycle int64
+	Node  int32
+	Kind  Kind
+	A, B  int32
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%8d] n%03d %-8s a=%d b=%d", e.Cycle, e.Node, e.Kind, e.A, e.B)
+}
+
+// Buffer is a fixed-capacity event ring. A nil *Buffer is a valid,
+// disabled sink: all methods are nil-safe.
+type Buffer struct {
+	events  []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// New returns a buffer holding the most recent cap events.
+func New(capEvents int) *Buffer {
+	if capEvents <= 0 {
+		capEvents = 4096
+	}
+	return &Buffer{events: make([]Event, 0, capEvents)}
+}
+
+// Add records an event (nil-safe no-op when the buffer is nil).
+func (b *Buffer) Add(e Event) {
+	if b == nil {
+		return
+	}
+	if len(b.events) < cap(b.events) {
+		b.events = append(b.events, e)
+		return
+	}
+	b.events[b.next] = e
+	b.next = (b.next + 1) % cap(b.events)
+	b.wrapped = true
+	b.dropped++
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// Dropped returns how many older events the ring overwrote.
+func (b *Buffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	if !b.wrapped {
+		out := make([]Event, len(b.events))
+		copy(out, b.events)
+		return out
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Filter returns the retained events of one kind, oldest first.
+func (b *Buffer) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders every retained event, one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, e := range b.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	if d := b.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, "(%d earlier events dropped)\n", d)
+	}
+	return sb.String()
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Add(Event{Cycle: 1})
+	if b.Len() != 0 || b.Dropped() != 0 || b.Events() != nil {
+		t.Error("nil buffer misbehaved")
+	}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Add(Event{Cycle: int64(i), Kind: Send})
+	}
+	ev := b.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != int64(6+i) {
+			t.Errorf("event %d cycle = %d", i, e.Cycle)
+		}
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("dropped = %d", b.Dropped())
+	}
+}
+
+func TestFilterAndDump(t *testing.T) {
+	b := New(16)
+	b.Add(Event{Cycle: 1, Kind: Dispatch, A: 7})
+	b.Add(Event{Cycle: 2, Kind: Send, A: 3, B: 2})
+	b.Add(Event{Cycle: 3, Kind: Dispatch, A: 9})
+	if got := b.Filter(Dispatch); len(got) != 2 || got[1].A != 9 {
+		t.Errorf("filter = %v", got)
+	}
+	d := b.Dump()
+	if !strings.Contains(d, "dispatch") || !strings.Contains(d, "send") {
+		t.Errorf("dump = %q", d)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if Dispatch.String() != "dispatch" || Fault.String() != "fault" {
+		t.Error("kind names wrong")
+	}
+}

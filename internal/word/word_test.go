@@ -1,0 +1,138 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundTrip(t *testing.T) {
+	cases := []struct {
+		tag  Tag
+		data int32
+	}{
+		{TagInt, 0},
+		{TagInt, -1},
+		{TagInt, 1 << 30},
+		{TagInt, -(1 << 31)},
+		{TagBool, 1},
+		{TagCfut, 42},
+		{TagFut, -7},
+		{TagNode, 0x070605},
+	}
+	for _, c := range cases {
+		w := New(c.tag, c.data)
+		if w.Tag() != c.tag {
+			t.Errorf("New(%v,%d).Tag() = %v", c.tag, c.data, w.Tag())
+		}
+		if w.Data() != c.data {
+			t.Errorf("New(%v,%d).Data() = %d", c.tag, c.data, w.Data())
+		}
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(tag uint8, data int32) bool {
+		tg := Tag(tag % NumTags)
+		w := New(tg, data)
+		return w.Tag() == tg && w.Data() == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithTagPreservesData(t *testing.T) {
+	f := func(tag uint8, newTag uint8, data int32) bool {
+		w := New(Tag(tag%NumTags), data)
+		w2 := w.WithTag(Tag(newTag % NumTags))
+		return w2.Data() == data && w2.Tag() == Tag(newTag%NumTags)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithDataPreservesTag(t *testing.T) {
+	f := func(tag uint8, data, newData int32) bool {
+		w := New(Tag(tag%NumTags), data)
+		w2 := w.WithData(newData)
+		return w2.Tag() == Tag(tag%NumTags) && w2.Data() == newData
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresence(t *testing.T) {
+	if Cfut(0).IsPresent() {
+		t.Error("cfut reported present")
+	}
+	if Fut(1).IsPresent() {
+		t.Error("fut reported present")
+	}
+	if !Int(5).IsPresent() {
+		t.Error("int reported not present")
+	}
+	if !Cfut(3).IsCfut() || Cfut(3).IsFut() {
+		t.Error("cfut tag misclassified")
+	}
+	if !Fut(3).IsFut() || Fut(3).IsCfut() {
+		t.Error("fut tag misclassified")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if Int(0).Truthy() {
+		t.Error("0 is truthy")
+	}
+	if !Int(-1).Truthy() {
+		t.Error("-1 is falsy")
+	}
+	if !Bool(true).Truthy() || Bool(false).Truthy() {
+		t.Error("bool truthiness wrong")
+	}
+}
+
+func TestMsgHeader(t *testing.T) {
+	h := MsgHeader(1234, 7)
+	if h.Tag() != TagMsg {
+		t.Errorf("header tag = %v", h.Tag())
+	}
+	if h.HeaderIP() != 1234 {
+		t.Errorf("HeaderIP = %d", h.HeaderIP())
+	}
+	if h.HeaderLen() != 7 {
+		t.Errorf("HeaderLen = %d", h.HeaderLen())
+	}
+}
+
+func TestMsgHeaderProperty(t *testing.T) {
+	f := func(ip int32, length uint8) bool {
+		ip &= 0xFFFFFF
+		h := MsgHeader(ip, int(length))
+		return h.HeaderIP() == ip && h.HeaderLen() == int(length)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeWord(t *testing.T) {
+	f := func(x, y, z uint8) bool {
+		w := Node(int(x), int(y), int(z))
+		gx, gy, gz := w.NodeXYZ()
+		return gx == int(x) && gy == int(y) && gz == int(z) && w.Tag() == TagNode
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if TagCfut.String() != "cfut" || TagFut.String() != "fut" {
+		t.Error("presence tag names wrong")
+	}
+	if TagInt.String() != "int" {
+		t.Error("int tag name wrong")
+	}
+}

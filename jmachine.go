@@ -1,0 +1,96 @@
+// Package jmachine is a cycle-level software reconstruction of the MIT
+// J-Machine multicomputer, built to reproduce the architectural
+// evaluation in Noakes, Wallach & Dally, "The J-Machine Multicomputer:
+// An Architectural Evaluation" (ISCA 1993).
+//
+// The library models every mechanism the paper evaluates:
+//
+//   - the Message-Driven Processor: a 36-bit tagged-word core executing
+//     an MDP-style instruction set with the paper's published timing
+//     (one cycle with register operands, two with an internal-memory
+//     operand, ~6-cycle external DRAM, 4-cycle message dispatch);
+//   - a 3-D mesh network with deterministic e-cube wormhole routing,
+//     0.5 words/cycle channels, 1 cycle/hop latency, two priorities with
+//     fixed-priority arbitration, and injection back-pressure;
+//   - hardware message queues with task dispatch from the queue head;
+//   - presence tags (cfut/fut) with fault-driven thread suspension;
+//   - the ENTER/XLATE name-translation cache behind the global
+//     namespace;
+//   - the system software: barrier library, remote reads, synchronizing
+//     writes, and a miniature Concurrent-Smalltalk runtime;
+//   - the four macro-benchmarks (LCS, Radix Sort, N-Queens, TSP) written
+//     in simulated MDP assembly.
+//
+// Quick start:
+//
+//	b := jmachine.NewProgram()
+//	b.Label("handler").
+//	    Move(isa.R0, asm.Mem(isa.A3, 1)).
+//	    Suspend()
+//	prog := b.MustAssemble()
+//	m := jmachine.MustNew(jmachine.Cube(2), prog)
+//
+// The bench package regenerates every table and figure of the paper's
+// evaluation; the examples/ directory holds runnable walkthroughs; and
+// cmd/jm-tables prints the full reproduction.
+package jmachine
+
+import (
+	"jmachine/internal/asm"
+	"jmachine/internal/bench"
+	"jmachine/internal/machine"
+	"jmachine/internal/mdp"
+	"jmachine/internal/rt"
+)
+
+// Machine is a configured J-Machine: a mesh of MDP nodes plus a global
+// cycle loop.
+type Machine = machine.Machine
+
+// Config describes a machine: mesh dimensions, memory sizes, queue
+// capacities, and processor timing.
+type Config = machine.Config
+
+// Program is an assembled MDP program.
+type Program = asm.Program
+
+// Builder assembles MDP programs.
+type Builder = asm.Builder
+
+// Runtime is the system software instance attached to a machine.
+type Runtime = rt.Runtime
+
+// Cube returns the configuration of a k×k×k machine (the paper's
+// experiments ran on an 8×8×8, 512-node machine).
+func Cube(k int) Config { return machine.Cube(k) }
+
+// Grid returns a machine with explicit mesh dimensions.
+func Grid(x, y, z int) Config { return machine.Grid(x, y, z) }
+
+// GridForNodes returns the most cubic mesh with exactly n nodes.
+func GridForNodes(n int) Config { return machine.GridForNodes(n) }
+
+// New builds a machine running prog on every node.
+func New(cfg Config, prog *Program) (*Machine, error) { return machine.New(cfg, prog) }
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, prog *Program) *Machine { return machine.MustNew(cfg, prog) }
+
+// NewProgram returns an empty program builder.
+func NewProgram() *Builder { return asm.NewBuilder() }
+
+// AttachRuntime installs the system software (fault handlers, boot
+// constants) on a machine whose program includes the runtime library
+// (see rt.BuildLib).
+func AttachRuntime(m *Machine, prog *Program) *Runtime {
+	return rt.Attach(m, rt.Info(prog), rt.DefaultPolicy())
+}
+
+// ClockHz is the simulated clock: 12.5 MHz.
+const ClockHz = mdp.ClockHz
+
+// CyclesToMicros converts simulated cycles to microseconds.
+func CyclesToMicros(cycles float64) float64 { return mdp.CyclesToMicros(cycles) }
+
+// BenchOptions tunes the experiment harness.
+type BenchOptions = bench.Options

@@ -1,0 +1,68 @@
+package jmachine_test
+
+import (
+	"testing"
+
+	"jmachine"
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// TestPublicFacade exercises the README quick-start path end to end:
+// build a program through the façade, boot a machine, exchange a
+// message, and convert cycles to microseconds.
+func TestPublicFacade(t *testing.T) {
+	b := jmachine.NewProgram()
+	b.Label("main").
+		MoveI(isa.A0, rt.AppBase).
+		Send(asm.Mem(isa.A0, 0)).
+		MoveHdr(isa.R1, "adder", 3).
+		Send(asm.R(isa.R1)).
+		MoveI(isa.R0, 41).
+		Send2E(isa.R0, asm.Imm(1)).
+		Suspend()
+	b.Label("adder").
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Add(isa.R0, asm.Mem(isa.A3, 2)).
+		MoveI(isa.A0, rt.AppBase).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Halt()
+	rt.BuildLib(b)
+	prog := b.MustAssemble()
+
+	m := jmachine.MustNew(jmachine.Cube(2), prog)
+	jmachine.AttachRuntime(m, prog)
+	target := m.NumNodes() - 1
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(target))
+	m.Nodes[0].StartBackground(prog.Entry("main"))
+	if err := m.RunUntilHalt(target, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Nodes[target].Mem.Read(rt.AppBase)
+	if got != word.Int(42) {
+		t.Fatalf("result = %v", got)
+	}
+	if us := jmachine.CyclesToMicros(125); us != 10 {
+		t.Errorf("CyclesToMicros(125) = %v", us)
+	}
+	if jmachine.ClockHz != 12.5e6 {
+		t.Errorf("ClockHz = %v", jmachine.ClockHz)
+	}
+}
+
+func TestFacadeGrids(t *testing.T) {
+	b := jmachine.NewProgram()
+	b.Label("main").Halt()
+	p := b.MustAssemble()
+	if m := jmachine.MustNew(jmachine.Grid(4, 3, 2), p); m.NumNodes() != 24 {
+		t.Errorf("Grid(4,3,2) = %d nodes", m.NumNodes())
+	}
+	if m := jmachine.MustNew(jmachine.GridForNodes(48), p); m.NumNodes() != 48 {
+		t.Errorf("GridForNodes(48) = %d nodes", m.NumNodes())
+	}
+	if _, err := jmachine.New(jmachine.Cube(2), nil); err == nil {
+		t.Error("nil program accepted")
+	}
+}
