@@ -1,0 +1,17 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test check tables
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full verification: vet, race-detector tests, chaos smoke.
+check:
+	sh scripts/check.sh
+
+# Regenerate the paper's tables and figures.
+tables:
+	go run ./cmd/jm-tables

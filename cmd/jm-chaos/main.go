@@ -1,0 +1,218 @@
+// jm-chaos runs deterministic fault-injection campaigns against the
+// simulated J-Machine and reports survival and degradation: whether
+// the workload completed, at what cycle cost, and what the resilience
+// machinery (checksums, return-to-sender, reliable delivery, the
+// progress watchdog) did along the way. The same seed and flags always
+// produce byte-identical output.
+//
+// Usage:
+//
+//	jm-chaos -workload pingpong -campaign 'seed=7;freeze@100:node=7,dur=5000;corrupt@1:node=0,word=1'
+//	jm-chaos -workload barrier -nodes 8 -seed 42 -faults 6 -reliable
+//	jm-chaos -workload all -seed 1 -reliable -watchdog 20000
+//	jm-chaos -workload lcs -seed 3 -faults 4 -reliable -runs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"jmachine/internal/apps/lcs"
+	"jmachine/internal/apps/nqueens"
+	"jmachine/internal/apps/radix"
+	"jmachine/internal/apps/tsp"
+	"jmachine/internal/bench"
+	"jmachine/internal/chaos"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+)
+
+func main() {
+	workload := flag.String("workload", "pingpong",
+		"workload: pingpong, barrier, lcs, radix, nqueens, tsp, or all")
+	nodes := flag.Int("nodes", 8, "machine size")
+	campaignStr := flag.String("campaign", "",
+		"explicit campaign in the chaos text format (overrides -seed/-faults)")
+	seed := flag.Uint64("seed", 1, "random-campaign seed")
+	faults := flag.Int("faults", 4, "random-campaign fault count")
+	horizon := flag.Int64("horizon", 50_000, "random-campaign scheduling horizon in cycles")
+	reliable := flag.Bool("reliable", false, "enable the ACK/retransmit reliable-delivery runtime")
+	checksum := flag.Bool("checksum", true, "enable NI checksum protection")
+	rts := flag.Bool("rts", true, "enable return-to-sender flow control")
+	maxReturns := flag.Int("max-returns", 32, "refusal bound before the network drops (0 = unbounded)")
+	watchdog := flag.Int64("watchdog", 100_000, "progress-watchdog window in cycles (0 = off)")
+	budget := flag.Int64("budget", 4_000_000, "cycle budget per run")
+	runs := flag.Int("runs", 1, "repeat count (identical output per run proves determinism)")
+	flag.Parse()
+
+	camp, err := buildCampaign(*campaignStr, *seed, *nodes, *horizon, *faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := bench.ResilienceConfig{
+		Nodes:      *nodes,
+		Checksum:   *checksum,
+		RTS:        *rts,
+		MaxReturns: *maxReturns,
+		Watchdog:   *watchdog,
+		Reliable:   *reliable,
+		Budget:     *budget,
+	}
+
+	fmt.Printf("campaign: %s\n", camp.String())
+	fmt.Printf("resilience: checksum=%v rts=%v max-returns=%d watchdog=%d reliable=%v\n\n",
+		rc.Checksum, rc.RTS, rc.MaxReturns, rc.Watchdog, rc.Reliable)
+
+	names := []string{*workload}
+	if *workload == "all" {
+		names = []string{"pingpong", "barrier", "lcs", "radix", "nqueens", "tsp"}
+	}
+	failed := false
+	for r := 0; r < *runs; r++ {
+		if *runs > 1 {
+			fmt.Printf("=== run %d ===\n", r+1)
+		}
+		for _, name := range names {
+			res, err := runWorkload(name, camp, rc)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			printResult(res)
+			if !res.Completed {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// buildCampaign parses an explicit campaign or generates a seeded one.
+func buildCampaign(explicit string, seed uint64, nodes int, horizon int64, faults int) (chaos.Campaign, error) {
+	if explicit != "" {
+		return chaos.ParseCampaign(explicit)
+	}
+	return chaos.RandomCampaign(seed, nodes, horizon, faults), nil
+}
+
+// runWorkload dispatches one workload under the campaign.
+func runWorkload(name string, camp chaos.Campaign, rc bench.ResilienceConfig) (*bench.CampaignResult, error) {
+	switch name {
+	case "pingpong":
+		return bench.PingCampaign(camp, rc)
+	case "barrier":
+		return bench.BarrierCampaign(camp, rc, 4)
+	case "lcs":
+		var h holder
+		res, err := lcs.Run(rc.Nodes, lcs.Params{
+			LenA: 64, LenB: 128, Setup: h.setup(camp, rc),
+		})
+		return h.collect("lcs", res.M, res.Cycles, err), nil
+	case "radix":
+		var h holder
+		res, err := radix.Run(rc.Nodes, radix.Params{
+			Keys: 512, Setup: h.setup(camp, rc),
+		})
+		return h.collect("radix", res.M, res.Cycles, err), nil
+	case "nqueens":
+		var h holder
+		res, err := nqueens.Run(rc.Nodes, nqueens.Params{
+			N: 6, SplitDepth: 2, Setup: h.setup(camp, rc),
+		})
+		return h.collect("nqueens", res.M, res.Cycles, err), nil
+	case "tsp":
+		var h holder
+		res, err := tsp.Run(rc.Nodes, tsp.Params{
+			Cities: 6, Setup: h.setup(camp, rc),
+		})
+		return h.collect("tsp", res.M, res.Cycles, err), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+// holder captures the chaos and reliable layers attached through an
+// application's Setup hook so results can be collected afterwards.
+type holder struct {
+	inj *chaos.Injector
+	rel *rt.Reliable
+}
+
+// setup returns the Params.Setup hook applying the resilience switches
+// and the campaign to an application-built machine.
+func (h *holder) setup(camp chaos.Campaign, rc bench.ResilienceConfig) func(*machine.Machine, *rt.Runtime) {
+	return func(m *machine.Machine, r *rt.Runtime) {
+		m.Net.SetChecksum(rc.Checksum)
+		m.Net.SetReturnToSender(rc.RTS)
+		m.Net.SetMaxReturns(rc.MaxReturns)
+		m.SetWatchdog(rc.Watchdog)
+		if rc.Reliable {
+			h.rel = rt.EnableReliable(r, rt.ReliableConfig{})
+		}
+		h.inj = chaos.Attach(m, camp)
+	}
+}
+
+// collect folds an application run into a CampaignResult.
+func (h *holder) collect(name string, m *machine.Machine, cycles int64, runErr error) *bench.CampaignResult {
+	res := &bench.CampaignResult{
+		Workload:  name,
+		Completed: runErr == nil,
+		Err:       runErr,
+		Cycles:    cycles,
+	}
+	if m != nil {
+		res.Net = m.Net.Stats()
+		res.WatchdogTrips = m.WatchdogTrips
+	}
+	if h.rel != nil {
+		res.HasReliable = true
+		res.Reliable = h.rel.Stats()
+	}
+	if h.inj != nil {
+		res.ChaosReport = h.inj.Report()
+	}
+	return res
+}
+
+// printResult renders one workload outcome deterministically.
+func printResult(r *bench.CampaignResult) {
+	status := "COMPLETED"
+	if !r.Completed {
+		status = "FAILED"
+	}
+	fmt.Printf("%-8s %-9s cycles=%d", r.Workload, status, r.Cycles)
+	if r.Completed && r.Value != 0 {
+		fmt.Printf(" value=%d", r.Value)
+	}
+	fmt.Println()
+	ns := r.Net
+	fmt.Printf("  net: delivered=%d/%d returned=%d retransmits=%d dropped=%d corrupt=%d dup=%d stalls=%d\n",
+		ns.DeliveredMsgs[0], ns.DeliveredMsgs[1], ns.ReturnedMsgs, ns.Retransmits,
+		ns.DroppedMsgs, ns.CorruptDrops, ns.DupDrops, ns.StallsInjected)
+	if r.HasReliable {
+		rs := r.Reliable
+		fmt.Printf("  reliable: tracked=%d acks=%d/%d retries=%d dup-acked=%d failures=%d\n",
+			rs.Tracked, rs.AcksSent, rs.AcksReceived, rs.Retries, rs.DupAcked, rs.Failures)
+	}
+	if r.WatchdogTrips > 0 {
+		fmt.Printf("  watchdog: trips=%d\n", r.WatchdogTrips)
+	}
+	if r.ChaosReport != "" {
+		for _, line := range strings.Split(strings.TrimRight(r.ChaosReport, "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	if r.Err != nil {
+		msg := r.Err.Error()
+		// The watchdog error embeds the full diagnostic dump; indent it.
+		for _, line := range strings.Split(msg, "\n") {
+			fmt.Printf("  ! %s\n", line)
+		}
+	}
+	fmt.Println()
+}

@@ -49,6 +49,11 @@ type Params struct {
 	LenA, LenB int
 	Seed       int64
 	Alphabet   int // distinct characters (default 4)
+
+	// Setup, when non-nil, runs after the runtime is attached and the
+	// problem is loaded but before the machine starts — the hook where
+	// cmd/jm-chaos attaches fault campaigns and resilience layers.
+	Setup func(*machine.Machine, *rt.Runtime)
 }
 
 func (p Params) withDefaults() Params {
@@ -233,7 +238,7 @@ func Run(nodes int, params Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
 
 	for id, n := range m.Nodes {
 		mm := n.Mem
@@ -266,11 +271,16 @@ func Run(nodes int, params Params) (Result, error) {
 		}
 	}
 
+	if params.Setup != nil {
+		params.Setup(m, r)
+	}
 	rt.StartNode(m, p, 0, LStartUp)
 	// Budget: the DP is LenA×LenB steps at ~16 cycles, plus slack.
 	budget := int64(params.LenA)*int64(params.LenB)*32/int64(nodes) + 5_000_000
 	if err := m.RunUntilHalt(0, budget); err != nil {
-		return Result{}, err
+		// Partial result: the machine is preserved so callers (the chaos
+		// driver) can inspect where the run stood at the failure.
+		return Result{Cycles: m.Cycle(), M: m, P: p}, err
 	}
 	res, _ := m.Nodes[0].Mem.Read(addrResult)
 	return Result{Length: int(res.Data()), Cycles: m.Cycle(), M: m, P: p}, nil

@@ -57,6 +57,10 @@ type Params struct {
 	// work, the burst genuinely outruns the receivers — the regime in
 	// which the hardware queue's 64-board limit binds.
 	ExcludeDriver bool
+	// Setup, when non-nil, runs after the runtime is attached and the
+	// problem is loaded but before the machine starts — the hook where
+	// cmd/jm-chaos attaches fault campaigns and resilience layers.
+	Setup func(*machine.Machine, *rt.Runtime)
 }
 
 func (p Params) withDefaults() Params {
@@ -309,7 +313,7 @@ func Run(nodes int, params Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
 
 	n, d := params.N, params.SplitDepth
 	for _, nd := range m.Nodes {
@@ -334,11 +338,14 @@ func Run(nodes int, params Params) (Result, error) {
 		}
 	}
 
+	if params.Setup != nil {
+		params.Setup(m, r)
+	}
 	rt.StartAll(m, p, LMain)
 	// Budget: the search tree for n queens, ~25 cycles per node visit.
 	budget := int64(Reference(n))*2000/int64(nodes)*30 + 20_000_000
 	if err := m.RunUntilHalt(0, budget); err != nil {
-		return Result{}, err
+		return Result{Cycles: m.Cycle(), M: m, P: p}, err
 	}
 	sol, _ := m.Nodes[0].Mem.Read(app + offSolutions)
 	tasks, _ := m.Nodes[0].Mem.Read(app + offExpect)

@@ -66,6 +66,10 @@ type Params struct {
 	// Tune adjusts the machine configuration before construction
 	// (ablation studies: router arbitration, queue sizes, timing).
 	Tune func(*machine.Config)
+	// Setup, when non-nil, runs after the runtime is attached and the
+	// problem is loaded but before the machine starts — the hook where
+	// cmd/jm-chaos attaches fault campaigns and resilience layers.
+	Setup func(*machine.Machine, *rt.Runtime)
 }
 
 func (p Params) withDefaults() Params {
@@ -390,7 +394,7 @@ func Run(nodes int, params Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
 
 	logKpn := bits.TrailingZeros(uint(kpn))
 	for id, n := range m.Nodes {
@@ -429,13 +433,16 @@ func Run(nodes int, params Params) (Result, error) {
 		}
 	}
 
+	if params.Setup != nil {
+		params.Setup(m, r)
+	}
 	rt.StartAll(m, p, LSort)
 	budget := int64(digits)*int64(kpn)*120 + 2_000_000
 	if err := m.RunUntilHalt(0, budget); err != nil {
-		return Result{}, err
+		return Result{Cycles: m.Cycle(), M: m, P: p}, err
 	}
 	if err := m.RunQuiescent(1_000_000); err != nil {
-		return Result{}, err
+		return Result{Cycles: m.Cycle(), M: m, P: p}, err
 	}
 
 	out := make([]int32, 0, params.Keys)

@@ -49,6 +49,10 @@ type Params struct {
 	// YieldEvery is the number of candidate expansions between
 	// voluntary suspensions (the periodic null procedure call).
 	YieldEvery int
+	// Setup, when non-nil, runs after the runtime is attached and the
+	// problem is loaded but before the machine starts — the hook where
+	// cmd/jm-chaos attaches fault campaigns and resilience layers.
+	Setup func(*machine.Machine, *rt.Runtime)
 }
 
 func (p Params) withDefaults() Params {
@@ -405,6 +409,9 @@ func runCapped(nodes int, params Params, budget int64) (Result, error) {
 		cst.PushTask(m, i%nodes, workerBase, [4]int32{visited, int32(t.B), length, int32(t.Seq)})
 	}
 
+	if params.Setup != nil {
+		params.Setup(m, r)
+	}
 	// The scheduler boot messages were queued by SetupNode; just run.
 	runErr := m.RunUntilHalt(0, budget)
 	// The optimum ends up replicated; read node 0's bound.

@@ -1,0 +1,149 @@
+package bench
+
+// Chaos-campaign entry points: the Figure 2 ping and Table 3 barrier
+// micro-benchmarks re-run under a fault schedule, with the resilience
+// machinery (checksums, return-to-sender, reliable delivery, the
+// progress watchdog) switched on or off. cmd/jm-chaos drives these to
+// measure survival and degradation.
+
+import (
+	"jmachine/internal/asm"
+	"jmachine/internal/chaos"
+	"jmachine/internal/machine"
+	"jmachine/internal/network"
+	"jmachine/internal/rt"
+)
+
+// ResilienceConfig selects the protection layers for a campaign run.
+type ResilienceConfig struct {
+	Nodes      int   // machine size (default 8)
+	Checksum   bool  // NI checksum word + delivery-port verification
+	RTS        bool  // return-to-sender flow control
+	MaxReturns int   // bound on refusals before the network drops (0 = unbounded)
+	Watchdog   int64 // progress-watchdog window in cycles (0 = off)
+	Reliable   bool  // ACK/timeout/retransmit runtime (rt.EnableReliable)
+	ReliableCfg rt.ReliableConfig
+	Budget     int64 // cycle budget (default 2,000,000)
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.Budget <= 0 {
+		c.Budget = 2_000_000
+	}
+	return c
+}
+
+// machineConfig translates the resilience switches into a machine config.
+func (c ResilienceConfig) machineConfig() machine.Config {
+	cfg := machine.GridForNodes(c.Nodes)
+	cfg.Net.Checksum = c.Checksum
+	cfg.Net.ReturnToSender = c.RTS
+	cfg.Net.MaxReturns = c.MaxReturns
+	cfg.Watchdog = c.Watchdog
+	return cfg
+}
+
+// CampaignResult reports one workload run under a fault campaign.
+type CampaignResult struct {
+	Workload  string
+	Completed bool  // the workload reached its normal end
+	Err       error // the surfaced error otherwise (watchdog, fatal, budget)
+	Cycles    int64 // machine cycles consumed
+	Value     int64 // workload metric: ping RTT or cycles/barrier
+
+	Net           network.Stats
+	WatchdogTrips uint64
+	HasReliable   bool
+	Reliable      rt.ReliableStats
+	ChaosReport   string
+}
+
+// prepare builds a machine for a campaign run and attaches the runtime,
+// the optional reliable-delivery layer, and the chaos injector.
+func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, error) {
+	m, err := machine.New(rc.machineConfig(), p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	var rel *rt.Reliable
+	if rc.Reliable {
+		rel = rt.EnableReliable(r, rc.ReliableCfg)
+	}
+	inj := chaos.Attach(m, camp)
+	return m, rel, inj, nil
+}
+
+// collect folds the run outcome into a CampaignResult.
+func collect(name string, m *machine.Machine, rel *rt.Reliable, inj *chaos.Injector, runErr error, value int64) *CampaignResult {
+	res := &CampaignResult{
+		Workload:      name,
+		Completed:     runErr == nil,
+		Err:           runErr,
+		Cycles:        m.Cycle(),
+		Value:         value,
+		Net:           m.Net.Stats(),
+		WatchdogTrips: m.WatchdogTrips,
+		ChaosReport:   inj.Report(),
+	}
+	if rel != nil {
+		res.HasReliable = true
+		res.Reliable = rel.Stats()
+	}
+	return res
+}
+
+// PingCampaign runs the Figure 2 ping client from node 0 to the
+// farthest node under the fault campaign. Value is the measured
+// round-trip time in cycles when the run completes.
+func PingCampaign(camp chaos.Campaign, rc ResilienceConfig) (*CampaignResult, error) {
+	rc = rc.withDefaults()
+	p := buildMicroProgram(buildPingClient)
+	m, rel, inj, err := prepare(camp, rc, p)
+	if err != nil {
+		return nil, err
+	}
+	target := m.NumNodes() - 1
+	if err := m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(target)); err != nil {
+		return nil, err
+	}
+	rt.StartNode(m, p, 0, "main")
+	runErr := m.RunWhile(func(m *machine.Machine) bool {
+		w, _ := m.Nodes[0].Mem.Read(rt.AddrFlag)
+		return !w.Truthy()
+	}, rc.Budget)
+	var rtt int64
+	if runErr == nil {
+		flag, _ := m.Nodes[0].Mem.Read(rt.AddrFlag)
+		start, _ := m.Nodes[0].Mem.Read(rt.AppBase + 3)
+		rtt = int64(flag.Data() - start.Data())
+	}
+	return collect("pingpong", m, rel, inj, runErr, rtt), nil
+}
+
+// BarrierCampaign runs inner back-to-back barriers on every node under
+// the fault campaign. Value is cycles per barrier when the run
+// completes.
+func BarrierCampaign(camp chaos.Campaign, rc ResilienceConfig, inner int) (*CampaignResult, error) {
+	rc = rc.withDefaults()
+	if inner <= 0 {
+		inner = 4
+	}
+	p := barrierBenchProgram(inner)
+	m, rel, inj, err := prepare(camp, rc, p)
+	if err != nil {
+		return nil, err
+	}
+	rt.StartAll(m, p, "main")
+	runErr := m.RunUntilHalt(0, rc.Budget)
+	var per int64
+	if runErr == nil {
+		start, _ := m.Nodes[0].Mem.Read(rt.AppBase + 1)
+		end, _ := m.Nodes[0].Mem.Read(rt.AppBase + 3)
+		per = int64(end.Data()-start.Data()) / int64(inner)
+	}
+	return collect("barrier", m, rel, inj, runErr, per), nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"jmachine/internal/chaos"
+	"jmachine/internal/machine"
+)
+
+// acceptanceCampaign corrupts the first data message out of node 0 and
+// freezes a mid-machine node for a stretch — the issue's reference
+// fault mix.
+func acceptanceCampaign(t *testing.T) chaos.Campaign {
+	t.Helper()
+	c, err := chaos.ParseCampaign(
+		"name=acceptance;seed=7;corrupt@1:node=0,word=1,mask=16;freeze@1000:node=5,dur=4000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCampaignWithoutReliableTripsWatchdog(t *testing.T) {
+	// Checksum drops the corrupted ping; with nothing retransmitting it
+	// the client suspends forever. The watchdog must convert that wedge
+	// into ErrNoProgress with a non-empty diagnostic dump.
+	res, err := PingCampaign(acceptanceCampaign(t), ResilienceConfig{
+		Checksum: true, RTS: true, MaxReturns: 32,
+		Watchdog: 5_000, Budget: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("corrupted ping completed without reliable delivery")
+	}
+	var np machine.ErrNoProgress
+	if !errors.As(res.Err, &np) {
+		t.Fatalf("expected ErrNoProgress, got %v", res.Err)
+	}
+	if np.Diag == nil || len(np.Diag.Suspect) == 0 {
+		t.Fatal("diagnostic dump is empty")
+	}
+	if res.WatchdogTrips != 1 {
+		t.Errorf("WatchdogTrips = %d, want 1", res.WatchdogTrips)
+	}
+	if res.Net.CorruptDrops == 0 {
+		t.Error("the corruption was never applied")
+	}
+	if res.Cycles >= 200_000 {
+		t.Error("watchdog did not save the cycle budget")
+	}
+}
+
+func TestCampaignWithReliableCompletes(t *testing.T) {
+	rc := ResilienceConfig{
+		Checksum: true, RTS: true, MaxReturns: 32,
+		Watchdog: 100_000, Reliable: true, Budget: 2_000_000,
+	}
+	camp := acceptanceCampaign(t)
+
+	ping, err := PingCampaign(camp, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ping.Completed {
+		t.Fatalf("pingpong failed under reliable delivery: %v", ping.Err)
+	}
+	if ping.Reliable.Retries == 0 {
+		t.Error("the corrupt drop was never retransmitted")
+	}
+
+	bar, err := BarrierCampaign(camp, rc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bar.Completed {
+		t.Fatalf("barrier failed under reliable delivery: %v", bar.Err)
+	}
+	// The driver halts as soon as the last barrier releases, so the
+	// final few acks may still be in flight — but nothing may have
+	// been abandoned, and the overwhelming majority must have retired.
+	if bar.Reliable.Failures != 0 {
+		t.Errorf("barrier run abandoned %d messages", bar.Reliable.Failures)
+	}
+	if bar.Reliable.Tracked == 0 || bar.Reliable.AcksReceived < bar.Reliable.Tracked-4 {
+		t.Errorf("acks %d/%d tracked", bar.Reliable.AcksReceived, bar.Reliable.Tracked)
+	}
+}
+
+func TestCampaignRunsAreDeterministic(t *testing.T) {
+	rc := ResilienceConfig{
+		Checksum: true, RTS: true, MaxReturns: 32,
+		Watchdog: 100_000, Reliable: true, Budget: 2_000_000,
+	}
+	camp := chaos.RandomCampaign(11, 8, 50_000, 6)
+	render := func() string {
+		res, err := PingCampaign(camp, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v %d %d %+v %+v %q",
+			res.Completed, res.Cycles, res.Value, res.Net, res.Reliable, res.ChaosReport)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("two identical runs diverged:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCampaignRoundTrip(t *testing.T) {
+	src := "name=acceptance;seed=7;" +
+		"corrupt@1:node=0,word=1,mask=16;" +
+		"stall@500:node=3,port=2,dur=200;" +
+		"freeze@1000:node=5,dur=4000;" +
+		"squeeze@2000:node=2,cap=8,pri=0,dur=1000;" +
+		"kill@9000:node=6"
+	c, err := ParseCampaign(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "acceptance" || c.Seed != 7 || len(c.Events) != 5 {
+		t.Fatalf("parsed %q seed=%d events=%d", c.Name, c.Seed, len(c.Events))
+	}
+	// String() must re-parse to the identical campaign.
+	c2, err := ParseCampaign(c.String())
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, c.String())
+	}
+	if !reflect.DeepEqual(c, c2) {
+		t.Errorf("round trip changed the campaign:\n%#v\n%#v", c, c2)
+	}
+}
+
+func TestParseCampaignErrors(t *testing.T) {
+	bad := []string{
+		"explode@5:node=1",      // unknown kind
+		"freeze@x:node=1",       // bad cycle
+		"freeze@5:node=1,dur=y", // bad value
+		"freeze@5:wat",          // malformed pair
+		"seed=notanumber",
+	}
+	for _, s := range bad {
+		if _, err := ParseCampaign(s); err == nil {
+			t.Errorf("ParseCampaign(%q) accepted", s)
+		}
+	}
+}
+
+func TestRandomCampaignDeterministic(t *testing.T) {
+	a := RandomCampaign(42, 8, 50_000, 6)
+	b := RandomCampaign(42, 8, 50_000, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different campaigns")
+	}
+	c := RandomCampaign(43, 8, 50_000, 6)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical campaigns")
+	}
+	// Generated campaigns must survive the text format.
+	parsed, err := ParseCampaign(a.String())
+	if err != nil {
+		t.Fatalf("generated campaign does not parse: %v\n%s", err, a.String())
+	}
+	if !reflect.DeepEqual(a, parsed) {
+		t.Error("generated campaign changed across text round trip")
+	}
+}
+
+func TestRandomCampaignEventsInHorizon(t *testing.T) {
+	c := RandomCampaign(9, 27, 10_000, 12)
+	if len(c.Events) != 12 {
+		t.Fatalf("got %d events, want 12", len(c.Events))
+	}
+	last := int64(-1)
+	for _, e := range c.Events {
+		if e.Cycle < 0 || e.Cycle > 10_000 {
+			t.Errorf("event outside horizon: %s", e)
+		}
+		if e.Node < 0 || e.Node >= 27 {
+			t.Errorf("event outside machine: %s", e)
+		}
+		if e.Cycle < last {
+			t.Errorf("events not sorted by cycle: %s after %d", e, last)
+		}
+		last = e.Cycle
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseCampaign reads the semicolon-separated campaign text format:
+//
+//	seed=7;name=demo;freeze@1000:node=5,dur=4000;corrupt@500:node=0,word=1,mask=16
+//
+// Each fault clause is kind@cycle:key=value,... with kinds stall,
+// corrupt, freeze, kill, squeeze (see Event.String for the keys each
+// kind takes). Whitespace around clauses is ignored. Campaign.String
+// round-trips through ParseCampaign.
+func ParseCampaign(s string) (Campaign, error) {
+	var c Campaign
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(clause, "seed="):
+			v, err := strconv.ParseUint(clause[len("seed="):], 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("chaos: bad seed %q", clause)
+			}
+			c.Seed = v
+		case strings.HasPrefix(clause, "name="):
+			c.Name = clause[len("name="):]
+		default:
+			e, err := parseEvent(clause)
+			if err != nil {
+				return c, err
+			}
+			c.Events = append(c.Events, e)
+		}
+	}
+	sortEvents(c.Events)
+	return c, nil
+}
+
+// parseEvent reads one kind@cycle:key=value,... clause.
+func parseEvent(s string) (Event, error) {
+	var e Event
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return e, fmt.Errorf("chaos: clause %q lacks @cycle", s)
+	}
+	kind, ok := kindByName(s[:at])
+	if !ok {
+		return e, fmt.Errorf("chaos: unknown fault kind %q", s[:at])
+	}
+	e.Kind = kind
+	rest := s[at+1:]
+	colon := strings.IndexByte(rest, ':')
+	cycStr := rest
+	args := ""
+	if colon >= 0 {
+		cycStr, args = rest[:colon], rest[colon+1:]
+	}
+	cyc, err := strconv.ParseInt(cycStr, 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("chaos: bad cycle in %q", s)
+	}
+	e.Cycle = cyc
+	for _, kv := range strings.Split(args, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return e, fmt.Errorf("chaos: bad argument %q in %q", kv, s)
+		}
+		key := kv[:eq]
+		v, err := strconv.ParseInt(kv[eq+1:], 10, 64)
+		if err != nil {
+			return e, fmt.Errorf("chaos: bad value in %q", kv)
+		}
+		switch key {
+		case "node":
+			e.Node = int(v)
+		case "port":
+			e.Port = int(v)
+		case "dur":
+			e.Duration = v
+		case "word":
+			e.Word = int(v)
+		case "mask":
+			e.Mask = uint32(v)
+		case "cap":
+			e.CapWords = int(v)
+		case "pri":
+			e.Pri = int(v)
+		default:
+			return e, fmt.Errorf("chaos: unknown key %q in %q", key, s)
+		}
+	}
+	return e, nil
+}
+
+// kindByName resolves a campaign verb.
+func kindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the campaign in the text format ParseCampaign reads.
+func (c Campaign) String() string {
+	var parts []string
+	if c.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	}
+	if c.Name != "" {
+		parts = append(parts, "name="+c.Name)
+	}
+	for _, e := range c.Events {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ";")
+}

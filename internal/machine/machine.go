@@ -28,6 +28,14 @@ type Config struct {
 	QueueCap         [2]int // per-priority queue capacity in words
 	XlateSets        int
 	XlateWays        int
+	// Watchdog arms the progress watchdog: a full window of Watchdog
+	// cycles with no phit movement, no delivered words, and no
+	// instruction retirement makes RunWhile/RunQuiescent return
+	// ErrNoProgress with a diagnostic dump instead of running to the
+	// cycle limit. 0 disables. The window should comfortably exceed the
+	// network's RTSBackoff and any reliable-delivery retry timeout, or
+	// a quiet backoff wait is misread as a wedge.
+	Watchdog int64
 }
 
 // Cube returns the configuration of a k×k×k machine.
@@ -41,8 +49,12 @@ func Grid(x, y, z int) Config { return Config{DimX: x, DimY: y, DimZ: z} }
 // GridForNodes returns the most cubic grid with exactly n nodes, for
 // n a product of small factors (1..512). It factors n into powers of
 // two and spreads them across dimensions, matching how the hardware
-// partitions allocated sub-meshes.
+// partitions allocated sub-meshes. Non-positive n yields the minimal
+// 1×1×1 machine rather than looping on the degenerate factorization.
 func GridForNodes(n int) Config {
+	if n <= 1 {
+		return Config{DimX: 1, DimY: 1, DimZ: 1}
+	}
 	dims := [3]int{1, 1, 1}
 	d := 0
 	for n%2 == 0 {
@@ -80,6 +92,16 @@ type Machine struct {
 	Nodes []*mdp.Node
 	Stats *stats.Machine
 	cycle int64
+
+	// WatchdogTrips counts ErrNoProgress returns over the machine's
+	// lifetime (a run loop may be re-entered after a trip).
+	WatchdogTrips uint64
+
+	cycleFns  []func(cycle int64)
+	watchdog  int64
+	lastSig   progressSig
+	lastMove  int64 // cycle at which lastSig was taken
+	sigValid  bool
 }
 
 // New builds a machine running prog on every node.
@@ -103,10 +125,11 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		Cfg:   cfg,
-		Net:   net,
-		Nodes: make([]*mdp.Node, nodes),
-		Stats: stats.NewMachine(nodes),
+		Cfg:      cfg,
+		Net:      net,
+		Nodes:    make([]*mdp.Node, nodes),
+		Stats:    stats.NewMachine(nodes),
+		watchdog: cfg.Watchdog,
 	}
 	for i := 0; i < nodes; i++ {
 		m.Nodes[i] = mdp.NewNode(i, cfg.MDP,
@@ -152,10 +175,29 @@ func (m *Machine) EnableTrace(capEvents int) []*trace.Buffer {
 	return out
 }
 
+// AddCycleFn registers a hook called at the start of every machine
+// cycle (before the network and the nodes step), in registration order.
+// The chaos injector applies scheduled faults here and the reliable-
+// delivery runtime scans its retransmission timers.
+func (m *Machine) AddCycleFn(fn func(cycle int64)) {
+	m.cycleFns = append(m.cycleFns, fn)
+}
+
+// SetWatchdog arms (or, with 0, disarms) the progress watchdog after
+// construction — used when the machine was built by an application's
+// Run helper rather than directly from a Config.
+func (m *Machine) SetWatchdog(window int64) {
+	m.watchdog = window
+	m.sigValid = false
+}
+
 // Step advances the whole machine one cycle: the network moves phits,
 // then each node executes.
 func (m *Machine) Step() {
 	m.cycle++
+	for _, fn := range m.cycleFns {
+		fn(m.cycle)
+	}
 	m.Net.Step()
 	for _, n := range m.Nodes {
 		n.Step()
@@ -178,11 +220,83 @@ func (e ErrCycleLimit) Error() string {
 	return fmt.Sprintf("machine: exceeded cycle limit %d", e.Limit)
 }
 
+// ErrNoProgress is returned by the run loops when the progress watchdog
+// observes a full window with no phit movement, no delivered words, and
+// no instruction retirement anywhere in the machine — a wedge (blocked
+// worms, a livelocked protocol, every node suspended awaiting a lost
+// message) rather than a slow computation. Diag carries the machine
+// state at the trip for post-mortem.
+type ErrNoProgress struct {
+	Cycle  int64 // machine cycle at the trip
+	Window int64 // configured watchdog window
+	Diag   *Diagnostic
+}
+
+func (e ErrNoProgress) Error() string {
+	s := fmt.Sprintf("machine: no progress for %d cycles (at cycle %d)", e.Window, e.Cycle)
+	if e.Diag != nil {
+		s += "\n" + e.Diag.String()
+	}
+	return s
+}
+
+// progressSig summarizes everything the watchdog counts as forward
+// progress. Faults are included so fault-service storms (which retire
+// no instructions) do not read as a wedge.
+type progressSig struct {
+	instrs    uint64
+	threads   uint64
+	faults    uint64
+	phitHops  uint64
+	delivered uint64
+	returned  uint64
+}
+
+func (m *Machine) progress() progressSig {
+	var s progressSig
+	for _, n := range m.Stats.Nodes {
+		s.instrs += n.Instrs
+		s.threads += n.Threads
+		s.faults += n.SendFaults + n.XlateFaults + n.CfutFaults + n.OverflowFaults
+	}
+	ns := m.Net.Stats()
+	s.phitHops = ns.PhitHops
+	s.delivered = ns.DeliveredWords[0] + ns.DeliveredWords[1]
+	s.returned = ns.ReturnedMsgs + ns.Retransmits + ns.DroppedMsgs + ns.CorruptDrops + ns.DupDrops
+	return s
+}
+
+// checkWatchdog compares the progress signature against the last
+// snapshot; a full unchanged window returns ErrNoProgress. The scan is
+// O(nodes), so callers run it at the watchdog cadence, not per cycle.
+func (m *Machine) checkWatchdog() error {
+	if m.watchdog <= 0 {
+		return nil
+	}
+	if !m.sigValid {
+		m.lastSig, m.lastMove, m.sigValid = m.progress(), m.cycle, true
+		return nil
+	}
+	if m.cycle-m.lastMove < m.watchdog {
+		return nil
+	}
+	sig := m.progress()
+	if sig != m.lastSig {
+		m.lastSig, m.lastMove = sig, m.cycle
+		return nil
+	}
+	m.WatchdogTrips++
+	m.sigValid = false
+	return ErrNoProgress{Cycle: m.cycle, Window: m.watchdog, Diag: m.Diagnose()}
+}
+
 // RunWhile steps the machine while cond holds, up to max cycles, and
-// surfaces any node's fatal fault. The fatal scan runs periodically to
-// stay off the per-cycle critical path.
+// surfaces any node's fatal fault or a watchdog trip. The fatal and
+// watchdog scans run periodically to stay off the per-cycle critical
+// path.
 func (m *Machine) RunWhile(cond func(*Machine) bool, max int64) error {
 	start := m.cycle
+	m.sigValid = false
 	for cond(m) {
 		if m.cycle-start >= max {
 			if err := m.FatalErr(); err != nil {
@@ -193,6 +307,9 @@ func (m *Machine) RunWhile(cond func(*Machine) bool, max int64) error {
 		m.Step()
 		if m.cycle&0xFF == 0 {
 			if err := m.FatalErr(); err != nil {
+				return err
+			}
+			if err := m.checkWatchdog(); err != nil {
 				return err
 			}
 		}
@@ -208,21 +325,30 @@ func (m *Machine) RunUntilHalt(id int, max int64) error {
 
 // RunQuiescent runs until no node is busy and the network is drained.
 // The quiescence test runs every probe cycles (default 8) to keep the
-// scan off the critical path.
+// scan off the critical path. A node fatal takes precedence over the
+// cycle limit so a crash inside the final budget window is not masked
+// as a timeout.
 func (m *Machine) RunQuiescent(max int64) error {
 	const probe = 8
 	start := m.cycle
+	m.sigValid = false
 	for {
 		if m.Quiescent() {
 			return nil
 		}
 		if m.cycle-start >= max {
+			if err := m.FatalErr(); err != nil {
+				return err
+			}
 			return ErrCycleLimit{Limit: max}
 		}
 		for i := 0; i < probe; i++ {
 			m.Step()
 		}
 		if err := m.FatalErr(); err != nil {
+			return err
+		}
+		if err := m.checkWatchdog(); err != nil {
 			return err
 		}
 	}

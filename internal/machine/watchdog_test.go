@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"jmachine/internal/asm"
+)
+
+func TestGridForNodesDegenerate(t *testing.T) {
+	// Non-positive sizes must not loop in the factorizer; they yield
+	// the minimal machine.
+	for _, n := range []int{0, -1, -64} {
+		cfg := GridForNodes(n)
+		if cfg.DimX != 1 || cfg.DimY != 1 || cfg.DimZ != 1 {
+			t.Errorf("GridForNodes(%d) = %dx%dx%d, want 1x1x1",
+				n, cfg.DimX, cfg.DimY, cfg.DimZ)
+		}
+	}
+}
+
+func spinProg() *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("main").Br("main")
+	return b.MustAssemble()
+}
+
+func TestWatchdogTripsOnIdleWedge(t *testing.T) {
+	// No thread ever starts: RunWhile's condition stays true but the
+	// progress signature never moves, so the watchdog converts what
+	// would be a full cycle-limit burn into ErrNoProgress with a dump.
+	m := MustNew(Config{DimX: 2, DimY: 1, DimZ: 1, Watchdog: 200}, trivialProg())
+	err := m.RunWhile(func(m *Machine) bool { return true }, 1_000_000)
+	var np ErrNoProgress
+	if !errors.As(err, &np) {
+		t.Fatalf("expected ErrNoProgress, got %v", err)
+	}
+	if np.Window != 200 {
+		t.Errorf("window = %d, want 200", np.Window)
+	}
+	if np.Diag == nil || len(np.Diag.Suspect) == 0 {
+		t.Fatal("diagnostic dump is empty")
+	}
+	if !np.Diag.AllQuiet {
+		t.Error("an all-idle wedge should be reported as AllQuiet")
+	}
+	if !strings.Contains(err.Error(), "diagnostic at cycle") {
+		t.Errorf("error does not embed the dump: %q", err.Error())
+	}
+	if m.WatchdogTrips != 1 {
+		t.Errorf("WatchdogTrips = %d, want 1", m.WatchdogTrips)
+	}
+	if m.Cycle() >= 1_000_000 {
+		t.Error("watchdog did not save the cycle budget")
+	}
+}
+
+func TestWatchdogTripsOnFrozenNode(t *testing.T) {
+	// A frozen node with a runnable thread: the clock advances but no
+	// instruction retires. The dump must finger the frozen node.
+	m := MustNew(Config{DimX: 2, DimY: 1, DimZ: 1, Watchdog: 300}, spinProg())
+	m.Nodes[1].StartBackground(0)
+	m.Nodes[1].SetFrozen(true)
+	err := m.RunWhile(func(m *Machine) bool { return true }, 1_000_000)
+	var np ErrNoProgress
+	if !errors.As(err, &np) {
+		t.Fatalf("expected ErrNoProgress, got %v", err)
+	}
+	found := false
+	for _, nd := range np.Diag.Suspect {
+		if nd.ID == 1 && nd.Frozen {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("frozen node 1 missing from dump:\n%s", np.Diag)
+	}
+}
+
+func TestWatchdogQuietWhileProgressing(t *testing.T) {
+	// A busy spin loop retires instructions every cycle: a small window
+	// must never trip while the machine is genuinely working.
+	m := MustNew(Config{DimX: 1, DimY: 1, DimZ: 1, Watchdog: 64}, spinProg())
+	m.Nodes[0].StartBackground(0)
+	err := m.RunWhile(func(m *Machine) bool { return m.Cycle() < 5000 }, 10_000)
+	if err != nil {
+		t.Fatalf("watchdog tripped on a progressing machine: %v", err)
+	}
+	if m.WatchdogTrips != 0 {
+		t.Errorf("WatchdogTrips = %d, want 0", m.WatchdogTrips)
+	}
+}
+
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	m := MustNew(Grid(1, 1, 1), trivialProg())
+	err := m.RunWhile(func(m *Machine) bool { return true }, 2000)
+	var lim ErrCycleLimit
+	if !errors.As(err, &lim) {
+		t.Fatalf("expected cycle limit with watchdog off, got %v", err)
+	}
+}
+
+func TestRunQuiescentWatchdog(t *testing.T) {
+	// A frozen spinner never quiesces; RunQuiescent's per-probe check
+	// must trip rather than burning the whole budget.
+	m := MustNew(Config{DimX: 1, DimY: 1, DimZ: 1, Watchdog: 200}, spinProg())
+	m.Nodes[0].StartBackground(0)
+	m.Nodes[0].SetFrozen(true)
+	err := m.RunQuiescent(1_000_000)
+	var np ErrNoProgress
+	if !errors.As(err, &np) {
+		t.Fatalf("expected ErrNoProgress, got %v", err)
+	}
+}
+
+func TestRunQuiescentFatalBeatsCycleLimit(t *testing.T) {
+	// Node 0 spins forever (never quiescent) and node 1 has crashed:
+	// the final budget check must surface the crash, not the timeout.
+	m := MustNew(Grid(2, 1, 1), spinProg())
+	m.Nodes[0].StartBackground(0)
+	boom := errors.New("boom")
+	err := m.RunQuiescent(100)
+	var lim ErrCycleLimit
+	if !errors.As(err, &lim) {
+		t.Fatalf("setup: expected plain cycle limit, got %v", err)
+	}
+	m.Nodes[1].Fail(boom)
+	err = m.RunQuiescent(100)
+	if !errors.Is(err, boom) {
+		t.Fatalf("fatal masked by cycle limit: got %v", err)
+	}
+}

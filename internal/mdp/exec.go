@@ -426,11 +426,11 @@ func (n *Node) exec(ctx *Context, in isa.Instr) execResult {
 func (n *Node) execSend(ctx *Context, in isa.Instr) execResult {
 	pri := in.Op.SendPriority()
 	next := ctx.IP + 1
-	b := n.building[pri]
+	b := n.building[n.cur][pri]
 
 	// A retried ending send has already appended its words (the message
 	// is complete and waiting for injection capacity).
-	complete := len(b) > 0 && in.Op.SendEnds() && n.pendingLen[pri] > 0
+	complete := len(b) > 0 && in.Op.SendEnds() && n.pendingLen[n.cur][pri] > 0
 	var extra int32
 	if !complete {
 		if len(b) >= 1+n.Cfg.MaxMsgWords {
@@ -449,17 +449,17 @@ func (n *Node) execSend(ctx *Context, in isa.Instr) execResult {
 		}
 		extra = ex
 		b = append(b, w)
-		n.building[pri] = b
+		n.building[n.cur][pri] = b
 		if in.Op.SendEnds() {
 			if f := validateMessage(b); f != nil {
-				n.building[pri] = b[:0]
+				n.building[n.cur][pri] = b[:0]
 				return execResult{fault: f}
 			}
 			if n.Net.NodeFromWord(b[0]) < 0 {
-				n.building[pri] = b[:0]
+				n.building[n.cur][pri] = b[:0]
 				return execResult{fault: &Fault{Kind: FaultBadTag, Addr: -1, Val: b[0]}}
 			}
-			n.pendingLen[pri] = len(b) - 1
+			n.pendingLen[n.cur][pri] = len(b) - 1
 		}
 	}
 	if !in.Op.SendEnds() {
@@ -487,8 +487,8 @@ func (n *Node) execSend(ctx *Context, in isa.Instr) execResult {
 	n.Stats.WordsSent[pri] += uint64(payload)
 	n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Send,
 		A: int32(n.Net.NodeFromWord(b[0])), B: int32(payload)})
-	n.building[pri] = b[:0]
-	n.pendingLen[pri] = 0
+	n.building[n.cur][pri] = b[:0]
+	n.pendingLen[n.cur][pri] = 0
 	return n.res(1+extra, stats.CatComm, next)
 }
 

@@ -54,10 +54,14 @@ type Node struct {
 	stall    int32
 	stallCat stats.Cat
 	region   stats.Cat
-	building [2][]word.Word
+	// building and pendingLen are indexed [execution level][message
+	// priority]: send state belongs to the executing context, so a
+	// handler dispatched mid-sequence cannot interleave its words into
+	// a preempted thread's half-built message.
+	building [NumLevels][2][]word.Word
 	// pendingLen is the payload length of a completed message awaiting
 	// injection capacity (a retried ending send must not re-append).
-	pendingLen [2]int
+	pendingLen [NumLevels][2]int
 
 	// Software overflow queue: relocated priority-0 messages live in an
 	// external-memory ring and dispatch from there, oldest first.
@@ -68,6 +72,8 @@ type Node struct {
 	softUsed  int
 	p0Soft    bool // the running P0 thread came from the software queue
 	halted    bool
+	frozen    bool // chaos fault: clock runs, nothing executes
+	killed    bool // chaos fault: frozen forever
 	fatal     error
 	faultFn   FaultFn
 	cycle     int64
@@ -126,6 +132,41 @@ func (n *Node) Halted() bool { return n.halted }
 
 // Fatal returns the error that halted the node, if any.
 func (n *Node) Fatal() error { return n.fatal }
+
+// SetFrozen freezes or thaws the node: a frozen node's clock advances
+// but it executes nothing — its router and queues stay alive, so
+// traffic keeps arriving while the processor is wedged (the failure
+// mode whose consequences the paper's critique discusses). A killed
+// node cannot be thawed.
+func (n *Node) SetFrozen(v bool) {
+	if n.killed {
+		return
+	}
+	n.frozen = v
+}
+
+// Frozen reports whether the node is currently frozen.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// Kill freezes the node permanently (chaos node-death fault). Unlike a
+// fatal fault the machine keeps running: the wedge must be detected by
+// the progress watchdog or survived by the reliable-delivery runtime.
+func (n *Node) Kill() {
+	n.frozen = true
+	n.killed = true
+}
+
+// Killed reports whether the node was killed.
+func (n *Node) Killed() bool { return n.killed }
+
+// Fail halts the node with an externally-diagnosed error (used by the
+// reliable-delivery runtime to surface delivery failures as node
+// faults, which RunWhile's fatal scan then reports).
+func (n *Node) Fail(err error) { n.haltFatal(err) }
+
+// SoftQueueLen returns the number of messages relocated to the software
+// overflow ring and not yet dispatched.
+func (n *Node) SoftQueueLen() int { return len(n.softQ) }
 
 // Level returns the currently selected execution level.
 func (n *Node) Level() int { return n.cur }
@@ -189,6 +230,10 @@ func (n *Node) Step() {
 		return
 	}
 	n.cycle++
+	if n.frozen {
+		n.Stats.Add(stats.CatIdle)
+		return
+	}
 	if n.stall > 0 {
 		n.stall--
 		n.Stats.Add(n.stallCat)
@@ -258,6 +303,8 @@ func (n *Node) relocateOverflow() bool {
 	q.Pop()
 	n.softQ = append(n.softQ, softMsg{addr: addr, words: words})
 	n.Stats.OverflowFaults++
+	n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Fault,
+		A: int32(FaultQueueOverflow), B: int32(words)})
 	cost := sq.CostPerMsg + int32(words)*(1+n.Cfg.Timing.EmemStore)
 	n.chargeFirst(cost, stats.CatSync)
 	return true

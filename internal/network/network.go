@@ -44,6 +44,17 @@ type Config struct {
 	ReturnToSender bool
 	// RTSBackoff is the retransmission delay in cycles (default 64).
 	RTSBackoff int
+	// MaxReturns bounds how many times a message may be refused before
+	// the delivery port discards it instead of turning it around again
+	// (0 = unbounded, the historical behaviour). Bounding converts the
+	// livelock of a permanently-full receiver into a counted drop that
+	// higher layers (rt.Reliable) can surface as an error.
+	MaxReturns int
+	// Checksum makes every injected message carry a checksum word (two
+	// extra phits) that the delivery port verifies; corrupted worms are
+	// drained and counted in Stats.CorruptDrops rather than delivered.
+	// Without it, in-flight corruption is silently delivered.
+	Checksum bool
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +100,10 @@ type Stats struct {
 	DeliveryStalls uint64    // cycles a completed word waited on a full queue
 	ReturnedMsgs   uint64    // messages refused and sent back (return-to-sender)
 	Retransmits    uint64    // returned messages re-injected at their source
+	DroppedMsgs    uint64    // messages discarded after exceeding MaxReturns
+	CorruptDrops   uint64    // messages discarded on checksum failure
+	DupDrops       uint64    // messages discarded by the delivery filter
+	StallsInjected uint64    // phit moves blocked by an injected link stall
 }
 
 // BisectionBits returns the bisection traffic in bits, per direction
@@ -117,6 +132,14 @@ type Network struct {
 	cycle   int64
 	midX    int8
 	stats   Stats
+
+	// Fault-injection and delivery hooks (see Add*/Set* below). All are
+	// optional; the hot paths pay only a nil/len check.
+	injectFns  []func(node int, m *Message, cycle int64)
+	deliverFns []func(node int, m *Message, cycle int64)
+	dropFns    []func(node int, m *Message, reason DropReason, cycle int64)
+	stallFn    func(node, port int, cycle int64) bool
+	filterFn   func(node int, m *Message, cycle int64) bool
 }
 
 // New builds a mesh. queues supplies each node's priority-0 and
@@ -215,11 +238,75 @@ func (n *Network) OutboxFree(node, pri int) int {
 // first phit by that many extra cycles (e.g. the memory latency of the
 // send instruction's final operand).
 func (n *Network) Inject(node int, m *Message, delay int32) {
+	if n.cfg.Checksum {
+		m.StampChecksum()
+	}
+	for _, fn := range n.injectFns {
+		fn(node, m, n.cycle)
+	}
 	ob := &n.out[node][m.Pri]
 	m.EnqueueCycle = n.cycle + int64(delay)
 	ob.msgs = append(ob.msgs, m)
 	ob.words += len(m.Words)
 }
+
+// AddInjectFn registers an observer called for every message handed to
+// the network by a sender (not for internal return-to-sender requeues).
+// Observers may mutate NI metadata: the chaos injector arms in-flight
+// corruption here and the reliable-delivery runtime assigns sequence
+// numbers. Hooks run in registration order.
+func (n *Network) AddInjectFn(fn func(node int, m *Message, cycle int64)) {
+	n.injectFns = append(n.injectFns, fn)
+}
+
+// AddDeliverFn registers an observer called when a message's tail enters
+// its destination queue.
+func (n *Network) AddDeliverFn(fn func(node int, m *Message, cycle int64)) {
+	n.deliverFns = append(n.deliverFns, fn)
+}
+
+// AddDropFn registers an observer called when the network permanently
+// discards a message (checksum failure, MaxReturns exhaustion, or the
+// delivery filter).
+func (n *Network) AddDropFn(fn func(node int, m *Message, reason DropReason, cycle int64)) {
+	n.dropFns = append(n.dropFns, fn)
+}
+
+// SetStallFn installs the link-fault oracle: when it reports true for a
+// (node, output port) pair, no phit crosses that channel this cycle.
+// PortLocal covers both delivery and injection at the node. Used by the
+// chaos injector to model stalled or broken links.
+func (n *Network) SetStallFn(fn func(node, port int, cycle int64) bool) {
+	n.stallFn = fn
+}
+
+// SetFilterFn installs the delivery filter: consulted at the head phit
+// of every arriving message, a true return drains the worm without
+// delivering it (counted in Stats.DupDrops). The reliable-delivery
+// runtime suppresses duplicate retransmissions here.
+func (n *Network) SetFilterFn(fn func(node int, m *Message, cycle int64) bool) {
+	n.filterFn = fn
+}
+
+// SetChecksum toggles NI checksum protection after construction (safe
+// before traffic starts; in-flight unstamped messages are unaffected
+// because verification is skipped for messages without a stamp).
+func (n *Network) SetChecksum(on bool) { n.cfg.Checksum = on }
+
+// SetReturnToSender toggles return-to-sender flow control after
+// construction.
+func (n *Network) SetReturnToSender(on bool) { n.cfg.ReturnToSender = on }
+
+// SetMaxReturns adjusts the refusal bound after construction.
+func (n *Network) SetMaxReturns(k int) { n.cfg.MaxReturns = k }
+
+// RouterOcc returns the number of phits buffered in node id's router —
+// nonzero at quiescence indicates a wedged worm.
+func (n *Network) RouterOcc(id int) int { return int(n.routers[id].occ) }
+
+// OutboxDepth returns the number of messages queued for injection at a
+// node and priority.
+func (n *Network) OutboxDepth(node, pri int) int { return len(n.out[node][pri].msgs) }
 
 // Pending reports whether any message traffic is still in flight
 // anywhere in the network (buffers or outboxes).
@@ -255,7 +342,7 @@ func (n *Network) Step() {
 				continue
 			}
 			n.stepRouter(ri, r, v, cyc)
-			n.feedInjection(r, ob, v, cyc)
+			n.feedInjection(ri, r, ob, v, cyc)
 		}
 	}
 }
@@ -291,6 +378,10 @@ func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
 		}
 		if r.linkStamp[out] == cyc {
 			continue // physical channel already used this cycle
+		}
+		if n.stallFn != nil && n.stallFn(ri, int(out), cyc) {
+			n.stats.StallsInjected++
+			continue // injected link fault holds the channel
 		}
 		if out == PortLocal {
 			n.deliverPhit(ri, r, v, q, b, cyc)
@@ -332,18 +423,36 @@ func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
 // queue. Even phits (first half of a word) are absorbed freely; odd
 // phits complete a word, which must be accepted by the queue.
 //
-// With return-to-sender flow control, a message that would not fit in
-// the destination queue is instead drained at the delivery port and sent
-// back to its source for retransmission after a backoff.
+// At the head phit the port decides the worm's fate: a homecoming
+// refused message is drained for retransmission; a corrupted message
+// (checksum mismatch) is drained and dropped; the delivery filter may
+// drop duplicates; and with return-to-sender flow control a message that
+// would not fit in the destination queue is drained and turned around —
+// or dropped once it has been refused MaxReturns times.
 func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 	head := b.peek()
 	m := head.m
-	if head.idx == 0 && n.cfg.ReturnToSender && !m.absorb {
+	if head.idx == 0 && !m.absorb {
 		switch {
-		case m.Returning:
+		case n.cfg.ReturnToSender && m.Returning:
 			m.absorb = true // arriving back home: drain and requeue
-		case n.queues[ri][v].Free() < len(m.Words) && n.queues[ri][v].Cap() >= len(m.Words):
-			m.absorb = true // refuse: drain and turn around
+		case !m.CheckOK():
+			m.absorb, m.drop = true, true
+			m.dropReason = DropCorrupt
+			n.stats.CorruptDrops++
+		case n.filterFn != nil && n.filterFn(ri, m, cyc):
+			m.absorb, m.drop = true, true
+			m.dropReason = DropFiltered
+			n.stats.DupDrops++
+		case n.cfg.ReturnToSender &&
+			n.queues[ri][v].Free() < len(m.Words) && n.queues[ri][v].Cap() >= len(m.Words):
+			if n.cfg.MaxReturns > 0 && int(m.Returns) >= n.cfg.MaxReturns {
+				m.absorb, m.drop = true, true
+				m.dropReason = DropMaxReturns
+				n.stats.DroppedMsgs++
+			} else {
+				m.absorb = true // refuse: drain and turn around
+			}
 		}
 	}
 	if m.absorb {
@@ -370,12 +479,16 @@ func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 		n.stats.LatencySum[v] += uint64(cyc - p.m.EnqueueCycle)
 		r.outOwner[v][PortLocal] = noPort
 		r.inRoute[v][q] = noPort
+		for _, fn := range n.deliverFns {
+			fn(ri, p.m, cyc)
+		}
 	}
 }
 
-// absorbPhit drains one phit of a refused or homecoming worm at the
-// delivery port, and at the tail re-injects the message: back toward the
-// source (refusal) or toward its true destination after the backoff
+// absorbPhit drains one phit of a refused, corrupted, filtered, or
+// homecoming worm at the delivery port. At the tail the message is
+// either discarded (drop set) or re-injected: back toward the source
+// (refusal) or toward its true destination after the backoff
 // (retransmission).
 func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 	p := b.pop()
@@ -389,6 +502,13 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 	r.outOwner[v][PortLocal] = noPort
 	r.inRoute[v][q] = noPort
 	m.absorb = false
+	if m.drop {
+		m.drop = false
+		for _, fn := range n.dropFns {
+			fn(ri, m, m.dropReason, cyc)
+		}
+		return
+	}
 	ob := &n.out[ri][v]
 	if m.Returning {
 		// Home again: restore the true destination and retransmit
@@ -416,9 +536,13 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 
 // feedInjection streams the node's next outgoing phit at priority v into
 // the router's local input buffer, one phit per cycle.
-func (n *Network) feedInjection(r *router, ob *outbox, v int, cyc int64) {
+func (n *Network) feedInjection(ri int, r *router, ob *outbox, v int, cyc int64) {
 	if len(ob.msgs) == 0 {
 		return
+	}
+	if n.stallFn != nil && n.stallFn(ri, PortLocal, cyc) {
+		n.stats.StallsInjected++
+		return // injected NI fault: nothing enters the router
 	}
 	b := &r.in[v][PortLocal]
 	occStart := int(b.n)

@@ -1,0 +1,173 @@
+package network
+
+import (
+	"testing"
+
+	"jmachine/internal/queue"
+)
+
+func makeNetCfg(t *testing.T, cfg Config, qcap int) (*Network, [][2]*queue.Queue) {
+	t.Helper()
+	queues := make([][2]*queue.Queue, cfg.DimX*cfg.DimY*cfg.DimZ)
+	for i := range queues {
+		queues[i] = [2]*queue.Queue{queue.New(qcap), queue.New(qcap)}
+	}
+	n, err := New(cfg, queues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, queues
+}
+
+func TestChecksumCatchesCorruption(t *testing.T) {
+	n, queues := makeNetCfg(t, Config{DimX: 4, DimY: 1, DimZ: 1, Checksum: true}, 16)
+
+	// A clean message passes checksum verification and is delivered.
+	clean := msgTo(n, 2, 0, 4)
+	n.Inject(0, clean, 0)
+	runUntilDelivered(t, n, queues[2][0], 200)
+	queues[2][0].PopTo(nil)
+
+	// A corrupted payload word flips on the wire; the head-phit check
+	// at the destination drains the worm without queueing any of it.
+	bad := msgTo(n, 2, 0, 4)
+	bad.CorruptWord, bad.CorruptMask = 1, 0x4
+	var dropped []DropReason
+	n.AddDropFn(func(node int, m *Message, reason DropReason, cycle int64) {
+		dropped = append(dropped, reason)
+	})
+	n.Inject(0, bad, 0)
+	for c := 0; c < 200; c++ {
+		n.Step()
+	}
+	if queues[2][0].Used() != 0 {
+		t.Errorf("corrupt message reached the queue: %d words", queues[2][0].Used())
+	}
+	if got := n.Stats().CorruptDrops; got != 1 {
+		t.Errorf("CorruptDrops = %d, want 1", got)
+	}
+	if len(dropped) != 1 || dropped[0] != DropCorrupt {
+		t.Errorf("drop hook saw %v, want [%v]", dropped, DropCorrupt)
+	}
+}
+
+func TestChecksumCleanWithoutCorruption(t *testing.T) {
+	// Checksum on, nothing corrupted: random traffic must be unaffected
+	// apart from the two extra wire phits per message.
+	n, queues := makeNetCfg(t, Config{DimX: 2, DimY: 2, DimZ: 1, Checksum: true}, 16)
+	const msgs = 12
+	for i := 0; i < msgs; i++ {
+		m := msgTo(n, i%4, 0, 3)
+		m.Src = int32((i + 1) % 4)
+		n.Inject(int((i+1)%4), m, 0)
+	}
+	for c := 0; c < 2000; c++ {
+		n.Step()
+	}
+	got := 0
+	for i := range queues {
+		got += queues[i][0].Messages()
+	}
+	if got != msgs {
+		t.Errorf("delivered %d of %d with checksum enabled", got, msgs)
+	}
+	if n.Stats().CorruptDrops != 0 {
+		t.Errorf("spurious corrupt drops: %d", n.Stats().CorruptDrops)
+	}
+}
+
+func TestMaxReturnsBoundsRefusalLivelock(t *testing.T) {
+	// A receiver that never drains with unbounded return-to-sender
+	// bounces traffic forever; MaxReturns converts the livelock into a
+	// counted drop that the sender's runtime can observe.
+	n, _ := makeNetCfg(t, Config{
+		DimX: 4, DimY: 1, DimZ: 1,
+		ReturnToSender: true, RTSBackoff: 10, MaxReturns: 3,
+	}, 8)
+	var reasons []DropReason
+	n.AddDropFn(func(node int, m *Message, reason DropReason, cycle int64) {
+		reasons = append(reasons, reason)
+	})
+	const sent = 6
+	for i := 0; i < sent; i++ {
+		m := msgTo(n, 2, 0, 4)
+		m.Src = 0
+		n.Inject(0, m, 0)
+	}
+	// Never pop queues[2]: it holds 2 messages; the other 4 bounce
+	// until each exhausts its 3 returns.
+	for c := 0; c < 20000; c++ {
+		n.Step()
+	}
+	if got := n.Stats().DroppedMsgs; got != sent-2 {
+		t.Errorf("DroppedMsgs = %d, want %d", got, sent-2)
+	}
+	for _, r := range reasons {
+		if r != DropMaxReturns {
+			t.Errorf("unexpected drop reason %v", r)
+		}
+	}
+	if len(reasons) != sent-2 {
+		t.Errorf("drop hook fired %d times, want %d", len(reasons), sent-2)
+	}
+}
+
+func TestStallFnFreezesLink(t *testing.T) {
+	// Baseline latency without the fault.
+	n, queues := makeNetCfg(t, Config{DimX: 4, DimY: 1, DimZ: 1}, 16)
+	n.Inject(0, msgTo(n, 3, 0, 3), 0)
+	base := runUntilDelivered(t, n, queues[3][0], 500)
+
+	// Same route with every port of node 1 stalled for 100 cycles.
+	n2, queues2 := makeNetCfg(t, Config{DimX: 4, DimY: 1, DimZ: 1}, 16)
+	n2.SetStallFn(func(node, port int, cycle int64) bool {
+		return node == 1 && cycle < 100
+	})
+	n2.Inject(0, msgTo(n2, 3, 0, 3), 0)
+	faulted := runUntilDelivered(t, n2, queues2[3][0], 1000)
+	if faulted <= base {
+		t.Errorf("stalled delivery took %d cycles, baseline %d", faulted, base)
+	}
+	if n2.Stats().StallsInjected == 0 {
+		t.Error("no stalls recorded")
+	}
+}
+
+func TestFilterFnDropsDuplicates(t *testing.T) {
+	n, queues := makeNetCfg(t, Config{DimX: 2, DimY: 1, DimZ: 1}, 16)
+	n.SetFilterFn(func(node int, m *Message, cycle int64) bool {
+		return m.Seq == 7 // pretend seq 7 was already seen
+	})
+	dup := msgTo(n, 1, 0, 3)
+	dup.Seq = 7
+	fresh := msgTo(n, 1, 0, 3)
+	fresh.Seq = 8
+	n.Inject(0, dup, 0)
+	n.Inject(0, fresh, 0)
+	for c := 0; c < 300; c++ {
+		n.Step()
+	}
+	if got := queues[1][0].Messages(); got != 1 {
+		t.Errorf("delivered %d messages, want 1 (duplicate filtered)", got)
+	}
+	if n.Stats().DupDrops != 1 {
+		t.Errorf("DupDrops = %d, want 1", n.Stats().DupDrops)
+	}
+}
+
+func TestSettersAfterConstruction(t *testing.T) {
+	n, queues := makeNetCfg(t, Config{DimX: 2, DimY: 1, DimZ: 1}, 16)
+	n.SetChecksum(true)
+	n.SetReturnToSender(true)
+	n.SetMaxReturns(5)
+	bad := msgTo(n, 1, 0, 3)
+	bad.CorruptWord, bad.CorruptMask = 1, 0x4
+	n.Inject(0, bad, 0)
+	for c := 0; c < 200; c++ {
+		n.Step()
+	}
+	if queues[1][0].Used() != 0 || n.Stats().CorruptDrops != 1 {
+		t.Errorf("post-construction checksum not effective: used=%d corrupt=%d",
+			queues[1][0].Used(), n.Stats().CorruptDrops)
+	}
+}

@@ -22,9 +22,10 @@ const DefaultCapWords = 512
 
 // Queue is one hardware message queue.
 type Queue struct {
-	buf  []word.Word
-	head int // ring index of the head message's header
-	used int // words currently buffered (complete + arriving)
+	buf   []word.Word
+	limit int // fault-injected capacity squeeze in words (0 = none)
+	head  int // ring index of the head message's header
+	used  int // words currently buffered (complete + arriving)
 
 	arriving  int // words of the incomplete message received so far
 	expecting int // total words of the incomplete message (0 = none)
@@ -45,14 +46,34 @@ func New(capWords int) *Queue {
 	return &Queue{buf: make([]word.Word, capWords)}
 }
 
-// Cap returns the capacity in words.
-func (q *Queue) Cap() int { return len(q.buf) }
+// Cap returns the effective capacity in words: the hardware size, or
+// the squeezed limit while a capacity fault is injected.
+func (q *Queue) Cap() int {
+	if q.limit > 0 && q.limit < len(q.buf) {
+		return q.limit
+	}
+	return len(q.buf)
+}
+
+// HardCap returns the hardware capacity in words, ignoring any squeeze.
+func (q *Queue) HardCap() int { return len(q.buf) }
+
+// SetLimit squeezes the effective capacity to limit words (a chaos
+// fault modelling partial buffer failure); 0 restores the full size.
+// Words already buffered beyond the limit stay until consumed — only
+// admission is constrained.
+func (q *Queue) SetLimit(limit int) { q.limit = limit }
 
 // Used returns the number of buffered words.
 func (q *Queue) Used() int { return q.used }
 
-// Free returns the number of free words.
-func (q *Queue) Free() int { return len(q.buf) - q.used }
+// Free returns the number of free words under the effective capacity.
+func (q *Queue) Free() int {
+	if f := q.Cap() - q.used; f > 0 {
+		return f
+	}
+	return 0
+}
 
 // Messages returns the number of complete messages buffered.
 func (q *Queue) Messages() int { return q.msgs }
@@ -62,7 +83,7 @@ func (q *Queue) Messages() int { return q.msgs }
 // whole message including the header itself. Push reports false — and
 // the word must be retried — when the queue is full.
 func (q *Queue) Push(w word.Word) bool {
-	if q.used >= len(q.buf) {
+	if q.used >= q.Cap() {
 		q.rejected++
 		return false
 	}

@@ -152,3 +152,72 @@ func TestMaxUsedStat(t *testing.T) {
 		t.Errorf("MaxUsedWords = %d", q.Stats().MaxUsedWords)
 	}
 }
+
+func TestSqueezeLimitsCapacity(t *testing.T) {
+	q := New(16)
+	if q.Cap() != 16 || q.HardCap() != 16 {
+		t.Fatalf("cap=%d hard=%d", q.Cap(), q.HardCap())
+	}
+	q.SetLimit(4)
+	if q.Cap() != 4 {
+		t.Errorf("squeezed Cap() = %d, want 4", q.Cap())
+	}
+	if q.HardCap() != 16 {
+		t.Errorf("HardCap() changed under squeeze: %d", q.HardCap())
+	}
+	// A 4-word message fills the squeezed queue exactly; the next word
+	// is rejected and counted.
+	if !pushMsg(q, 1, 1, 2, 3) {
+		t.Fatal("4-word message refused at squeezed capacity 4")
+	}
+	if q.Free() != 0 {
+		t.Errorf("Free() = %d, want 0", q.Free())
+	}
+	if q.Push(word.MsgHeader(2, 1)) {
+		t.Error("push accepted beyond squeezed capacity")
+	}
+	if got := q.Stats().RejectedWords; got != 1 {
+		t.Errorf("RejectedWords = %d, want 1", got)
+	}
+	// Restoring the limit re-opens the hardware capacity.
+	q.SetLimit(0)
+	if q.Cap() != 16 || q.Free() != 12 {
+		t.Errorf("after restore cap=%d free=%d", q.Cap(), q.Free())
+	}
+	if !q.Push(word.MsgHeader(2, 1)) {
+		t.Error("push rejected after squeeze was lifted")
+	}
+}
+
+func TestSqueezeSustainedBackpressureAccounting(t *testing.T) {
+	q := New(64)
+	q.SetLimit(8)
+	// Sustained offered load against the squeezed queue: every word
+	// over the limit is rejected, none are lost silently.
+	accepted, rejected := 0, 0
+	for i := 0; i < 40; i++ {
+		var ok bool
+		if i%4 == 0 {
+			ok = q.Push(word.MsgHeader(1, 4))
+		} else {
+			ok = q.Push(word.Int(int32(i)))
+		}
+		if ok {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if accepted != 8 {
+		t.Errorf("accepted %d words, want 8 (the squeezed cap)", accepted)
+	}
+	if got := q.Stats().RejectedWords; got != uint64(rejected) || rejected != 32 {
+		t.Errorf("RejectedWords = %d, local count %d, want 32", got, rejected)
+	}
+	// Draining makes room again: pop both buffered messages.
+	q.Pop()
+	q.Pop()
+	if q.Used() != 0 || !q.Push(word.MsgHeader(3, 1)) {
+		t.Errorf("queue did not recover after drain: used=%d", q.Used())
+	}
+}

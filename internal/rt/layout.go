@@ -54,6 +54,10 @@ const (
 	// SvcRestore restores a suspended thread: invoked by the rt.restore
 	// message handler with the saved-thread id at message word 1.
 	SvcRestore = 2
+	// SvcDack retires a reliable-delivery acknowledgement: invoked by
+	// the rt.dack handler with the acknowledged sequence number at
+	// message word 1. Registered only when EnableReliable is active.
+	SvcDack = 3
 	// SvcUserBase is the first service number available to language
 	// runtimes (the CST runtime registers its services here).
 	SvcUserBase = 16

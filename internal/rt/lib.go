@@ -47,6 +47,9 @@ const (
 	LBarrier = "rt.barrier"
 	// LBarWave is the priority-1 handler counting barrier arrivals.
 	LBarWave = "rt.barwave"
+	// LDack is the priority-1 handler retiring a reliable-delivery
+	// acknowledgement: [hdr, seq].
+	LDack = "rt.dack"
 )
 
 // AddrNWaves holds log₂(N), filled by LBarInit.
@@ -58,11 +61,18 @@ const AddrBarTable = 48
 // ProgramInfo carries the runtime entry points Attach needs.
 type ProgramInfo struct {
 	RestoreEntry int32
+	// DackEntry is the rt.dack acknowledgement handler, or -1 when the
+	// program predates it (EnableReliable then refuses to attach).
+	DackEntry int32
 }
 
 // Info extracts runtime entry points from an assembled program.
 func Info(p *asm.Program) ProgramInfo {
-	return ProgramInfo{RestoreEntry: p.Entry(LRestore)}
+	info := ProgramInfo{RestoreEntry: p.Entry(LRestore), DackEntry: -1}
+	if p.HasLabel(LDack) {
+		info.DackEntry = p.Entry(LDack)
+	}
+	return info
 }
 
 // BuildLib appends the runtime library to a program under construction.
@@ -83,6 +93,12 @@ func libRestore(b *asm.Builder) {
 
 	b.Label(LHalt).
 		Halt()
+
+	// rt.dack: [hdr, seq] at priority 1 — hand the acknowledged
+	// sequence number to the reliable-delivery service.
+	b.Label(LDack).
+		Trap(SvcDack).
+		Suspend()
 }
 
 func libSimpleHandlers(b *asm.Builder) {

@@ -1,0 +1,265 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+
+	"jmachine/internal/mdp"
+	"jmachine/internal/network"
+	"jmachine/internal/word"
+)
+
+// ReliableConfig tunes the reliable-delivery runtime.
+type ReliableConfig struct {
+	// TimeoutCycles is the base acknowledgement timeout; retransmission
+	// n waits TimeoutCycles<<n (exponential backoff). Default 2048.
+	TimeoutCycles int64
+	// MaxRetries bounds retransmissions per message; exceeding it fails
+	// the sending node with a surfaced error instead of retrying
+	// forever — the issue's livelock-to-error conversion. Default 8.
+	MaxRetries int
+	// ScanInterval is how often (cycles) the timeout scan runs.
+	// Default 64.
+	ScanInterval int64
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.TimeoutCycles <= 0 {
+		c.TimeoutCycles = 2048
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.ScanInterval <= 0 {
+		c.ScanInterval = 64
+	}
+	return c
+}
+
+// ReliableStats counts the protocol's work.
+type ReliableStats struct {
+	Tracked      uint64 // messages assigned sequence numbers
+	AcksSent     uint64 // acknowledgements injected by receivers
+	AcksReceived uint64 // acknowledgements retired at senders
+	Retries      uint64 // retransmissions (timeout- or drop-triggered)
+	DupAcked     uint64 // duplicate deliveries suppressed and re-acked
+	Failures     uint64 // messages abandoned after MaxRetries
+}
+
+// pendingMsg is a sender-side retransmission record: enough to rebuild
+// the message from scratch, because the in-flight copy is consumed (or
+// corrupted) by the network.
+type pendingMsg struct {
+	src                 int
+	destX, destY, destZ int8
+	pri                 int8
+	words               []word.Word
+	deadline            int64
+	attempts            int
+}
+
+// Reliable is the NI-level reliable-delivery runtime: every message
+// injected while it is attached gets a sequence number; the receiving
+// NI acknowledges delivery with a real priority-1 message dispatching
+// the rt.dack handler; unacknowledged messages are retransmitted with
+// exponential backoff, duplicates are suppressed at the delivery port,
+// and a message still unacknowledged after MaxRetries fails its sender
+// node with a diagnosable error instead of retrying forever.
+type Reliable struct {
+	rt    *Runtime
+	cfg   ReliableConfig
+	next  int32
+	stats ReliableStats
+
+	pending map[int32]*pendingMsg
+	seen    map[int32]struct{} // sequence numbers already delivered
+	err     error              // first MaxRetries exhaustion
+}
+
+// EnableReliable attaches the reliable-delivery runtime. The machine's
+// program must include the rt library with the rt.dack handler (any
+// program assembled against the current BuildLib does).
+func EnableReliable(r *Runtime, cfg ReliableConfig) *Reliable {
+	if r.dack <= 0 {
+		panic("rt: EnableReliable requires a program with the rt.dack handler (rebuild with BuildLib)")
+	}
+	rel := &Reliable{
+		rt:      r,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[int32]*pendingMsg),
+		seen:    make(map[int32]struct{}),
+	}
+	r.RegisterService(SvcDack, rel.svcDack)
+	net := r.M.Net
+	net.AddInjectFn(rel.onInject)
+	net.AddDeliverFn(rel.onDeliver)
+	net.AddDropFn(rel.onDrop)
+	net.SetFilterFn(rel.filterDup)
+	r.M.AddCycleFn(rel.tick)
+	return rel
+}
+
+// Stats returns the protocol counters.
+func (rel *Reliable) Stats() ReliableStats { return rel.stats }
+
+// Pending returns how many messages await acknowledgement.
+func (rel *Reliable) Pending() int { return len(rel.pending) }
+
+// Err returns the first retransmission-exhaustion error, if any (also
+// surfaced through the failing node's Fatal and the machine run loops).
+func (rel *Reliable) Err() error { return rel.err }
+
+// onInject assigns the next sequence number to every fresh application
+// message and snapshots it for retransmission. Control traffic (acks)
+// and already-sequenced retransmissions pass through untouched.
+func (rel *Reliable) onInject(node int, m *network.Message, cycle int64) {
+	if m.Ctl || m.Seq != 0 {
+		return
+	}
+	rel.next++
+	m.Seq = rel.next
+	p := &pendingMsg{
+		src:   node,
+		destX: m.DestX, destY: m.DestY, destZ: m.DestZ,
+		pri:      m.Pri,
+		words:    append([]word.Word(nil), m.Words...),
+		deadline: cycle + rel.cfg.TimeoutCycles,
+	}
+	rel.pending[m.Seq] = p
+	rel.stats.Tracked++
+}
+
+// onDeliver acknowledges a tracked message's arrival: the receiving NI
+// marks the sequence seen and injects a 2-word priority-1 ack back to
+// the sender, where it dispatches rt.dack.
+func (rel *Reliable) onDeliver(node int, m *network.Message, cycle int64) {
+	if m.Ctl || m.Seq == 0 {
+		return
+	}
+	rel.seen[m.Seq] = struct{}{}
+	if rel.niAlive(node) {
+		rel.sendAck(node, int(m.Src), m.Seq)
+	}
+}
+
+// niAlive reports whether node's network interface can generate acks:
+// the NI shares the node's fate, so a frozen node stays silent until
+// thawed (the sender retries) and a killed node never acks (the sender
+// exhausts MaxRetries and surfaces the failure).
+func (rel *Reliable) niAlive(node int) bool {
+	n := rel.rt.M.Nodes[node]
+	return !n.Killed() && !n.Frozen()
+}
+
+// filterDup suppresses retransmitted copies of already-delivered
+// messages at the delivery port, re-acknowledging in case the earlier
+// ack was lost.
+func (rel *Reliable) filterDup(node int, m *network.Message, cycle int64) bool {
+	if m.Ctl || m.Seq == 0 {
+		return false
+	}
+	if _, dup := rel.seen[m.Seq]; !dup {
+		return false
+	}
+	if rel.niAlive(node) {
+		rel.stats.DupAcked++
+		rel.sendAck(node, int(m.Src), m.Seq)
+	}
+	return true
+}
+
+// onDrop reacts to the network permanently discarding a worm (checksum
+// failure, MaxReturns exhaustion): the retransmission deadline is
+// pulled in so the next timeout scan resends without waiting out the
+// full backoff. Lost acks are left to the sender's timeout.
+func (rel *Reliable) onDrop(node int, m *network.Message, reason network.DropReason, cycle int64) {
+	if m.Ctl || m.Seq == 0 {
+		return
+	}
+	// A filtered duplicate means the original already arrived — the
+	// ack is in flight or the receiver is frozen. Accelerating the
+	// retransmission would spin the retry budget against a silent
+	// receiver; leave the backoff schedule alone.
+	if reason == network.DropFiltered {
+		return
+	}
+	if p, ok := rel.pending[m.Seq]; ok {
+		p.deadline = cycle
+	}
+}
+
+// sendAck injects the acknowledgement message. Acks are privileged NI
+// traffic: they bypass the outbox capacity check (the hardware would
+// reserve NI buffer space for them) but still traverse the mesh and
+// consume handler cycles at the sender.
+func (rel *Reliable) sendAck(from, to int, seq int32) {
+	net := rel.rt.M.Net
+	x, y, z := net.NodeCoords(to)
+	ack := &network.Message{
+		DestX: int8(x), DestY: int8(y), DestZ: int8(z),
+		Pri: 1, Src: int32(from), Ctl: true,
+		Words: []word.Word{word.MsgHeader(rel.rt.dack, 2), word.Int(seq)},
+	}
+	net.Inject(from, ack, 0)
+	rel.stats.AcksSent++
+}
+
+// svcDack retires an acknowledgement at the sender: message word 1
+// carries the sequence number.
+func (rel *Reliable) svcDack(n *mdp.Node, ns *NodeState, f mdp.Fault) (int32, mdp.FaultAction) {
+	q := n.Queues[1]
+	if f.Level == mdp.LvlP0 {
+		q = n.Queues[0]
+	}
+	seq := q.WordAt(1).Data()
+	if _, ok := rel.pending[seq]; ok {
+		delete(rel.pending, seq)
+		rel.stats.AcksReceived++
+	}
+	return 2, mdp.ActAdvance
+}
+
+// tick is the machine cycle hook: every ScanInterval cycles it scans
+// pending messages (in ascending sequence order, for determinism) and
+// retransmits those whose deadline has passed.
+func (rel *Reliable) tick(cycle int64) {
+	if cycle%rel.cfg.ScanInterval != 0 || len(rel.pending) == 0 {
+		return
+	}
+	var due []int32
+	for seq, p := range rel.pending {
+		if p.deadline <= cycle {
+			due = append(due, seq)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, seq := range due {
+		rel.retransmit(seq, rel.pending[seq], cycle)
+	}
+}
+
+// retransmit resends one pending message as a fresh, clean copy (the
+// sequence number is preserved; injected corruption is not), backing
+// off exponentially. Exhausting MaxRetries fails the sending node.
+func (rel *Reliable) retransmit(seq int32, p *pendingMsg, cycle int64) {
+	if p.attempts >= rel.cfg.MaxRetries {
+		delete(rel.pending, seq)
+		rel.stats.Failures++
+		err := fmt.Errorf("rt: reliable delivery of seq %d from node %d failed after %d retransmissions",
+			seq, p.src, p.attempts)
+		if rel.err == nil {
+			rel.err = err
+		}
+		rel.rt.M.Nodes[p.src].Fail(err)
+		return
+	}
+	p.attempts++
+	rel.stats.Retries++
+	p.deadline = cycle + rel.cfg.TimeoutCycles<<p.attempts
+	m := &network.Message{
+		DestX: p.destX, DestY: p.destY, DestZ: p.destZ,
+		Pri: p.pri, Src: int32(p.src), Seq: seq,
+		Words: append([]word.Word(nil), p.words...),
+	}
+	rel.rt.M.Net.Inject(p.src, m, 0)
+}

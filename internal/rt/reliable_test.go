@@ -1,0 +1,132 @@
+package rt_test
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/machine"
+	"jmachine/internal/network"
+	"jmachine/internal/rt"
+)
+
+// pingReliable builds a 1×2 ping machine with checksum protection and
+// the reliable-delivery runtime enabled, returning the machine and the
+// reliable layer before any traffic is started.
+func pingReliable(t *testing.T, cfg rt.ReliableConfig) (*machine.Machine, *rt.Reliable) {
+	t.Helper()
+	p := buildWith(t, pingClient)
+	m := machine.MustNew(machine.Grid(2, 1, 1), p)
+	m.Net.SetChecksum(true)
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	rel := rt.EnableReliable(r, cfg)
+	m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(1))
+	return m, rel
+}
+
+func TestReliableCleanPathOverhead(t *testing.T) {
+	// With no faults the reliable layer must be invisible apart from
+	// ack traffic: the ping completes and every tracked message acks.
+	m, rel := pingReliable(t, rt.ReliableConfig{})
+	rt.StartNode(m, m.Nodes[0].Prog, 0, "main")
+	runFlagged(t, m)
+	// Let the final ack (for the reply that raised the flag) land.
+	if err := m.RunWhile(func(m *machine.Machine) bool {
+		return rel.Pending() > 0
+	}, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Stats()
+	if s.Tracked == 0 {
+		t.Fatal("no messages tracked")
+	}
+	if s.AcksReceived != s.Tracked {
+		t.Errorf("acks %d/%d tracked", s.AcksReceived, s.Tracked)
+	}
+	if s.Retries != 0 || s.Failures != 0 {
+		t.Errorf("clean run saw retries=%d failures=%d", s.Retries, s.Failures)
+	}
+}
+
+func TestReliableRecoversCorruptDrop(t *testing.T) {
+	// The first data message is corrupted on the wire: checksum drops
+	// it, the ack never comes, and the retransmit path must redeliver a
+	// clean copy so the ping still completes.
+	m, rel := pingReliable(t, rt.ReliableConfig{TimeoutCycles: 256, ScanInterval: 16})
+	armed := true
+	m.Net.AddInjectFn(func(node int, msg *network.Message, cycle int64) {
+		if armed && !msg.Ctl {
+			msg.CorruptWord, msg.CorruptMask = 1, 0x10
+			armed = false
+		}
+	})
+	rt.StartNode(m, m.Nodes[0].Prog, 0, "main")
+	runFlagged(t, m)
+	s := rel.Stats()
+	if s.Retries == 0 {
+		t.Error("recovery without a retry — corruption was not injected?")
+	}
+	if s.Failures != 0 {
+		t.Errorf("failures = %d, want 0", s.Failures)
+	}
+	if m.Net.Stats().CorruptDrops != 1 {
+		t.Errorf("CorruptDrops = %d, want 1", m.Net.Stats().CorruptDrops)
+	}
+}
+
+func TestReliableDeduplicatesLateDuplicate(t *testing.T) {
+	// Corrupt the ACK instead of the data message: the data arrives,
+	// the receiver's ack is dropped, the sender retransmits, and the
+	// receiver must ack again while filtering the duplicate body.
+	m, rel := pingReliable(t, rt.ReliableConfig{TimeoutCycles: 256, ScanInterval: 16})
+	armed := true
+	m.Net.AddInjectFn(func(node int, msg *network.Message, cycle int64) {
+		if armed && msg.Ctl {
+			msg.CorruptWord, msg.CorruptMask = 1, 0x10
+			armed = false
+		}
+	})
+	rt.StartNode(m, m.Nodes[0].Prog, 0, "main")
+	runFlagged(t, m)
+	// The ping completes before the ack timeout fires; keep the clock
+	// running until the retransmission round-trips.
+	if err := m.RunWhile(func(m *machine.Machine) bool {
+		return rel.Pending() > 0 && m.Cycle() < 50_000
+	}, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Stats()
+	if s.DupAcked == 0 {
+		t.Error("duplicate retransmission was not re-acked")
+	}
+	if got := m.Net.Stats().DupDrops; got == 0 {
+		t.Error("duplicate body was not filtered")
+	}
+}
+
+func TestReliableMaxRetriesSurfacesFailure(t *testing.T) {
+	// The receiver is killed before traffic starts: every ack times
+	// out, and after MaxRetries the sender node must fail loudly with
+	// a descriptive error instead of retrying forever.
+	m, rel := pingReliable(t, rt.ReliableConfig{
+		TimeoutCycles: 64, MaxRetries: 2, ScanInterval: 16,
+	})
+	m.Nodes[1].Kill()
+	rt.StartNode(m, m.Nodes[0].Prog, 0, "main")
+	err := m.RunWhile(func(m *machine.Machine) bool { return true }, 1_000_000)
+	if err == nil {
+		t.Fatal("dead receiver went unnoticed")
+	}
+	if !strings.Contains(err.Error(), "reliable") {
+		t.Errorf("error does not name the reliable layer: %v", err)
+	}
+	s := rel.Stats()
+	if s.Failures == 0 {
+		t.Error("no delivery failure recorded")
+	}
+	if s.Retries != 2 {
+		t.Errorf("retries = %d, want MaxRetries = 2", s.Retries)
+	}
+	if m.Cycle() >= 1_000_000 {
+		t.Error("failure did not bound the run")
+	}
+}

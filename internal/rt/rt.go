@@ -38,6 +38,7 @@ type Runtime struct {
 	nodes    []*NodeState
 	services map[int32]Service
 	restore  int32 // code address of the rt.restore handler
+	dack     int32 // code address of the rt.dack handler (-1 if absent)
 }
 
 // Attach installs the runtime on a machine running a program that
@@ -50,6 +51,7 @@ func Attach(m *machine.Machine, prog ProgramInfo, pol Policy) *Runtime {
 		nodes:    make([]*NodeState, m.NumNodes()),
 		services: make(map[int32]Service),
 		restore:  prog.RestoreEntry,
+		dack:     prog.DackEntry,
 	}
 	for i := range r.nodes {
 		r.nodes[i] = &NodeState{

@@ -124,6 +124,19 @@ func (b *Buffer) Events() []Event {
 	return out
 }
 
+// Tail returns the most recent k retained events, oldest first (all of
+// them when fewer than k are retained). Nil-safe.
+func (b *Buffer) Tail(k int) []Event {
+	evs := b.Events()
+	if k < 0 {
+		k = 0
+	}
+	if len(evs) > k {
+		evs = evs[len(evs)-k:]
+	}
+	return evs
+}
+
 // Filter returns the retained events of one kind, oldest first.
 func (b *Buffer) Filter(k Kind) []Event {
 	var out []Event

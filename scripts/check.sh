@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repo-wide verification: vet, the full test suite under the race
+# detector, and a short deterministic chaos smoke test (two runs of the
+# same seeded campaign must produce byte-identical output, and every
+# workload must survive it with reliable delivery enabled).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== chaos smoke"
+go build -o /tmp/jm-chaos-check ./cmd/jm-chaos
+SMOKE='-workload all -seed 11 -reliable -watchdog 100000'
+/tmp/jm-chaos-check $SMOKE > /tmp/jm-chaos-check-1.out
+/tmp/jm-chaos-check $SMOKE > /tmp/jm-chaos-check-2.out
+cmp /tmp/jm-chaos-check-1.out /tmp/jm-chaos-check-2.out
+echo "chaos smoke: all workloads completed, output deterministic"
+
+echo "== OK"
