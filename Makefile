@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check tables
+.PHONY: build test check tables bench
 
 build:
 	go build ./...
@@ -15,3 +15,7 @@ check:
 # Regenerate the paper's tables and figures.
 tables:
 	go run ./cmd/jm-tables
+
+# Engine benchmarks: testing.B suite + 512-node probe -> BENCH_engine.json.
+bench:
+	sh scripts/bench.sh

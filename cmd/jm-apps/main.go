@@ -20,7 +20,9 @@ import (
 	"jmachine/internal/apps/radix"
 	"jmachine/internal/apps/tsp"
 	"jmachine/internal/bench"
+	"jmachine/internal/engine"
 	"jmachine/internal/machine"
+	"jmachine/internal/rt"
 	"jmachine/internal/stats"
 )
 
@@ -34,14 +36,27 @@ func main() {
 	depth := flag.Int("depth", 2, "nqueens: breadth-first split depth")
 	cities := flag.Int("cities", 9, "tsp: city count")
 	seed := flag.Int64("seed", 11, "workload seed")
+	shards := flag.Int("shards", engine.DefaultShards(),
+		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
 	flag.Parse()
+
+	// setup attaches the parallel engine through each app's Setup hook;
+	// stop releases its workers once the run returns.
+	var eng *engine.Engine
+	setup := func(m *machine.Machine, _ *rt.Runtime) {
+		if *shards > 1 {
+			eng = engine.Attach(m, *shards)
+		}
+	}
+	stop := func() { eng.Stop() }
 
 	var cycles int64
 	var m *machine.Machine
 	switch *app {
 	case "lcs":
-		params := lcs.Params{LenA: *lena, LenB: *lenb, Seed: *seed}
+		params := lcs.Params{LenA: *lena, LenB: *lenb, Seed: *seed, Setup: setup}
 		r, err := lcs.Run(*nodes, params)
+		stop()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,8 +64,9 @@ func main() {
 		fmt.Printf("LCS(%d×%d) = %d (reference %d)\n", *lena, *lenb, r.Length, lcs.Reference(a, b))
 		cycles, m = r.Cycles, r.M
 	case "radix":
-		params := radix.Params{Keys: *keys, Seed: *seed}
+		params := radix.Params{Keys: *keys, Seed: *seed, Setup: setup}
 		r, err := radix.Run(*nodes, params)
+		stop()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +81,8 @@ func main() {
 		fmt.Printf("radix sort of %d keys: correct=%v\n", *keys, ok)
 		cycles, m = r.Cycles, r.M
 	case "nqueens":
-		r, err := nqueens.Run(*nodes, nqueens.Params{N: *n, SplitDepth: *depth})
+		r, err := nqueens.Run(*nodes, nqueens.Params{N: *n, SplitDepth: *depth, Setup: setup})
+		stop()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,8 +90,9 @@ func main() {
 			*n, r.Solutions, nqueens.Reference(*n), r.Tasks)
 		cycles, m = r.Cycles, r.M
 	case "tsp":
-		params := tsp.Params{Cities: *cities, Seed: *seed}
+		params := tsp.Params{Cities: *cities, Seed: *seed, Setup: setup}
 		r, err := tsp.Run(*nodes, params)
+		stop()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,156 @@
+// jm-bench measures the parallel engine's wall-clock behaviour on the
+// 512-node Figure 3 loaded-exchange workload and writes the results as
+// JSON (the committed BENCH_engine.json). Each shard count runs the
+// identical workload; the final machine-state digests must match the
+// sequential reference, so the file doubles as a large-scale
+// determinism check.
+//
+// Usage:
+//
+//	jm-bench [-nodes 512] [-warm 2000] [-measure 20000]
+//	         [-shards 0,2,4,8] [-gobench file] [-out BENCH_engine.json]
+//
+// -gobench merges the `go test -bench` output of the testing.B suite
+// (scripts/bench.sh produces it) into the JSON.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"jmachine/internal/bench"
+)
+
+// goBenchLine is one parsed `go test -bench` result row.
+type goBenchLine struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// report is the BENCH_engine.json schema.
+type report struct {
+	Workload     string                    `json:"workload"`
+	HostCores    int                       `json:"host_cores"`
+	GoMaxProcs   int                       `json:"gomaxprocs"`
+	GoVersion    string                    `json:"go_version"`
+	Notes        []string                  `json:"notes"`
+	Probe        []bench.EngineProbeResult `json:"probe"`
+	Speedup      map[string]float64        `json:"speedup_vs_sequential"`
+	DigestsMatch bool                      `json:"digests_match"`
+	GoBench      []goBenchLine             `json:"go_bench,omitempty"`
+}
+
+func main() {
+	nodes := flag.Int("nodes", 512, "probe machine size")
+	warm := flag.Int64("warm", 2000, "warm-up cycles before timing")
+	measure := flag.Int64("measure", 20000, "measured cycles")
+	shardList := flag.String("shards", "0,2,4,8", "comma-separated shard counts (0 = sequential)")
+	gobench := flag.String("gobench", "", "`go test -bench` output file to merge")
+	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad -shards entry %q: %v", f, err)
+		}
+		counts = append(counts, n)
+	}
+
+	rep := report{
+		Workload:   fmt.Sprintf("fig3 loaded exchange, %d nodes, 8-word messages", *nodes),
+		HostCores:  runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Notes: []string{
+			"cycles_per_sec = measured cycles / wall seconds; ns/op in go_bench is ns per machine cycle",
+			"state digests across shard counts must be equal (byte-identical simulation)",
+			"speedup over the sequential loop requires >= 4 hardware threads; on fewer cores the rendezvous overhead dominates and the sequential reference is the right engine",
+		},
+		Speedup: map[string]float64{},
+	}
+
+	var seqRate float64
+	rep.DigestsMatch = true
+	for _, k := range counts {
+		res, err := bench.EngineProbe(*nodes, k, *warm, *measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Probe = append(rep.Probe, res)
+		fmt.Fprintf(os.Stderr, "probe nodes=%d shards=%d: %.0f cycles/sec (digest %#x)\n",
+			res.Nodes, res.Shards, res.CyclesPerSec, res.Digest)
+		if k <= 1 && seqRate == 0 {
+			seqRate = res.CyclesPerSec
+		}
+		if res.Digest != rep.Probe[0].Digest {
+			rep.DigestsMatch = false
+		}
+	}
+	if seqRate > 0 {
+		for _, res := range rep.Probe {
+			if res.Shards > 1 {
+				rep.Speedup[fmt.Sprintf("shards-%d", res.Shards)] = res.CyclesPerSec / seqRate
+			}
+		}
+	}
+	if !rep.DigestsMatch {
+		log.Fatal("state digests diverged across shard counts — determinism violation")
+	}
+
+	if *gobench != "" {
+		lines, err := parseGoBench(*gobench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.GoBench = lines
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// parseGoBench extracts "BenchmarkX-N  iters  ns/op" rows from a
+// `go test -bench` output file.
+func parseGoBench(path string) ([]goBenchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []goBenchLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, goBenchLine{Name: fields[0], Iterations: iters, NsPerOp: ns})
+	}
+	return out, sc.Err()
+}

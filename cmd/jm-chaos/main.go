@@ -26,6 +26,7 @@ import (
 	"jmachine/internal/apps/tsp"
 	"jmachine/internal/bench"
 	"jmachine/internal/chaos"
+	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
 )
@@ -46,6 +47,8 @@ func main() {
 	watchdog := flag.Int64("watchdog", 100_000, "progress-watchdog window in cycles (0 = off)")
 	budget := flag.Int64("budget", 4_000_000, "cycle budget per run")
 	runs := flag.Int("runs", 1, "repeat count (identical output per run proves determinism)")
+	shards := flag.Int("shards", engine.DefaultShards(),
+		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
 	flag.Parse()
 
 	camp, err := buildCampaign(*campaignStr, *seed, *nodes, *horizon, *faults)
@@ -60,6 +63,7 @@ func main() {
 		Watchdog:   *watchdog,
 		Reliable:   *reliable,
 		Budget:     *budget,
+		Shards:     *shards,
 	}
 
 	fmt.Printf("campaign: %s\n", camp.String())
@@ -140,6 +144,7 @@ func runWorkload(name string, camp chaos.Campaign, rc bench.ResilienceConfig) (*
 type holder struct {
 	inj *chaos.Injector
 	rel *rt.Reliable
+	eng *engine.Engine
 }
 
 // setup returns the Params.Setup hook applying the resilience switches
@@ -154,11 +159,15 @@ func (h *holder) setup(camp chaos.Campaign, rc bench.ResilienceConfig) func(*mac
 			h.rel = rt.EnableReliable(r, rt.ReliableConfig{})
 		}
 		h.inj = chaos.Attach(m, camp)
+		if rc.Shards > 1 {
+			h.eng = engine.Attach(m, rc.Shards)
+		}
 	}
 }
 
 // collect folds an application run into a CampaignResult.
 func (h *holder) collect(name string, m *machine.Machine, cycles int64, runErr error) *bench.CampaignResult {
+	h.eng.Stop()
 	res := &bench.CampaignResult{
 		Workload:  name,
 		Completed: runErr == nil,

@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"jmachine/internal/bench"
+	"jmachine/internal/engine"
 )
 
 func main() {
@@ -25,18 +26,20 @@ func main() {
 	inner := flag.Int("inner", 8, "barriers per measurement (barrier)")
 	words := flag.Int("words", 8, "message size in words (bandwidth)")
 	variant := flag.String("variant", "discard", "receiver variant (bandwidth)")
+	shards := flag.Int("shards", engine.DefaultShards(),
+		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
 	flag.Parse()
 
 	switch *which {
 	case "ping":
-		cycles, err := bench.Ping(*k, *target)
+		cycles, err := bench.Ping(*k, *target, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("ping to node %d on a %d^3 mesh: %d cycles round trip (%.2f µs)\n",
 			*target, *k, cycles, bench.Micros(float64(cycles)))
 	case "barrier":
-		cycles, err := bench.MeasureBarrier(*nodes, *inner)
+		cycles, err := bench.MeasureBarrier(*nodes, *inner, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"jmachine/internal/bench"
+	"jmachine/internal/engine"
 )
 
 func main() {
@@ -25,9 +26,11 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress")
 	plots := flag.Bool("plots", false, "render ASCII plots for the figures")
 	exps := flag.String("exp", "all", "comma-separated experiment list")
+	shards := flag.Int("shards", engine.DefaultShards(),
+		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
 	flag.Parse()
 
-	o := bench.Options{Quick: *quick, PaperScale: *paper, Verbose: *verbose}
+	o := bench.Options{Quick: *quick, PaperScale: *paper, Verbose: *verbose, Shards: *shards}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true

@@ -15,7 +15,7 @@ func main() {
 	fmt.Println("software barrier time vs machine size (8 barriers averaged)")
 	fmt.Println("nodes  cycles  µs      µs/wave")
 	for _, n := range []int{2, 4, 8, 16, 32, 64} {
-		cycles, err := bench.MeasureBarrier(n, 8)
+		cycles, err := bench.MeasureBarrier(n, 8, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -24,7 +24,7 @@ func main() {
 		y := min(d-x, 7)
 		z := d - x - y
 		target := x + 8*(y+8*z)
-		cycles, err := bench.Ping(8, target)
+		cycles, err := bench.Ping(8, target, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -48,7 +48,7 @@ func AblateDispatch(o Options) (*AblationResult, error) {
 		p := buildMicroProgram(buildPingClient)
 		cfg := machine.Grid(1, 1, 1)
 		cfg.MDP.Timing = timingWithDispatch(v.dispatch)
-		rtt, err := runRoundTrip(p, cfg, 0, nil)
+		rtt, err := runRoundTrip(p, cfg, 0, nil, 0)
 		if err != nil {
 			return nil, err
 		}

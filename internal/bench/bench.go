@@ -27,6 +27,17 @@ type Options struct {
 	// Verbose prints progress as points complete.
 	Verbose  bool
 	Progress func(format string, args ...any)
+	// Shards > 1 steps each simulated machine with the parallel engine
+	// (internal/engine); 0 or 1 keeps the sequential reference loop.
+	// Results are byte-identical either way — the engine equivalence
+	// suite enforces it — so this is purely a wall-clock knob. It
+	// composes with runParallel: independent experiment points still
+	// fan out across GOMAXPROCS, and each machine additionally steps
+	// on Shards goroutines. Machines smaller than the shard count
+	// clamp; the tiny one- and two-node rigs (tab1, tab2, fig4, seq)
+	// stay sequential, where the engine could only add rendezvous
+	// overhead.
+	Shards int
 }
 
 func (o Options) progress(format string, args ...any) {

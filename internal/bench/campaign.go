@@ -9,6 +9,7 @@ package bench
 import (
 	"jmachine/internal/asm"
 	"jmachine/internal/chaos"
+	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/network"
 	"jmachine/internal/rt"
@@ -16,14 +17,18 @@ import (
 
 // ResilienceConfig selects the protection layers for a campaign run.
 type ResilienceConfig struct {
-	Nodes      int   // machine size (default 8)
-	Checksum   bool  // NI checksum word + delivery-port verification
-	RTS        bool  // return-to-sender flow control
-	MaxReturns int   // bound on refusals before the network drops (0 = unbounded)
-	Watchdog   int64 // progress-watchdog window in cycles (0 = off)
-	Reliable   bool  // ACK/timeout/retransmit runtime (rt.EnableReliable)
+	Nodes       int   // machine size (default 8)
+	Checksum    bool  // NI checksum word + delivery-port verification
+	RTS         bool  // return-to-sender flow control
+	MaxReturns  int   // bound on refusals before the network drops (0 = unbounded)
+	Watchdog    int64 // progress-watchdog window in cycles (0 = off)
+	Reliable    bool  // ACK/timeout/retransmit runtime (rt.EnableReliable)
 	ReliableCfg rt.ReliableConfig
-	Budget     int64 // cycle budget (default 2,000,000)
+	Budget      int64 // cycle budget (default 2,000,000)
+	// Shards > 1 steps the machine with the parallel engine; 0 or 1
+	// keeps the sequential reference loop. Results are byte-identical
+	// either way (the equivalence suite enforces it).
+	Shards int
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -59,14 +64,19 @@ type CampaignResult struct {
 	HasReliable   bool
 	Reliable      rt.ReliableStats
 	ChaosReport   string
+	// StateDigest folds the machine's final state (machine.StateDigest)
+	// so sequential and sharded runs can be compared byte-for-byte.
+	StateDigest uint64
 }
 
 // prepare builds a machine for a campaign run and attaches the runtime,
-// the optional reliable-delivery layer, and the chaos injector.
-func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, error) {
+// the optional reliable-delivery layer, the chaos injector, and — when
+// rc.Shards > 1 — the parallel engine. The caller must Stop the
+// returned engine (nil-safe via its no-op form) after the run.
+func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, *engine.Engine, error) {
 	m, err := machine.New(rc.machineConfig(), p)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
 	var rel *rt.Reliable
@@ -74,7 +84,11 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 		rel = rt.EnableReliable(r, rc.ReliableCfg)
 	}
 	inj := chaos.Attach(m, camp)
-	return m, rel, inj, nil
+	var eng *engine.Engine
+	if rc.Shards > 1 {
+		eng = engine.Attach(m, rc.Shards)
+	}
+	return m, rel, inj, eng, nil
 }
 
 // collect folds the run outcome into a CampaignResult.
@@ -88,6 +102,7 @@ func collect(name string, m *machine.Machine, rel *rt.Reliable, inj *chaos.Injec
 		Net:           m.Net.Stats(),
 		WatchdogTrips: m.WatchdogTrips,
 		ChaosReport:   inj.Report(),
+		StateDigest:   m.StateDigest(),
 	}
 	if rel != nil {
 		res.HasReliable = true
@@ -102,10 +117,11 @@ func collect(name string, m *machine.Machine, rel *rt.Reliable, inj *chaos.Injec
 func PingCampaign(camp chaos.Campaign, rc ResilienceConfig) (*CampaignResult, error) {
 	rc = rc.withDefaults()
 	p := buildMicroProgram(buildPingClient)
-	m, rel, inj, err := prepare(camp, rc, p)
+	m, rel, inj, eng, err := prepare(camp, rc, p)
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Stop()
 	target := m.NumNodes() - 1
 	if err := m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(target)); err != nil {
 		return nil, err
@@ -133,10 +149,11 @@ func BarrierCampaign(camp chaos.Campaign, rc ResilienceConfig, inner int) (*Camp
 		inner = 4
 	}
 	p := barrierBenchProgram(inner)
-	m, rel, inj, err := prepare(camp, rc, p)
+	m, rel, inj, eng, err := prepare(camp, rc, p)
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Stop()
 	rt.StartAll(m, p, "main")
 	runErr := m.RunUntilHalt(0, rc.Budget)
 	var per int64

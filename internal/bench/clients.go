@@ -53,14 +53,16 @@ func buildMicroProgram(build func(b *asm.Builder)) *asm.Program {
 }
 
 // runRoundTrip boots the client on node 0 of a machine, targeting the
-// given node, and returns the measured round-trip cycles.
+// given node, and returns the measured round-trip cycles. shards > 1
+// steps the machine with the parallel engine.
 func runRoundTrip(p *asm.Program, cfg machine.Config, target int,
-	setup func(m *machine.Machine)) (int64, error) {
+	setup func(m *machine.Machine), shards int) (int64, error) {
 	m, err := machine.New(cfg, p)
 	if err != nil {
 		return 0, err
 	}
 	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	defer (Options{Shards: shards}).attachEngine(m)()
 	if err := m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(target)); err != nil {
 		return 0, err
 	}

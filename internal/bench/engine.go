@@ -1,0 +1,36 @@
+package bench
+
+// Glue between the experiment drivers and the parallel engine: every
+// machine an experiment runs goes through one of these two helpers so
+// Options.Shards reaches it uniformly.
+
+import (
+	"jmachine/internal/engine"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+)
+
+// attachEngine installs the parallel engine on m when o.Shards > 1 and
+// returns the matching stop function (a no-op otherwise). Callers
+// defer the stop so the worker goroutines are released when the run
+// returns.
+func (o Options) attachEngine(m *machine.Machine) func() {
+	if o.Shards <= 1 {
+		return func() {}
+	}
+	eng := engine.Attach(m, o.Shards)
+	return eng.Stop
+}
+
+// engineHook returns an application Setup hook attaching the parallel
+// engine, plus the stop function to call once the app's Run returns.
+// With sharding off the hook is nil, leaving the app's Params exactly
+// as a sequential caller would build them.
+func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
+	if o.Shards <= 1 {
+		return nil, func() {}
+	}
+	var eng *engine.Engine
+	setup := func(m *machine.Machine, _ *rt.Runtime) { eng = engine.Attach(m, o.Shards) }
+	return setup, func() { eng.Stop() }
+}

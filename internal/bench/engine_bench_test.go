@@ -1,0 +1,40 @@
+package bench
+
+// testing.B benchmarks for the parallel engine, run by scripts/bench.sh
+// (never by plain `go test`). ns/op is nanoseconds per machine cycle.
+
+import (
+	"fmt"
+	"testing"
+
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+)
+
+// benchStep measures the per-cycle stepping cost of a barrier-loop
+// machine of the given size under the given shard count.
+func benchStep(b *testing.B, nodes, shards int) {
+	p := barrierBenchProgram(1 << 28) // loops for far longer than any run
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	defer (Options{Shards: shards}).attachEngine(m)()
+	rt.StartAll(m, p, "main")
+	m.StepN(1000) // warm: the barrier waves are in flight
+	b.ResetTimer()
+	m.StepN(int64(b.N))
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for _, nodes := range []int{64, 512} {
+		for _, shards := range []int{0, 2, 4, 8} {
+			name := fmt.Sprintf("n%d/seq", nodes)
+			if shards > 1 {
+				name = fmt.Sprintf("n%d/shards-%d", nodes, shards)
+			}
+			b.Run(name, func(b *testing.B) { benchStep(b, nodes, shards) })
+		}
+	}
+}

@@ -51,7 +51,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 						m.Nodes[target].Mem.Write(addr+int32(i), word.Int(int32(i)))
 					}
 				}
-			})
+			}, o.Shards)
 			if err != nil {
 				return s, fmt.Errorf("%s at %d hops: %w", label, d, err)
 			}

@@ -122,8 +122,10 @@ type fig3Point struct {
 	GrainCycles  float64
 }
 
-// runFig3Point runs one (L, w) configuration and the matching base case.
-func runFig3Point(k, words, idleIters int, warm, measure int64, seed int64) (fig3Point, error) {
+// runFig3Point runs one (L, w) configuration and the matching base
+// case. shards > 1 steps the loaded k×k×k machine with the parallel
+// engine (the single-node base case always runs sequentially).
+func runFig3Point(k, words, idleIters int, warm, measure int64, seed int64, shards int) (fig3Point, error) {
 	// Base case: the loop without messages is deterministic, so its
 	// per-iteration cost is measured exactly on a single node that
 	// halts after a fixed iteration count.
@@ -154,6 +156,7 @@ func runFig3Point(k, words, idleIters int, warm, measure int64, seed int64) (fig
 		return fig3Point{}, err
 	}
 	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	defer (Options{Shards: shards}).attachEngine(m)()
 	r := rand.New(rand.NewSource(seed))
 	period := 4*idleIters + 120
 	for _, n := range m.Nodes {
@@ -245,7 +248,7 @@ func Fig3(o Options) (*Fig3Result, error) {
 		if need := int64(40 * (2*w + 300)); need > win {
 			win = need
 		}
-		pt, err := runFig3Point(k, words, w, warm, win, int64(words*1000+w))
+		pt, err := runFig3Point(k, words, w, warm, win, int64(words*1000+w), o.Shards)
 		points[li][wi], errs[li][wi] = pt, err
 		if err == nil {
 			o.progress("fig3 L=%d w=%d traffic=%.0f Mb/s latency=%.1f eff=%.2f",

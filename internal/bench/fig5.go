@@ -83,28 +83,44 @@ func appRunners(o Options) []appRunner {
 	tspP := tspParams(o)
 	return []appRunner{
 		{Name: "LCS", Run: func(n int) (appPoint, error) {
-			r, err := lcs.Run(n, lcsP)
+			p := lcsP
+			setup, stop := o.engineHook()
+			p.Setup = setup
+			r, err := lcs.Run(n, p)
+			stop()
 			if err != nil {
 				return appPoint{}, err
 			}
 			return appPoint{Nodes: n, Cycles: r.Cycles, M: r.M}, nil
 		}},
 		{Name: "Radix Sort", Run: func(n int) (appPoint, error) {
-			r, err := radix.Run(n, radixP)
+			p := radixP
+			setup, stop := o.engineHook()
+			p.Setup = setup
+			r, err := radix.Run(n, p)
+			stop()
 			if err != nil {
 				return appPoint{}, err
 			}
 			return appPoint{Nodes: n, Cycles: r.Cycles, M: r.M}, nil
 		}},
 		{Name: "N-Queens", Run: func(n int) (appPoint, error) {
-			r, err := nqueens.Run(n, nqP)
+			p := nqP
+			setup, stop := o.engineHook()
+			p.Setup = setup
+			r, err := nqueens.Run(n, p)
+			stop()
 			if err != nil {
 				return appPoint{}, err
 			}
 			return appPoint{Nodes: n, Cycles: r.Cycles, M: r.M}, nil
 		}},
 		{Name: "TSP", Run: func(n int) (appPoint, error) {
-			r, err := tsp.Run(n, tspP)
+			p := tspP
+			setup, stop := o.engineHook()
+			p.Setup = setup
+			r, err := tsp.Run(n, p)
+			stop()
 			if err != nil {
 				return appPoint{}, err
 			}

@@ -1,0 +1,70 @@
+package bench
+
+// EngineProbe is the wall-clock harness behind scripts/bench.sh: the
+// Figure 3 loaded-exchange workload (every node firing 8-word messages
+// at random partners) stepped for a fixed cycle count, sequentially or
+// sharded, with wall time and a state digest recorded. Digest equality
+// across shard counts re-proves the determinism contract at benchmark
+// scale; the cycles/sec ratio is the engine's speedup.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// EngineProbeResult is one (machine size, shard count) measurement.
+type EngineProbeResult struct {
+	Nodes        int     `json:"nodes"`
+	Shards       int     `json:"shards"` // 0 = sequential reference
+	Cycles       int64   `json:"cycles"` // measured cycles (after warm-up)
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Digest       uint64  `json:"state_digest"` // machine state at the end
+}
+
+// EngineProbe steps the loaded-exchange workload for measure cycles
+// after warm warm-up cycles and reports the wall-clock rate. Runs with
+// the same (nodes, warm, measure) and different shard counts end in
+// byte-identical machine states, so their digests must match.
+func EngineProbe(nodes, shards int, warm, measure int64) (EngineProbeResult, error) {
+	const words = 8
+	const idleIters = 16
+	p := buildFig3Program(words, true, 1<<30)
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		return EngineProbeResult{}, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	defer (Options{Shards: shards}).attachEngine(m)()
+	r := rand.New(rand.NewSource(3))
+	period := 4*idleIters + 120
+	for _, n := range m.Nodes {
+		n.Mem.Write(rt.AppBase+fig3OffMask, word.Int(fig3TableSize-1))
+		n.Mem.Write(rt.AppBase+fig3OffIdle, word.Int(int32(idleIters)))
+		n.Mem.Write(rt.AppBase+fig3OffSkew, word.Int(int32(r.Intn(period/2+1))))
+		for i := 0; i < fig3TableSize; i++ {
+			n.Mem.Write(fig3TableBase+int32(i), m.Net.NodeWord(r.Intn(m.NumNodes())))
+		}
+	}
+	rt.StartAll(m, p, "main")
+	m.StepN(warm)
+	start := time.Now()
+	m.StepN(measure)
+	wall := time.Since(start).Seconds()
+	if err := m.FatalErr(); err != nil {
+		return EngineProbeResult{}, fmt.Errorf("probe (shards=%d): %w", shards, err)
+	}
+	return EngineProbeResult{
+		Nodes:        nodes,
+		Shards:       shards,
+		Cycles:       measure,
+		WallSeconds:  wall,
+		CyclesPerSec: float64(measure) / wall,
+		Digest:       m.StateDigest(),
+	}, nil
+}

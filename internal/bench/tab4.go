@@ -59,7 +59,11 @@ func Table4(o Options) (*Tab4Result, error) {
 	}
 
 	// LCS.
-	lr, err := lcs.Run(nodes, lcsParams(o))
+	lcsP := lcsParams(o)
+	setup, stop := o.engineHook()
+	lcsP.Setup = setup
+	lr, err := lcs.Run(nodes, lcsP)
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +82,11 @@ func Table4(o Options) (*Tab4Result, error) {
 	o.progress("tab4 LCS done")
 
 	// N-Queens.
-	nr, err := nqueens.Run(nodes, nqParams(o))
+	nqP := nqParams(o)
+	setup, stop = o.engineHook()
+	nqP.Setup = setup
+	nr, err := nqueens.Run(nodes, nqP)
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +101,11 @@ func Table4(o Options) (*Tab4Result, error) {
 	o.progress("tab4 NQueens done")
 
 	// Radix Sort.
-	rr, err := radix.Run(nodes, radixParams(o))
+	radixP := radixParams(o)
+	setup, stop = o.engineHook()
+	radixP.Setup = setup
+	rr, err := radix.Run(nodes, radixP)
+	stop()
 	if err != nil {
 		return nil, err
 	}

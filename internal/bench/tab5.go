@@ -38,7 +38,10 @@ func Table5(o Options) (*Tab5Result, error) {
 		nodes = 8
 		params = tsp.Params{Cities: 8, Seed: 11}
 	}
+	setup, stop := o.engineHook()
+	params.Setup = setup
 	res, err := tsp.Run(nodes, params)
+	stop()
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"jmachine/internal/machine"
 	"jmachine/internal/network"
@@ -195,11 +196,17 @@ type Injector struct {
 
 	stalls   []activeStall
 	expiries []expiry
-	armed    map[int][]Event // per-node queued corruption, FIFO
+	// armed holds each node's queued corruption, FIFO, indexed by node
+	// id. A slice rather than a map: under the parallel engine each
+	// shard consumes its own nodes' entries concurrently during the
+	// node phase, which is safe for disjoint slice elements but would
+	// race on a shared map header. Arming happens in tick, on the
+	// coordinator, before the phases start.
+	armed [][]Event
 
 	// Applied counters, by kind.
 	applied  [5]uint64
-	corrupts uint64 // corruptions actually consumed by an injection
+	corrupts uint64 // corruptions actually consumed by an injection (atomic)
 }
 
 // Attach installs the campaign's hooks on a machine. It must be called
@@ -210,7 +217,7 @@ func Attach(m *machine.Machine, c Campaign) *Injector {
 		m:        m,
 		campaign: c,
 		events:   append([]Event(nil), c.Events...),
-		armed:    make(map[int][]Event),
+		armed:    make([][]Event, len(m.Nodes)),
 	}
 	sortEvents(inj.events)
 	m.AddCycleFn(inj.tick)
@@ -297,6 +304,9 @@ func (inj *Injector) stall(node, port int, cycle int64) bool {
 // onInject consumes armed corruption: the node's next injected message
 // (control traffic excluded) carries the scheduled bit flip.
 func (inj *Injector) onInject(node int, m *network.Message, cycle int64) {
+	if node < 0 || node >= len(inj.armed) {
+		return
+	}
 	q := inj.armed[node]
 	if len(q) == 0 || m.Ctl {
 		return
@@ -316,7 +326,7 @@ func (inj *Injector) onInject(node int, m *network.Message, cycle int64) {
 	}
 	m.CorruptWord = int32(w)
 	m.CorruptMask = mask
-	inj.corrupts++
+	atomic.AddUint64(&inj.corrupts, 1)
 }
 
 // Applied returns how many events of kind k have been put into force.
@@ -324,7 +334,9 @@ func (inj *Injector) Applied(k Kind) uint64 { return inj.applied[k] }
 
 // CorruptionsConsumed returns how many armed corruptions were actually
 // stamped onto a message.
-func (inj *Injector) CorruptionsConsumed() uint64 { return inj.corrupts }
+func (inj *Injector) CorruptionsConsumed() uint64 {
+	return atomic.LoadUint64(&inj.corrupts)
+}
 
 // ArmedRemaining returns corruptions armed but not yet consumed (the
 // target node never sent again).

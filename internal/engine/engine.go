@@ -1,0 +1,212 @@
+// Package engine runs a machine's cycle loop in parallel by spatially
+// sharding the 3-D mesh across host goroutines.
+//
+// Each shard owns a contiguous slab of node ids — their routers,
+// processors, memories, and queues — and steps them concurrently with
+// the other shards. The J-Machine's mesh has a conservative lookahead
+// of one cycle (a phit injected at cycle t cannot reach a neighbouring
+// router before t+1), so shards only need to exchange boundary phits
+// and cross-shard hook events at a per-cycle rendezvous, and the
+// result is byte-identical to the sequential reference loop: same
+// cycle counts, same statistics, same watchdog and chaos behaviour.
+// See docs/ENGINE.md for the determinism argument and the phase
+// protocol.
+//
+// Usage:
+//
+//	eng := engine.Attach(m, shards) // replaces m's cycle stepper
+//	defer eng.Stop()                // release the worker goroutines
+//	m.RunUntilHalt(0, budget)       // all run loops work unchanged
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"jmachine/internal/machine"
+	"jmachine/internal/network"
+)
+
+// DefaultShards returns the shard count used when a caller passes 0:
+// GOMAXPROCS, the number of OS threads Go will actually run.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// Engine steps a machine with one goroutine per shard. The goroutine
+// calling Machine.Step acts as shard 0's worker and coordinates the
+// per-cycle phases; shards 1..n-1 run on persistent workers that park
+// between cycles.
+type Engine struct {
+	m  *machine.Machine
+	sr *network.ShardRun
+
+	start   []chan struct{} // per-worker cycle release, workers 1..n-1
+	done    chan struct{}   // one token per finished worker per cycle
+	quit    chan struct{}
+	bar     spinBarrier
+	panics  []atomic.Value // per-shard panic capture
+	stopped bool
+}
+
+// Attach partitions m across shards goroutines and installs the
+// parallel stepper. shards <= 0 selects DefaultShards(); the count is
+// clamped to the node count. With an effective count of 1 no stepper
+// is installed and the machine keeps its sequential loop — the
+// returned Engine is then a no-op whose Stop still works, so callers
+// need no special casing.
+func Attach(m *machine.Machine, shards int) *Engine {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if shards > m.NumNodes() {
+		shards = m.NumNodes()
+	}
+	if shards <= 1 {
+		return &Engine{m: m}
+	}
+	e := &Engine{
+		m:      m,
+		sr:     network.NewShardRun(m.Net, shards),
+		done:   make(chan struct{}, shards),
+		quit:   make(chan struct{}),
+		panics: make([]atomic.Value, shards),
+	}
+	n := e.sr.Shards()
+	e.bar.init(n)
+	e.start = make([]chan struct{}, n)
+	for w := 1; w < n; w++ {
+		e.start[w] = make(chan struct{}, 1)
+		go e.worker(w)
+	}
+	m.SetStepper(e)
+	return e
+}
+
+// Shards returns the effective shard count (1 = sequential).
+func (e *Engine) Shards() int {
+	if e.sr == nil {
+		return 1
+	}
+	return e.sr.Shards()
+}
+
+// Stop restores the machine's sequential stepper and releases the
+// worker goroutines. Safe to call once the run loops have returned;
+// idempotent and nil-safe (a sequential run may never have built an
+// engine).
+func (e *Engine) Stop() {
+	if e == nil || e.sr == nil || e.stopped {
+		return
+	}
+	e.stopped = true
+	e.m.SetStepper(nil)
+	close(e.quit)
+}
+
+// StepCycle advances network and nodes one cycle. The machine has
+// already advanced its cycle counter and run the cycle hooks (chaos
+// injection, reliable-delivery timers) on this goroutine.
+func (e *Engine) StepCycle(m *machine.Machine) {
+	if e.sr == nil {
+		panic("engine: StepCycle on a stopped or sequential engine")
+	}
+	e.sr.Begin()
+	n := e.sr.Shards()
+	for w := 1; w < n; w++ {
+		e.start[w] <- struct{}{}
+	}
+	e.runShard(0)
+	for w := 1; w < n; w++ {
+		<-e.done
+	}
+	for s := 0; s < n; s++ {
+		if p := e.panics[s].Load(); p != nil {
+			panic(p)
+		}
+	}
+}
+
+// worker parks between cycles and steps one shard per release.
+func (e *Engine) worker(s int) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[s]:
+			e.runShard(s)
+			e.done <- struct{}{}
+		}
+	}
+}
+
+// runShard drives shard s through one cycle's phases. A panic inside
+// a phase (a routing bug, a program fault) is captured and re-raised
+// on the coordinator; the worker still reaches every barrier so the
+// other shards do not deadlock.
+func (e *Engine) runShard(s int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics[s].Store(fmt.Sprintf("engine: shard %d: %v", s, r))
+			// The stepping goroutines are barrier-synchronized; after
+			// a panic this shard's remaining phases are skipped, so
+			// release the others rather than wedging them.
+			e.bar.abandon()
+		}
+	}()
+	// Phase 1: freeze boundary input-buffer occupancies.
+	e.sr.Snapshot(s)
+	e.bar.wait()
+	// Phase 2: step this slab's routers, staging boundary crossings.
+	e.sr.StepShard(s)
+	e.bar.wait()
+	// Phase 3: one goroutine lands staged phits and replays hooks.
+	if s == 0 {
+		e.sr.Commit()
+	}
+	e.bar.wait()
+	// Phase 4: step this slab's processors.
+	lo, hi := e.sr.NodeRange(s)
+	for i := lo; i < hi; i++ {
+		e.m.Nodes[i].Step()
+	}
+}
+
+// spinBarrier is a sense-reversing barrier over atomics: cheap on
+// multicore (short spins between phases that are microseconds apart),
+// and still correct on a single hardware thread thanks to the
+// runtime.Gosched fallback. The atomics also give the race detector
+// the happens-before edges that make the phase protocol checkable.
+type spinBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+	dead  atomic.Bool
+}
+
+func (b *spinBarrier) init(n int) {
+	b.n = int32(n)
+}
+
+func (b *spinBarrier) wait() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if b.dead.Load() {
+			return
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// abandon releases all current and future waiters after a shard
+// panics, converting a would-be deadlock into an orderly shutdown.
+func (b *spinBarrier) abandon() {
+	b.dead.Store(true)
+	b.gen.Add(1)
+}

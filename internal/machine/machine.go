@@ -97,12 +97,28 @@ type Machine struct {
 	// lifetime (a run loop may be re-entered after a trip).
 	WatchdogTrips uint64
 
-	cycleFns  []func(cycle int64)
-	watchdog  int64
-	lastSig   progressSig
-	lastMove  int64 // cycle at which lastSig was taken
-	sigValid  bool
+	cycleFns []func(cycle int64)
+	stepper  Stepper
+	watchdog int64
+	lastSig  progressSig
+	lastMove int64 // cycle at which lastSig was taken
+	sigValid bool
 }
+
+// Stepper advances the machine's network and nodes through one cycle.
+// The machine's built-in sequential loop is the reference
+// implementation; internal/engine installs a parallel one that must be
+// byte-identical to it. The stepper runs after the cycle counter has
+// advanced and the cycle hooks have fired (both stay on the
+// coordinating goroutine, keeping the watchdog, diagnostics, chaos
+// injection, and reliable-delivery timers engine-agnostic).
+type Stepper interface {
+	StepCycle(m *Machine)
+}
+
+// SetStepper installs a replacement cycle stepper; nil restores the
+// sequential reference loop.
+func (m *Machine) SetStepper(s Stepper) { m.stepper = s }
 
 // New builds a machine running prog on every node.
 func New(cfg Config, prog *asm.Program) (*Machine, error) {
@@ -198,10 +214,31 @@ func (m *Machine) Step() {
 	for _, fn := range m.cycleFns {
 		fn(m.cycle)
 	}
+	if m.stepper != nil {
+		m.stepper.StepCycle(m)
+		return
+	}
 	m.Net.Step()
 	for _, n := range m.Nodes {
 		n.Step()
 	}
+}
+
+// StateDigest folds the machine's complete dynamic state — cycle
+// counter, network (routers, in-flight worms, outboxes, stats), and
+// every node's architectural state, memory, queues, and statistics —
+// into a 64-bit digest. Two runs with equal digests are in
+// byte-identical states; the engine equivalence suite compares
+// sequential and sharded runs with it.
+func (m *Machine) StateDigest() uint64 {
+	h := uint64(0xcbf29ce484222325) ^ uint64(m.cycle)
+	h ^= m.Net.StateDigest()
+	h *= 0x100000001b3
+	h ^= m.WatchdogTrips
+	for _, n := range m.Nodes {
+		h = n.StateDigest(h)
+	}
+	return h
 }
 
 // StepN advances n cycles.

@@ -1,0 +1,18 @@
+package mem
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// StateDigest folds every tagged word of the node's memory into a
+// running 64-bit digest, for the engine equivalence suite.
+func (m *Memory) StateDigest(h uint64) uint64 {
+	h = mix(h, uint64(len(m.words))|uint64(m.imemWords)<<32)
+	for _, w := range m.words {
+		h = mix(h, uint64(w))
+	}
+	return h
+}

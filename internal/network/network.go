@@ -300,6 +300,9 @@ func (n *Network) SetReturnToSender(on bool) { n.cfg.ReturnToSender = on }
 // SetMaxReturns adjusts the refusal bound after construction.
 func (n *Network) SetMaxReturns(k int) { n.cfg.MaxReturns = k }
 
+// LaunchLatency returns the configured NI launch latency in cycles.
+func (n *Network) LaunchLatency() int { return n.cfg.LaunchCycles }
+
 // RouterOcc returns the number of phits buffered in node id's router —
 // nonzero at quiescence indicates a wedged worm.
 func (n *Network) RouterOcc(id int) int { return int(n.routers[id].occ) }
@@ -329,27 +332,47 @@ func (n *Network) Stats() Stats {
 	return s
 }
 
+// stepCtx carries the state sinks for one stepping pass: the stats
+// struct to charge (the network's own in sequential mode, a shard-local
+// copy in parallel mode) and, when non-nil, the shard whose boundary
+// pushes and hook events must be staged for the commit phase.
+type stepCtx struct {
+	st *Stats
+	sh *shard
+}
+
 // Step advances the network one cycle: injection feeds, phit movement,
-// and delivery, honouring priority-1 channel preference.
+// and delivery, honouring priority-1 channel preference. This is the
+// sequential reference loop; ShardRun (shard.go) steps the same cycle
+// function over disjoint node ranges in parallel with byte-identical
+// results.
 func (n *Network) Step() {
 	n.cycle++
-	cyc := n.cycle
+	ctx := stepCtx{st: &n.stats}
 	for v := 1; v >= 0; v-- {
-		for ri := range n.routers {
-			r := &n.routers[ri]
-			ob := &n.out[ri][v]
-			if r.occ == 0 && len(ob.msgs) == 0 {
-				continue
-			}
-			n.stepRouter(ri, r, v, cyc)
-			n.feedInjection(ri, r, ob, v, cyc)
+		n.stepRange(0, len(n.routers), v, n.cycle, ctx)
+	}
+}
+
+// stepRange steps routers [lo,hi) at priority v. The skip fast-path
+// uses effOcc — start-of-cycle occupancy minus this cycle's pops — so
+// that same-cycle pushes from neighbours (whose visibility depends on
+// sweep order and shard boundaries) never affect which routers run.
+func (n *Network) stepRange(lo, hi, v int, cyc int64, ctx stepCtx) {
+	for ri := lo; ri < hi; ri++ {
+		r := &n.routers[ri]
+		ob := &n.out[ri][v]
+		if r.effOcc(cyc) == 0 && len(ob.msgs) == 0 {
+			continue
 		}
+		n.stepRouter(ri, r, v, cyc, ctx)
+		n.feedInjection(ri, r, ob, v, cyc, ctx)
 	}
 }
 
 // stepRouter attempts to advance the head phit of each input buffer at
 // priority v.
-func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
+func (n *Network) stepRouter(ri int, r *router, v int, cyc int64, ctx stepCtx) {
 	start := 0
 	if n.cfg.Arbitration == RoundRobin {
 		start = int(n.rr[ri]) % NumPorts
@@ -380,11 +403,11 @@ func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
 			continue // physical channel already used this cycle
 		}
 		if n.stallFn != nil && n.stallFn(ri, int(out), cyc) {
-			n.stats.StallsInjected++
+			ctx.st.StallsInjected++
 			continue // injected link fault holds the channel
 		}
 		if out == PortLocal {
-			n.deliverPhit(ri, r, v, q, b, cyc)
+			n.deliverPhit(ri, r, v, q, b, cyc, ctx)
 			continue
 		}
 		nb := n.nbr[ri][out]
@@ -394,9 +417,18 @@ func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
 			panic(fmt.Sprintf("network: route off mesh edge at node %d port %d", ri, out))
 		}
 		nbuf := &n.routers[nb].in[v][opposite[out]]
-		occStart := int(nbuf.n)
-		if nbuf.popStamp == cyc {
-			occStart++
+		remote := ctx.sh != nil && (int(nb) < ctx.sh.lo || int(nb) >= ctx.sh.hi)
+		var occStart int
+		if remote {
+			// The consuming shard owns nbuf's n/popStamp; use the
+			// occupancy it snapshotted at the cycle start, which equals
+			// the reconstruction below.
+			occStart = int(nbuf.snapOcc)
+		} else {
+			occStart = int(nbuf.n)
+			if nbuf.popStamp == cyc {
+				occStart++
+			}
 		}
 		if occStart >= bufCap {
 			continue // downstream buffer full at cycle start
@@ -406,11 +438,19 @@ func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
 		r.occ--
 		r.linkStamp[out] = cyc
 		p.arrived = cyc
-		nbuf.push(p)
-		n.routers[nb].occ++
-		n.stats.PhitHops++
+		if remote {
+			// Cross-shard boundary: stage the push; the commit phase
+			// applies it after every shard has finished stepping. The
+			// phit could not have moved again this cycle anyway.
+			ctx.sh.pushes = append(ctx.sh.pushes,
+				stagedPush{nb: nb, v: int8(v), port: int8(opposite[out]), p: p})
+		} else {
+			nbuf.push(p)
+			n.routers[nb].notePush(cyc)
+		}
+		ctx.st.PhitHops++
 		if (out == PortXP && r.x == n.midX-1) || (out == PortXM && r.x == n.midX) {
-			n.stats.BisectionPhits++
+			ctx.st.BisectionPhits++
 		}
 		if p.isTail() {
 			r.outOwner[v][out] = noPort
@@ -429,7 +469,7 @@ func (n *Network) stepRouter(ri int, r *router, v int, cyc int64) {
 // drop duplicates; and with return-to-sender flow control a message that
 // would not fit in the destination queue is drained and turned around —
 // or dropped once it has been refused MaxReturns times.
-func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
+func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64, ctx stepCtx) {
 	head := b.peek()
 	m := head.m
 	if head.idx == 0 && !m.absorb {
@@ -439,30 +479,30 @@ func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 		case !m.CheckOK():
 			m.absorb, m.drop = true, true
 			m.dropReason = DropCorrupt
-			n.stats.CorruptDrops++
+			ctx.st.CorruptDrops++
 		case n.filterFn != nil && n.filterFn(ri, m, cyc):
 			m.absorb, m.drop = true, true
 			m.dropReason = DropFiltered
-			n.stats.DupDrops++
+			ctx.st.DupDrops++
 		case n.cfg.ReturnToSender &&
 			n.queues[ri][v].Free() < len(m.Words) && n.queues[ri][v].Cap() >= len(m.Words):
 			if n.cfg.MaxReturns > 0 && int(m.Returns) >= n.cfg.MaxReturns {
 				m.absorb, m.drop = true, true
 				m.dropReason = DropMaxReturns
-				n.stats.DroppedMsgs++
+				ctx.st.DroppedMsgs++
 			} else {
 				m.absorb = true // refuse: drain and turn around
 			}
 		}
 	}
 	if m.absorb {
-		n.absorbPhit(ri, r, v, q, b, cyc)
+		n.absorbPhit(ri, r, v, q, b, cyc, ctx)
 		return
 	}
 	w, complete := head.payloadWord()
 	if complete {
 		if !n.queues[ri][v].Push(w) {
-			n.stats.DeliveryStalls++
+			ctx.st.DeliveryStalls++
 			return // queue full; back-pressure into the network
 		}
 	}
@@ -471,16 +511,23 @@ func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 	r.occ--
 	r.linkStamp[PortLocal] = cyc
 	if complete {
-		n.stats.DeliveredWords[v]++
+		ctx.st.DeliveredWords[v]++
 	}
 	if p.isTail() {
 		p.m.DeliverCycle = cyc
-		n.stats.DeliveredMsgs[v]++
-		n.stats.LatencySum[v] += uint64(cyc - p.m.EnqueueCycle)
+		ctx.st.DeliveredMsgs[v]++
+		ctx.st.LatencySum[v] += uint64(cyc - p.m.EnqueueCycle)
 		r.outOwner[v][PortLocal] = noPort
 		r.inRoute[v][q] = noPort
-		for _, fn := range n.deliverFns {
-			fn(ri, p.m, cyc)
+		if ctx.sh != nil {
+			// Hooks may mutate state shared across shards (reliable-
+			// delivery maps, ack injection at arbitrary nodes); stage
+			// the event for single-threaded replay at commit.
+			ctx.sh.events = append(ctx.sh.events, hookEvent{node: int32(ri), m: p.m})
+		} else {
+			for _, fn := range n.deliverFns {
+				fn(ri, p.m, cyc)
+			}
 		}
 	}
 }
@@ -490,7 +537,7 @@ func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 // either discarded (drop set) or re-injected: back toward the source
 // (refusal) or toward its true destination after the backoff
 // (retransmission).
-func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
+func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64, ctx stepCtx) {
 	p := b.pop()
 	b.popStamp = cyc
 	r.occ--
@@ -504,8 +551,13 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 	m.absorb = false
 	if m.drop {
 		m.drop = false
-		for _, fn := range n.dropFns {
-			fn(ri, m, m.dropReason, cyc)
+		if ctx.sh != nil {
+			ctx.sh.events = append(ctx.sh.events,
+				hookEvent{drop: true, node: int32(ri), reason: m.dropReason, m: m})
+		} else {
+			for _, fn := range n.dropFns {
+				fn(ri, m, m.dropReason, cyc)
+			}
 		}
 		return
 	}
@@ -516,7 +568,7 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 		m.Returning = false
 		m.DestX, m.DestY, m.DestZ = m.origX, m.origY, m.origZ
 		m.EnqueueCycle = cyc + int64(n.cfg.RTSBackoff)
-		n.stats.Retransmits++
+		ctx.st.Retransmits++
 	} else {
 		// Refused: turn the message around toward its source.
 		m.Returning = true
@@ -525,7 +577,7 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 		sx, sy, sz := n.NodeCoords(int(m.Src))
 		m.DestX, m.DestY, m.DestZ = int8(sx), int8(sy), int8(sz)
 		m.EnqueueCycle = cyc
-		n.stats.ReturnedMsgs++
+		ctx.st.ReturnedMsgs++
 	}
 	// Hardware-level requeue: bypasses the injection capacity check
 	// (the words were already accounted to this node's outbox only if
@@ -536,12 +588,12 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64) {
 
 // feedInjection streams the node's next outgoing phit at priority v into
 // the router's local input buffer, one phit per cycle.
-func (n *Network) feedInjection(ri int, r *router, ob *outbox, v int, cyc int64) {
+func (n *Network) feedInjection(ri int, r *router, ob *outbox, v int, cyc int64, ctx stepCtx) {
 	if len(ob.msgs) == 0 {
 		return
 	}
 	if n.stallFn != nil && n.stallFn(ri, PortLocal, cyc) {
-		n.stats.StallsInjected++
+		ctx.st.StallsInjected++
 		return // injected NI fault: nothing enters the router
 	}
 	b := &r.in[v][PortLocal]
@@ -557,7 +609,7 @@ func (n *Network) feedInjection(ri int, r *router, ob *outbox, v int, cyc int64)
 		return // network-interface launch latency
 	}
 	b.push(phitRef{m: m, idx: ob.phitIdx, arrived: cyc})
-	r.occ++
+	r.notePush(cyc)
 	ob.phitIdx++
 	if ob.phitIdx == m.WirePhits() {
 		ob.msgs = ob.msgs[1:]

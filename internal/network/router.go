@@ -33,6 +33,14 @@ type buf struct {
 	head     int8
 	n        int8
 	popStamp int64 // cycle of the most recent pop
+
+	// snapOcc is the occupancy recorded by ShardRun.Snapshot at the
+	// start of the cycle. A producer in a different shard cannot use the
+	// popStamp reconstruction — n and popStamp are concurrently mutated
+	// by the consuming shard — so it admits phits against this frozen
+	// value instead, which equals exactly what the reconstruction would
+	// have computed. Unused in sequential stepping.
+	snapOcc int8
 }
 
 func (b *buf) empty() bool { return b.n == 0 }
@@ -70,6 +78,37 @@ type router struct {
 	// occ counts phits buffered here plus pending local work; zero means
 	// the router can be skipped entirely this cycle.
 	occ int32
+
+	// pushStamp/pushedNew track phits pushed into this router during the
+	// current cycle (by neighbours or the local outbox). The stepping
+	// skip check subtracts them from occ so that whether a same-cycle
+	// push has already landed — which depends on sweep order in the
+	// sequential loop and on shard boundaries in the parallel engine —
+	// never changes which routers are stepped. The resulting effective
+	// occupancy, start-of-cycle phits minus this cycle's pops, is
+	// identical in both engines.
+	pushStamp int64
+	pushedNew int32
+}
+
+// notePush records a phit entering the router this cycle (it cannot
+// move until the next one, so the skip check must not count it).
+func (r *router) notePush(cyc int64) {
+	if r.pushStamp != cyc {
+		r.pushStamp, r.pushedNew = cyc, 0
+	}
+	r.pushedNew++
+	r.occ++
+}
+
+// effOcc returns the router's phit occupancy excluding phits that
+// arrived this cycle: start-of-cycle occupancy minus this cycle's pops.
+func (r *router) effOcc(cyc int64) int32 {
+	o := r.occ
+	if r.pushStamp == cyc {
+		o -= r.pushedNew
+	}
+	return o
 }
 
 func (r *router) init(x, y, z int) {

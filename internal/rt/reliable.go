@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"jmachine/internal/mdp"
 	"jmachine/internal/network"
@@ -36,7 +37,10 @@ func (c ReliableConfig) withDefaults() ReliableConfig {
 	return c
 }
 
-// ReliableStats counts the protocol's work.
+// ReliableStats counts the protocol's work. The runtime's hooks fire
+// from several goroutines under the parallel engine (injection from
+// the node phase, acknowledgement retirement from per-node handler
+// execution), so the counters are maintained atomically.
 type ReliableStats struct {
 	Tracked      uint64 // messages assigned sequence numbers
 	AcksSent     uint64 // acknowledgements injected by receivers
@@ -58,6 +62,16 @@ type pendingMsg struct {
 	attempts            int
 }
 
+// relNode is the per-source-node protocol state. Keeping the sequence
+// counter and the pending map per node (rather than global) makes the
+// injection path shard-local: two nodes injecting in the same cycle on
+// different engine shards touch disjoint state, and the sequence
+// numbers they draw are independent of injection order.
+type relNode struct {
+	count   int32 // messages sequenced by this node so far
+	pending map[int32]*pendingMsg
+}
+
 // Reliable is the NI-level reliable-delivery runtime: every message
 // injected while it is attached gets a sequence number; the receiving
 // NI acknowledges delivery with a real priority-1 message dispatching
@@ -65,15 +79,22 @@ type pendingMsg struct {
 // exponential backoff, duplicates are suppressed at the delivery port,
 // and a message still unacknowledged after MaxRetries fails its sender
 // node with a diagnosable error instead of retrying forever.
+//
+// Concurrency contract under the parallel engine: onInject runs in the
+// node phase and touches only the injecting node's relNode; onDeliver,
+// onDrop, and retransmission run on the coordinator (commit phase and
+// cycle hooks); filterDup runs in the network phase but only reads
+// seen, which is written exclusively at commit; svcDack runs in the
+// node phase on the owning node's relNode. Stats are atomic.
 type Reliable struct {
 	rt    *Runtime
 	cfg   ReliableConfig
-	next  int32
+	nn    int32 // machine node count: the sequence-number stride
+	nodes []relNode
 	stats ReliableStats
 
-	pending map[int32]*pendingMsg
-	seen    map[int32]struct{} // sequence numbers already delivered
-	err     error              // first MaxRetries exhaustion
+	seen map[int32]struct{} // sequence numbers already delivered
+	err  error              // first MaxRetries exhaustion
 }
 
 // EnableReliable attaches the reliable-delivery runtime. The machine's
@@ -84,10 +105,11 @@ func EnableReliable(r *Runtime, cfg ReliableConfig) *Reliable {
 		panic("rt: EnableReliable requires a program with the rt.dack handler (rebuild with BuildLib)")
 	}
 	rel := &Reliable{
-		rt:      r,
-		cfg:     cfg.withDefaults(),
-		pending: make(map[int32]*pendingMsg),
-		seen:    make(map[int32]struct{}),
+		rt:    r,
+		cfg:   cfg.withDefaults(),
+		nn:    int32(r.M.NumNodes()),
+		nodes: make([]relNode, r.M.NumNodes()),
+		seen:  make(map[int32]struct{}),
 	}
 	r.RegisterService(SvcDack, rel.svcDack)
 	net := r.M.Net
@@ -99,25 +121,53 @@ func EnableReliable(r *Runtime, cfg ReliableConfig) *Reliable {
 	return rel
 }
 
-// Stats returns the protocol counters.
-func (rel *Reliable) Stats() ReliableStats { return rel.stats }
+// Stats returns a snapshot of the protocol counters.
+func (rel *Reliable) Stats() ReliableStats {
+	return ReliableStats{
+		Tracked:      atomic.LoadUint64(&rel.stats.Tracked),
+		AcksSent:     atomic.LoadUint64(&rel.stats.AcksSent),
+		AcksReceived: atomic.LoadUint64(&rel.stats.AcksReceived),
+		Retries:      atomic.LoadUint64(&rel.stats.Retries),
+		DupAcked:     atomic.LoadUint64(&rel.stats.DupAcked),
+		Failures:     atomic.LoadUint64(&rel.stats.Failures),
+	}
+}
 
 // Pending returns how many messages await acknowledgement.
-func (rel *Reliable) Pending() int { return len(rel.pending) }
+func (rel *Reliable) Pending() int {
+	n := 0
+	for i := range rel.nodes {
+		n += len(rel.nodes[i].pending)
+	}
+	return n
+}
 
 // Err returns the first retransmission-exhaustion error, if any (also
 // surfaced through the failing node's Fatal and the machine run loops).
 func (rel *Reliable) Err() error { return rel.err }
 
-// onInject assigns the next sequence number to every fresh application
+// seqFor draws the next sequence number for a source node: the node's
+// local count striped by node id. Numbers are globally unique and
+// nonzero, and — because each node draws from its own counter — the
+// numbering is independent of the order nodes inject in a cycle.
+func (rel *Reliable) seqFor(node int) int32 {
+	rn := &rel.nodes[node]
+	seq := rn.count*rel.nn + int32(node) + 1
+	rn.count++
+	return seq
+}
+
+// seqNode recovers the source node a sequence number was drawn by.
+func (rel *Reliable) seqNode(seq int32) int { return int((seq - 1) % rel.nn) }
+
+// onInject assigns a sequence number to every fresh application
 // message and snapshots it for retransmission. Control traffic (acks)
 // and already-sequenced retransmissions pass through untouched.
 func (rel *Reliable) onInject(node int, m *network.Message, cycle int64) {
 	if m.Ctl || m.Seq != 0 {
 		return
 	}
-	rel.next++
-	m.Seq = rel.next
+	m.Seq = rel.seqFor(node)
 	p := &pendingMsg{
 		src:   node,
 		destX: m.DestX, destY: m.DestY, destZ: m.DestZ,
@@ -125,8 +175,12 @@ func (rel *Reliable) onInject(node int, m *network.Message, cycle int64) {
 		words:    append([]word.Word(nil), m.Words...),
 		deadline: cycle + rel.cfg.TimeoutCycles,
 	}
-	rel.pending[m.Seq] = p
-	rel.stats.Tracked++
+	rn := &rel.nodes[node]
+	if rn.pending == nil {
+		rn.pending = make(map[int32]*pendingMsg)
+	}
+	rn.pending[m.Seq] = p
+	atomic.AddUint64(&rel.stats.Tracked, 1)
 }
 
 // onDeliver acknowledges a tracked message's arrival: the receiving NI
@@ -162,7 +216,7 @@ func (rel *Reliable) filterDup(node int, m *network.Message, cycle int64) bool {
 		return false
 	}
 	if rel.niAlive(node) {
-		rel.stats.DupAcked++
+		atomic.AddUint64(&rel.stats.DupAcked, 1)
 		rel.sendAck(node, int(m.Src), m.Seq)
 	}
 	return true
@@ -183,7 +237,7 @@ func (rel *Reliable) onDrop(node int, m *network.Message, reason network.DropRea
 	if reason == network.DropFiltered {
 		return
 	}
-	if p, ok := rel.pending[m.Seq]; ok {
+	if p, ok := rel.nodes[rel.seqNode(m.Seq)].pending[m.Seq]; ok {
 		p.deadline = cycle
 	}
 }
@@ -201,20 +255,21 @@ func (rel *Reliable) sendAck(from, to int, seq int32) {
 		Words: []word.Word{word.MsgHeader(rel.rt.dack, 2), word.Int(seq)},
 	}
 	net.Inject(from, ack, 0)
-	rel.stats.AcksSent++
+	atomic.AddUint64(&rel.stats.AcksSent, 1)
 }
 
 // svcDack retires an acknowledgement at the sender: message word 1
-// carries the sequence number.
+// carries the sequence number. Runs on the acked node, touching only
+// its own pending map.
 func (rel *Reliable) svcDack(n *mdp.Node, ns *NodeState, f mdp.Fault) (int32, mdp.FaultAction) {
 	q := n.Queues[1]
 	if f.Level == mdp.LvlP0 {
 		q = n.Queues[0]
 	}
 	seq := q.WordAt(1).Data()
-	if _, ok := rel.pending[seq]; ok {
-		delete(rel.pending, seq)
-		rel.stats.AcksReceived++
+	if _, ok := rel.nodes[n.ID].pending[seq]; ok {
+		delete(rel.nodes[n.ID].pending, seq)
+		atomic.AddUint64(&rel.stats.AcksReceived, 1)
 	}
 	return 2, mdp.ActAdvance
 }
@@ -223,18 +278,20 @@ func (rel *Reliable) svcDack(n *mdp.Node, ns *NodeState, f mdp.Fault) (int32, md
 // pending messages (in ascending sequence order, for determinism) and
 // retransmits those whose deadline has passed.
 func (rel *Reliable) tick(cycle int64) {
-	if cycle%rel.cfg.ScanInterval != 0 || len(rel.pending) == 0 {
+	if cycle%rel.cfg.ScanInterval != 0 {
 		return
 	}
 	var due []int32
-	for seq, p := range rel.pending {
-		if p.deadline <= cycle {
-			due = append(due, seq)
+	for i := range rel.nodes {
+		for seq, p := range rel.nodes[i].pending {
+			if p.deadline <= cycle {
+				due = append(due, seq)
+			}
 		}
 	}
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
 	for _, seq := range due {
-		rel.retransmit(seq, rel.pending[seq], cycle)
+		rel.retransmit(seq, rel.nodes[rel.seqNode(seq)].pending[seq], cycle)
 	}
 }
 
@@ -243,8 +300,8 @@ func (rel *Reliable) tick(cycle int64) {
 // off exponentially. Exhausting MaxRetries fails the sending node.
 func (rel *Reliable) retransmit(seq int32, p *pendingMsg, cycle int64) {
 	if p.attempts >= rel.cfg.MaxRetries {
-		delete(rel.pending, seq)
-		rel.stats.Failures++
+		delete(rel.nodes[rel.seqNode(seq)].pending, seq)
+		atomic.AddUint64(&rel.stats.Failures, 1)
 		err := fmt.Errorf("rt: reliable delivery of seq %d from node %d failed after %d retransmissions",
 			seq, p.src, p.attempts)
 		if rel.err == nil {
@@ -254,7 +311,7 @@ func (rel *Reliable) retransmit(seq int32, p *pendingMsg, cycle int64) {
 		return
 	}
 	p.attempts++
-	rel.stats.Retries++
+	atomic.AddUint64(&rel.stats.Retries, 1)
 	p.deadline = cycle + rel.cfg.TimeoutCycles<<p.attempts
 	m := &network.Message{
 		DestX: p.destX, DestY: p.destY, DestZ: p.destZ,

@@ -1,0 +1,43 @@
+package stats
+
+import "sort"
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// StateDigest folds the node's counters — including the per-handler
+// map, iterated in sorted key order for determinism — into a running
+// 64-bit digest, for the engine equivalence suite.
+func (n *Node) StateDigest(h uint64) uint64 {
+	for _, c := range n.Cycles {
+		h = mix(h, uint64(c))
+	}
+	h = mix(h, n.Instrs)
+	h = mix(h, n.Threads)
+	h = mix(h, n.SendFaultCycles)
+	h = mix(h, n.SendFaults)
+	for v := 0; v < 2; v++ {
+		h = mix(h, n.MsgsSent[v])
+		h = mix(h, n.WordsSent[v])
+	}
+	h = mix(h, n.XlateFaults)
+	h = mix(h, n.CfutFaults)
+	h = mix(h, n.OverflowFaults)
+	ips := make([]int32, 0, len(n.byHandler))
+	for ip := range n.byHandler {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		hs := n.byHandler[ip]
+		h = mix(h, uint64(uint32(ip)))
+		h = mix(h, hs.Invocations)
+		h = mix(h, hs.Instrs)
+		h = mix(h, hs.MsgWords)
+	}
+	return h
+}

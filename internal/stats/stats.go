@@ -53,6 +53,13 @@ type HandlerStats struct {
 }
 
 // Node accumulates one node's counters.
+//
+// Concurrency: Node is single-writer by construction — it is mutated
+// only by its owning mdp.Node's Step, which the parallel engine runs
+// on exactly one shard goroutine per cycle (and the sequential loop on
+// one goroutine, trivially). Cross-node aggregation (stats.Machine,
+// the watchdog scan) happens on the coordinator between cycles, after
+// the node phase's barrier, so no merge step is needed.
 type Node struct {
 	Cycles  [NumCats]int64
 	Instrs  uint64

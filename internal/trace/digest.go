@@ -1,0 +1,24 @@
+package trace
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// StateDigest folds the retained events (oldest first) and drop count
+// into a running 64-bit digest, for the engine equivalence suite.
+// Nil-safe like every Buffer method.
+func (b *Buffer) StateDigest(h uint64) uint64 {
+	if b == nil {
+		return mix(h, 0)
+	}
+	h = mix(h, uint64(len(b.events))|b.dropped<<32)
+	for _, e := range b.Events() {
+		h = mix(h, uint64(e.Cycle))
+		h = mix(h, uint64(uint32(e.Node))|uint64(e.Kind)<<32)
+		h = mix(h, uint64(uint32(e.A))|uint64(uint32(e.B))<<32)
+	}
+	return h
+}

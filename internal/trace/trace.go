@@ -62,6 +62,11 @@ func (e Event) String() string {
 
 // Buffer is a fixed-capacity event ring. A nil *Buffer is a valid,
 // disabled sink: all methods are nil-safe.
+//
+// Concurrency: each Buffer is single-writer — events are added only by
+// the owning node's Step, which runs on one goroutine per cycle under
+// both the sequential loop and the parallel engine's node phase.
+// Readers (dumps, digests) run on the coordinator between cycles.
 type Buffer struct {
 	events  []Event
 	next    int

@@ -1,0 +1,31 @@
+package xlate
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// StateDigest folds the translation table's entries, LRU state, and
+// counters into a running 64-bit digest, for the engine equivalence
+// suite.
+func (t *Table) StateDigest(h uint64) uint64 {
+	for i := range t.keys {
+		var v uint64
+		if t.valid[i] {
+			v = 1
+		}
+		h = mix(h, v)
+		h = mix(h, uint64(t.keys[i]))
+		h = mix(h, uint64(t.vals[i]))
+	}
+	for _, w := range t.lru {
+		h = mix(h, uint64(w))
+	}
+	h = mix(h, t.hits)
+	h = mix(h, t.misses)
+	h = mix(h, t.inserts)
+	h = mix(h, t.evictions)
+	return h
+}

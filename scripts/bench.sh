@@ -1,0 +1,23 @@
+#!/bin/sh
+# Engine benchmark harness: the testing.B suite (ns per machine cycle
+# at two machine sizes and several shard counts) plus the 512-node
+# Figure 3 loaded-exchange probe, folded into BENCH_engine.json by
+# jm-bench. The probe also re-checks the determinism contract: the
+# final state digests across shard counts must be equal.
+#
+# The recorded speedup depends on the host: the engine needs >= 4
+# hardware threads to beat the sequential loop (the committed JSON
+# records host_cores so numbers are comparable).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_engine.json}
+GOBENCH=/tmp/jm-bench-go.txt
+
+echo "== testing.B suite"
+go test -run '^$' -bench BenchmarkEngine -benchtime 2000x ./internal/bench/ | tee "$GOBENCH"
+
+echo "== 512-node probe"
+go run ./cmd/jm-bench -gobench "$GOBENCH" -out "$OUT"
+
+echo "== wrote $OUT"

@@ -9,6 +9,12 @@ cd "$(dirname "$0")/.."
 echo "== go vet"
 go vet ./...
 
+echo "== engine equivalence under the race detector"
+# The parallel engine's determinism contract, gated explicitly: every
+# workload digest-equal to the sequential loop, with the race detector
+# checking the shard rendezvous protocol.
+go test -race -count=1 ./internal/engine/
+
 echo "== go test -race"
 go test -race ./...
 
