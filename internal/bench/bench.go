@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"jmachine/internal/mdp"
+	"jmachine/internal/obs"
 )
 
 // Options tunes experiment scale. The defaults run in seconds on a
@@ -38,6 +39,14 @@ type Options struct {
 	// stay sequential, where the engine could only add rendezvous
 	// overhead.
 	Shards int
+	// Obs, when non-nil, attaches the observability recorder
+	// (internal/obs) to every machine the experiment steps: Perfetto
+	// timelines and metric snapshots stream to the configured files.
+	// Attaching never changes results — machine.StateDigest() is
+	// byte-identical with it on or off (enforced by the engine
+	// equivalence suite). Experiments that build several machines get
+	// numbered output files (trace.json, trace.json.2, …).
+	Obs *obs.Options
 }
 
 func (o Options) progress(format string, args ...any) {

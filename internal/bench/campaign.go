@@ -12,6 +12,7 @@ import (
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/network"
+	"jmachine/internal/obs"
 	"jmachine/internal/rt"
 )
 
@@ -29,6 +30,10 @@ type ResilienceConfig struct {
 	// keeps the sequential reference loop. Results are byte-identical
 	// either way (the equivalence suite enforces it).
 	Shards int
+	// Obs, when non-nil, streams a Perfetto timeline and metric
+	// snapshots from the campaign machine (see internal/obs). Purely a
+	// tap: the StateDigest in the result is unchanged by it.
+	Obs *obs.Options
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -70,10 +75,11 @@ type CampaignResult struct {
 }
 
 // prepare builds a machine for a campaign run and attaches the runtime,
-// the optional reliable-delivery layer, the chaos injector, and — when
-// rc.Shards > 1 — the parallel engine. The caller must Stop the
-// returned engine (nil-safe via its no-op form) after the run.
-func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, *engine.Engine, error) {
+// the optional reliable-delivery layer, the chaos injector, the
+// observability recorder, and — when rc.Shards > 1 — the parallel
+// engine. The caller must defer the returned stop, which releases the
+// engine workers and drains the recorder's trace files.
+func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, func(), error) {
 	m, err := machine.New(rc.machineConfig(), p)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -84,11 +90,16 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 		rel = rt.EnableReliable(r, rc.ReliableCfg)
 	}
 	inj := chaos.Attach(m, camp)
+	stopObs := rc.Obs.AttachTo(m)
 	var eng *engine.Engine
 	if rc.Shards > 1 {
 		eng = engine.Attach(m, rc.Shards)
 	}
-	return m, rel, inj, eng, nil
+	stop := func() {
+		eng.Stop()
+		reportObsErr(stopObs())
+	}
+	return m, rel, inj, stop, nil
 }
 
 // collect folds the run outcome into a CampaignResult.
@@ -117,11 +128,11 @@ func collect(name string, m *machine.Machine, rel *rt.Reliable, inj *chaos.Injec
 func PingCampaign(camp chaos.Campaign, rc ResilienceConfig) (*CampaignResult, error) {
 	rc = rc.withDefaults()
 	p := buildMicroProgram(buildPingClient)
-	m, rel, inj, eng, err := prepare(camp, rc, p)
+	m, rel, inj, stop, err := prepare(camp, rc, p)
 	if err != nil {
 		return nil, err
 	}
-	defer eng.Stop()
+	defer stop()
 	target := m.NumNodes() - 1
 	if err := m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(target)); err != nil {
 		return nil, err
@@ -149,11 +160,11 @@ func BarrierCampaign(camp chaos.Campaign, rc ResilienceConfig, inner int) (*Camp
 		inner = 4
 	}
 	p := barrierBenchProgram(inner)
-	m, rel, inj, eng, err := prepare(camp, rc, p)
+	m, rel, inj, stop, err := prepare(camp, rc, p)
 	if err != nil {
 		return nil, err
 	}
-	defer eng.Stop()
+	defer stop()
 	rt.StartAll(m, p, "main")
 	runErr := m.RunUntilHalt(0, rc.Budget)
 	var per int64

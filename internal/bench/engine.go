@@ -1,36 +1,65 @@
 package bench
 
-// Glue between the experiment drivers and the parallel engine: every
-// machine an experiment runs goes through one of these two helpers so
-// Options.Shards reaches it uniformly.
+// Glue between the experiment drivers and the parallel engine plus the
+// observability layer: every machine an experiment runs goes through
+// one of these two helpers so Options.Shards and Options.Obs reach it
+// uniformly.
 
 import (
+	"fmt"
+	"os"
+
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
 )
 
-// attachEngine installs the parallel engine on m when o.Shards > 1 and
-// returns the matching stop function (a no-op otherwise). Callers
-// defer the stop so the worker goroutines are released when the run
-// returns.
+// attachEngine installs the observability recorder (when configured)
+// and the parallel engine (when o.Shards > 1) on m, returning the
+// matching stop function (a no-op when neither applies). Callers defer
+// the stop so worker goroutines are released — and trace files drained
+// and closed — when the run returns.
 func (o Options) attachEngine(m *machine.Machine) func() {
+	stopObs := o.Obs.AttachTo(m)
 	if o.Shards <= 1 {
-		return func() {}
+		return func() { reportObsErr(stopObs()) }
 	}
 	eng := engine.Attach(m, o.Shards)
-	return eng.Stop
+	return func() {
+		eng.Stop()
+		reportObsErr(stopObs())
+	}
 }
 
-// engineHook returns an application Setup hook attaching the parallel
-// engine, plus the stop function to call once the app's Run returns.
-// With sharding off the hook is nil, leaving the app's Params exactly
-// as a sequential caller would build them.
+// engineHook returns an application Setup hook attaching the recorder
+// and parallel engine, plus the stop function to call once the app's
+// Run returns. With sharding and observability both off the hook is
+// nil, leaving the app's Params exactly as a sequential caller would
+// build them.
 func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
-	if o.Shards <= 1 {
+	if o.Shards <= 1 && o.Obs == nil {
 		return nil, func() {}
 	}
 	var eng *engine.Engine
-	setup := func(m *machine.Machine, _ *rt.Runtime) { eng = engine.Attach(m, o.Shards) }
-	return setup, func() { eng.Stop() }
+	stopObs := func() error { return nil }
+	setup := func(m *machine.Machine, _ *rt.Runtime) {
+		stopObs = o.Obs.AttachTo(m)
+		if o.Shards > 1 {
+			eng = engine.Attach(m, o.Shards)
+		}
+	}
+	return setup, func() {
+		if eng != nil {
+			eng.Stop()
+		}
+		reportObsErr(stopObs())
+	}
+}
+
+// reportObsErr surfaces trace-file write failures without failing the
+// experiment: observability is a tap, never a result dependency.
+func reportObsErr(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+	}
 }

@@ -11,7 +11,10 @@ package engine_test
 // mismatch.
 
 import (
+	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"jmachine/internal/apps/lcs"
@@ -23,6 +26,7 @@ import (
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/network"
+	"jmachine/internal/obs"
 	"jmachine/internal/rt"
 )
 
@@ -257,6 +261,176 @@ func TestEquivNQueens(t *testing.T) {
 				digest: r.M.StateDigest(),
 			}, nil
 		})
+	}
+}
+
+// --- observability equivalence -------------------------------------
+//
+// The observability layer (internal/obs) is a pure tap: attaching it
+// must leave machine.StateDigest() byte-identical to an unobserved run,
+// and the exported timeline/metrics must themselves be byte-identical
+// across shard counts. These tests run each workload unobserved and
+// sequential as the reference, then observed — at the default sampling
+// period and sampling every cycle — under the full shard sweep.
+
+// obsEvery lists the sampling periods the equivalence sweep covers:
+// the default period and the worst case of sampling every cycle.
+func obsEvery() []int {
+	if testing.Short() {
+		return []int{64}
+	}
+	return []int{64, 1}
+}
+
+// obsFiles is the observed-run output captured for byte comparison.
+type obsFiles struct {
+	perfetto []byte
+	metrics  []byte
+}
+
+func newObsOptions(t *testing.T, every int) (*obs.Options, func() obsFiles) {
+	t.Helper()
+	dir := t.TempDir()
+	o := &obs.Options{
+		PerfettoPath: filepath.Join(dir, "t.json"),
+		MetricsPath:  filepath.Join(dir, "m.jsonl"),
+		Every:        every,
+	}
+	read := func() obsFiles {
+		pb, err := os.ReadFile(o.PerfettoPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(o.MetricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obsFiles{perfetto: pb, metrics: mb}
+	}
+	return o, read
+}
+
+// obsEquivCampaign checks one campaign workload: observed runs must
+// match the unobserved sequential reference exactly, and the exported
+// files must not depend on the shard count.
+func obsEquivCampaign(t *testing.T, name string, run func(shards int, o *obs.Options) (*bench.CampaignResult, error)) {
+	t.Helper()
+	ref, err := run(0, nil)
+	if err != nil {
+		t.Fatalf("%s: unobserved sequential run: %v", name, err)
+	}
+	want := sumOf(ref)
+	for _, every := range obsEvery() {
+		var ref obsFiles
+		for _, k := range append([]int{0}, shardCounts...) {
+			o, read := newObsOptions(t, every)
+			res, err := run(k, o)
+			if err != nil {
+				t.Fatalf("%s shards=%d every=%d: %v", name, k, every, err)
+			}
+			if got := sumOf(res); got != want {
+				t.Errorf("%s shards=%d every=%d: observed run diverged from unobserved reference:\n  ref: %+v\n  got: %+v",
+					name, k, every, want, got)
+			}
+			files := read()
+			if ref.perfetto == nil {
+				ref = files
+				continue
+			}
+			if !bytes.Equal(files.perfetto, ref.perfetto) {
+				t.Errorf("%s shards=%d every=%d: timeline bytes differ from sequential", name, k, every)
+			}
+			if !bytes.Equal(files.metrics, ref.metrics) {
+				t.Errorf("%s shards=%d every=%d: metrics bytes differ from sequential", name, k, every)
+			}
+		}
+	}
+}
+
+// TestEquivObservedPing exercises the full event surface — chaos
+// faults, checksum drops, retransmissions — with the recorder on.
+func TestEquivObservedPing(t *testing.T) {
+	camp := chaos.RandomCampaign(1, 8, 4000, 4)
+	obsEquivCampaign(t, "obs/ping", func(shards int, o *obs.Options) (*bench.CampaignResult, error) {
+		return bench.PingCampaign(camp, bench.ResilienceConfig{
+			Nodes:    8,
+			Checksum: true,
+			RTS:      true,
+			Reliable: true,
+			Watchdog: 50_000,
+			Budget:   300_000,
+			Shards:   shards,
+			Obs:      o,
+		})
+	})
+}
+
+func TestEquivObservedBarrier(t *testing.T) {
+	obsEquivCampaign(t, "obs/barrier", func(shards int, o *obs.Options) (*bench.CampaignResult, error) {
+		return bench.BarrierCampaign(chaos.Campaign{}, bench.ResilienceConfig{
+			Nodes:  8,
+			Budget: 300_000,
+			Shards: shards,
+			Obs:    o,
+		}, 2)
+	})
+}
+
+// TestEquivObservedLCS covers the application path, where the recorder
+// and engine attach through the app's Setup hook.
+func TestEquivObservedLCS(t *testing.T) {
+	base := lcs.Params{LenA: 32, LenB: 48, Seed: 1}
+	refRun, err := lcs.Run(8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appOut{
+		vals:   [2]int64{int64(refRun.Length), 0},
+		cycles: refRun.Cycles,
+		digest: refRun.M.StateDigest(),
+	}
+	for _, every := range obsEvery() {
+		var ref obsFiles
+		for _, k := range append([]int{0}, shardCounts...) {
+			o, read := newObsOptions(t, every)
+			var stopObs func() error
+			var eng *engine.Engine
+			p := base
+			p.Setup = func(m *machine.Machine, _ *rt.Runtime) {
+				stopObs = o.AttachTo(m)
+				if k > 0 {
+					eng = engine.Attach(m, k)
+				}
+			}
+			r, err := lcs.Run(8, p)
+			eng.Stop()
+			if cerr := stopObs(); cerr != nil {
+				t.Fatalf("lcs shards=%d every=%d: obs close: %v", k, every, cerr)
+			}
+			if err != nil {
+				t.Fatalf("lcs shards=%d every=%d: %v", k, every, err)
+			}
+			got := appOut{
+				vals:   [2]int64{int64(r.Length), 0},
+				cycles: r.Cycles,
+				digest: r.M.StateDigest(),
+			}
+			if got != want {
+				t.Errorf("lcs shards=%d every=%d: observed run diverged:\n  ref: %+v\n  got: %+v",
+					k, every, want, got)
+			}
+			files := read()
+			if ref.perfetto == nil {
+				ref = files
+				continue
+			}
+			if !bytes.Equal(files.perfetto, ref.perfetto) {
+				t.Errorf("lcs shards=%d every=%d: timeline bytes differ from sequential", k, every)
+			}
+			if !bytes.Equal(files.metrics, ref.metrics) {
+				t.Errorf("lcs shards=%d every=%d: metrics bytes differ from sequential", k, every)
+			}
+		}
 	}
 }
 

@@ -289,6 +289,33 @@ type progressSig struct {
 	returned  uint64
 }
 
+// ProgressCounters is the watchdog's forward-progress signature in
+// exported form: everything the machine counts as evidence of life.
+// Observability snapshots report it so a live tail shows the same
+// signal the watchdog trips on.
+type ProgressCounters struct {
+	Instrs    uint64 `json:"instrs"`
+	Threads   uint64 `json:"threads"`
+	Faults    uint64 `json:"faults"`
+	PhitHops  uint64 `json:"phit_hops"`
+	Delivered uint64 `json:"delivered_words"`
+	Returned  uint64 `json:"returned_msgs"`
+}
+
+// Progress returns the machine-wide forward-progress counters the
+// watchdog compares between windows. The scan is O(nodes).
+func (m *Machine) Progress() ProgressCounters {
+	s := m.progress()
+	return ProgressCounters{
+		Instrs:    s.instrs,
+		Threads:   s.threads,
+		Faults:    s.faults,
+		PhitHops:  s.phitHops,
+		Delivered: s.delivered,
+		Returned:  s.returned,
+	}
+}
+
 func (m *Machine) progress() progressSig {
 	var s progressSig
 	for _, n := range m.Stats.Nodes {

@@ -343,6 +343,8 @@ func (n *Node) exec(ctx *Context, in isa.Instr) execResult {
 
 	case isa.HALT:
 		n.halted = true
+		n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Halt,
+			A: ctx.IP})
 		return n.res(1, cat, next)
 
 	case isa.SEND, isa.SEND2, isa.SENDE, isa.SEND2E,
@@ -485,7 +487,7 @@ func (n *Node) execSend(ctx *Context, in isa.Instr) execResult {
 	}, extra)
 	n.Stats.MsgsSent[pri]++
 	n.Stats.WordsSent[pri] += uint64(payload)
-	n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Send,
+	n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Send,
 		A: int32(n.Net.NodeFromWord(b[0])), B: int32(payload)})
 	n.building[n.cur][pri] = b[:0]
 	n.pendingLen[n.cur][pri] = 0

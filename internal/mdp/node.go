@@ -48,6 +48,13 @@ type Node struct {
 	// Trace, when non-nil, records dispatches, suspends, sends, and
 	// faults for debugging (see package trace).
 	Trace *trace.Buffer
+	// Watch, when non-nil, receives a copy of every event the node
+	// emits, independently of Trace. Unlike Trace it is NOT part of
+	// StateDigest, so an attached observer (internal/obs) leaves the
+	// digest byte-identical to an unobserved run. The callback runs on
+	// the goroutine stepping this node — one per cycle under both
+	// engines — and must not touch other nodes' state.
+	Watch func(trace.Event)
 
 	ctx      [NumLevels]Context
 	cur      int
@@ -124,6 +131,15 @@ type softMsg struct {
 // SetFaultFn installs the system-software trap entry.
 func (n *Node) SetFaultFn(fn FaultFn) { n.faultFn = fn }
 
+// emit routes one trace event to the debug ring and the observer tap.
+// Both paths are nil-check cheap when disabled.
+func (n *Node) emit(e trace.Event) {
+	n.Trace.Add(e)
+	if n.Watch != nil {
+		n.Watch(e)
+	}
+}
+
 // Cycle returns the node's local cycle count.
 func (n *Node) Cycle() int64 { return n.cycle }
 
@@ -196,7 +212,7 @@ func (n *Node) StartBackground(ip int32) {
 // EndThread terminates the thread at level, consuming its message if it
 // was a handler. System software uses it to suspend faulting threads.
 func (n *Node) EndThread(level int) {
-	n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Suspend,
+	n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Suspend,
 		A: n.ctx[level].IP, B: int32(level)})
 	n.ctx[level].Running = false
 	n.PopCurrentMessage(level)
@@ -303,7 +319,7 @@ func (n *Node) relocateOverflow() bool {
 	q.Pop()
 	n.softQ = append(n.softQ, softMsg{addr: addr, words: words})
 	n.Stats.OverflowFaults++
-	n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Fault,
+	n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Fault,
 		A: int32(FaultQueueOverflow), B: int32(words)})
 	cost := sq.CostPerMsg + int32(words)*(1+n.Cfg.Timing.EmemStore)
 	n.chargeFirst(cost, stats.CatSync)
@@ -333,6 +349,8 @@ func (n *Node) dispatchSoft() {
 	n.p0Soft = true
 	n.cur = LvlP0
 	n.Stats.BeginThread(ip, sm.words)
+	n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Dispatch,
+		A: ip, B: int32(sm.words)})
 	n.chargeFirst(n.Cfg.Timing.Dispatch, stats.CatSync)
 }
 
@@ -365,7 +383,7 @@ func (n *Node) dispatch(level int) {
 	ctx.Regs[isa.A3] = word.New(word.TagMsg, int32(pri))
 	n.cur = level
 	n.Stats.BeginThread(ip, q.HeadLen())
-	n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Dispatch,
+	n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Dispatch,
 		A: ip, B: int32(q.HeadLen())})
 	n.chargeFirst(n.Cfg.Timing.Dispatch, stats.CatSync)
 }
@@ -408,7 +426,7 @@ func (n *Node) execOne() {
 		case FaultTrap:
 			cat = stats.CatSync
 		}
-		n.Trace.Add(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Fault,
+		n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Fault,
 			A: int32(f.Kind), B: f.IP})
 		if n.faultFn == nil {
 			n.haltFatal(f)
@@ -422,7 +440,11 @@ func (n *Node) execOne() {
 		case ActAdvance:
 			ctx.IP++
 		case ActResume:
-			// System software installed a context; leave IP alone.
+			// System software installed a context; leave IP alone. The
+			// Resume event marks the restored thread for span
+			// reconstruction (internal/obs).
+			n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Resume,
+				A: ctx.IP, B: int32(n.cur)})
 		case ActSuspend:
 			n.EndThread(n.cur)
 		case ActHalt:

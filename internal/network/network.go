@@ -307,6 +307,17 @@ func (n *Network) LaunchLatency() int { return n.cfg.LaunchCycles }
 // nonzero at quiescence indicates a wedged worm.
 func (n *Network) RouterOcc(id int) int { return int(n.routers[id].occ) }
 
+// LinkOcc returns the number of phits buffered in node id's input
+// buffer for port (both priorities): the occupancy of the channel
+// arriving from the neighbour in direction port, or of the injection
+// path for PortLocal. Observability samples these as per-link counter
+// tracks; reads must happen between cycles (on the coordinator), where
+// both engines leave the buffers quiescent.
+func (n *Network) LinkOcc(id, port int) int {
+	r := &n.routers[id]
+	return int(r.in[0][port].n) + int(r.in[1][port].n)
+}
+
 // OutboxDepth returns the number of messages queued for injection at a
 // node and priority.
 func (n *Network) OutboxDepth(node, pri int) int { return len(n.out[node][pri].msgs) }

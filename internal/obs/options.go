@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"jmachine/internal/machine"
+)
+
+// Options is the file-backed configuration experiments thread through
+// (bench.Options.Obs, jm-trace flags). A nil *Options disables
+// observability entirely; the attach path then costs one nil check.
+type Options struct {
+	// PerfettoPath receives the timeline; MetricsPath the JSONL
+	// snapshots. Empty disables that sink.
+	PerfettoPath string
+	MetricsPath  string
+
+	// Every is the sampling period in cycles for both counter samples
+	// and snapshots (0 = default of 64, negative = events only).
+	Every int
+
+	// PerLink adds per-mesh-link occupancy counter tracks.
+	PerLink bool
+
+	// HandlerName optionally names handler spans from their entry IP.
+	HandlerName func(ip int32) string
+
+	seq atomic.Int32 // machines attached so far, for output-file suffixes
+}
+
+// pathFor returns the k-th output path for base: the first machine gets
+// base itself, later ones base.2, base.3, … so campaigns that build
+// several machines don't overwrite each other's traces.
+func pathFor(base string, k int32) string {
+	if base == "" || k <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.%d", base, k)
+}
+
+// AttachTo opens the configured sinks and attaches a Recorder to m.
+// The returned stop function drains, closes the files, and reports the
+// first error; it is never nil. A nil receiver (observability off)
+// returns a no-op stop.
+func (o *Options) AttachTo(m *machine.Machine) func() error {
+	if o == nil || (o.PerfettoPath == "" && o.MetricsPath == "") {
+		return func() error { return nil }
+	}
+	k := o.seq.Add(1)
+	var files []*os.File
+	var bufs []*bufio.Writer
+	openSink := func(path string) (*bufio.Writer, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		b := bufio.NewWriterSize(f, 1<<16)
+		bufs = append(bufs, b)
+		return b, nil
+	}
+	closeAll := func() error {
+		var first error
+		for _, b := range bufs {
+			if err := b.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	cfg := Config{
+		SampleEvery: o.Every,
+		PerLink:     o.PerLink,
+		HandlerName: o.HandlerName,
+	}
+	if cfg.HandlerName == nil && len(m.Nodes) > 0 && m.Nodes[0].Prog != nil {
+		// Name handler spans from the program's own labels by default.
+		cfg.HandlerName = HandlerNames(m.Nodes[0].Prog.Labels)
+	}
+	if o.PerfettoPath != "" {
+		w, err := openSink(pathFor(o.PerfettoPath, k))
+		if err != nil {
+			closeAll()
+			return func() error { return err }
+		}
+		cfg.Perfetto = w
+	}
+	if o.MetricsPath != "" {
+		w, err := openSink(pathFor(o.MetricsPath, k))
+		if err != nil {
+			closeAll()
+			return func() error { return err }
+		}
+		cfg.Metrics = w
+	}
+	r := Attach(m, cfg)
+	return func() error {
+		err := r.Close()
+		if cerr := closeAll(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+}

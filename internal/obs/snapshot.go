@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"jmachine/internal/machine"
+	"jmachine/internal/stats"
+)
+
+// Snapshot is one machine-wide metric sample, serialised as a JSON
+// line. All counters are cumulative since reset; the in-flight gauges
+// (queue/router/outbox occupancy) are the state at Cycle's end.
+type Snapshot struct {
+	Cycle int64 `json:"cycle"`
+	Nodes int   `json:"nodes"`
+
+	Instrs  uint64 `json:"instrs"`
+	Threads uint64 `json:"threads"`
+
+	InjectedMsgs   uint64 `json:"injected_msgs"`
+	InjectedWords  uint64 `json:"injected_words"`
+	DeliveredMsgs  uint64 `json:"delivered_msgs"`
+	DeliveredWords uint64 `json:"delivered_words"`
+	PhitHops       uint64 `json:"phit_hops"`
+	ReturnedMsgs   uint64 `json:"returned_msgs"`
+	Retransmits    uint64 `json:"retransmits"`
+	DroppedMsgs    uint64 `json:"dropped_msgs"`
+	CorruptDrops   uint64 `json:"corrupt_drops"`
+	DupDrops       uint64 `json:"dup_drops"`
+
+	SendFaults    uint64 `json:"send_faults"`
+	XlateFaults   uint64 `json:"xlate_faults"`
+	WatchdogTrips uint64 `json:"watchdog_trips"`
+
+	// CyclesByCat is the Figure 6 attribution, keyed by category name
+	// (comp/comm/sync/xlate/nnr/idle).
+	CyclesByCat map[string]int64 `json:"cycles_by_cat"`
+
+	// Progress mirrors the watchdog's forward-progress signature, so a
+	// live metrics tail shows the same signal the watchdog trips on.
+	Progress machine.ProgressCounters `json:"progress"`
+
+	// In-flight gauges.
+	QueueWords  [2]int `json:"queue_words"` // buffered words machine-wide, per priority
+	RouterPhits int    `json:"router_phits"`
+	OutboxMsgs  int    `json:"outbox_msgs"`
+}
+
+// TakeSnapshot reads the machine's current metric state. It only reads
+// exported state and must run on the coordinating goroutine between
+// cycles (as the recorder does); it never perturbs the digest.
+func TakeSnapshot(m *machine.Machine) Snapshot {
+	return takeSnapshot(m, m.Cycle())
+}
+
+func takeSnapshot(m *machine.Machine, cycle int64) Snapshot {
+	ns := m.Net.Stats()
+	s := Snapshot{
+		Cycle:          cycle,
+		Nodes:          m.NumNodes(),
+		Instrs:         m.Stats.Instrs(),
+		Threads:        m.Stats.Threads(),
+		DeliveredMsgs:  ns.DeliveredMsgs[0] + ns.DeliveredMsgs[1],
+		DeliveredWords: ns.DeliveredWords[0] + ns.DeliveredWords[1],
+		PhitHops:       ns.PhitHops,
+		ReturnedMsgs:   ns.ReturnedMsgs,
+		Retransmits:    ns.Retransmits,
+		DroppedMsgs:    ns.DroppedMsgs,
+		CorruptDrops:   ns.CorruptDrops,
+		DupDrops:       ns.DupDrops,
+		SendFaults:     m.Stats.SendFaults(),
+		XlateFaults:    m.Stats.XlateFaults(),
+		WatchdogTrips:  m.WatchdogTrips,
+		CyclesByCat:    make(map[string]int64, stats.NumCats),
+		Progress:       m.Progress(),
+	}
+	for c := stats.Cat(0); c < stats.NumCats; c++ {
+		s.CyclesByCat[c.String()] = m.Stats.Cycles(c)
+	}
+	for i, sn := range m.Stats.Nodes {
+		s.InjectedMsgs += sn.MsgsSent[0] + sn.MsgsSent[1]
+		s.InjectedWords += sn.WordsSent[0] + sn.WordsSent[1]
+		node := m.Nodes[i]
+		s.QueueWords[0] += node.Queues[0].Used()
+		s.QueueWords[1] += node.Queues[1].Used()
+		s.RouterPhits += m.Net.RouterOcc(i)
+		s.OutboxMsgs += m.Net.OutboxDepth(i, 0) + m.Net.OutboxDepth(i, 1)
+	}
+	return s
+}

@@ -14,8 +14,9 @@ func (b *Buffer) StateDigest(h uint64) uint64 {
 	if b == nil {
 		return mix(h, 0)
 	}
-	h = mix(h, uint64(len(b.events))|b.dropped<<32)
-	for _, e := range b.Events() {
+	h = mix(h, uint64(b.count)|b.dropped<<32)
+	for i := 0; i < b.count; i++ {
+		e := b.At(i)
 		h = mix(h, uint64(e.Cycle))
 		h = mix(h, uint64(uint32(e.Node))|uint64(e.Kind)<<32)
 		h = mix(h, uint64(uint32(e.A))|uint64(uint32(e.B))<<32)

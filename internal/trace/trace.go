@@ -63,14 +63,22 @@ func (e Event) String() string {
 // Buffer is a fixed-capacity event ring. A nil *Buffer is a valid,
 // disabled sink: all methods are nil-safe.
 //
+// The ring is tracked with explicit indices — next is the slot of the
+// oldest retained event once the ring is full, count the number
+// retained — rather than len/cap tricks: a slice allocated with a
+// requested capacity can receive more from the allocator's size-class
+// rounding, which would silently move the wrap boundary and make the
+// retention window (and Dropped accounting) depend on the runtime
+// instead of the requested capacity.
+//
 // Concurrency: each Buffer is single-writer — events are added only by
 // the owning node's Step, which runs on one goroutine per cycle under
 // both the sequential loop and the parallel engine's node phase.
 // Readers (dumps, digests) run on the coordinator between cycles.
 type Buffer struct {
-	events  []Event
-	next    int
-	wrapped bool
+	events  []Event // ring storage; len(events) is the exact capacity
+	next    int     // oldest retained slot once full; 0 while filling
+	count   int     // retained events
 	dropped uint64
 }
 
@@ -79,21 +87,23 @@ func New(capEvents int) *Buffer {
 	if capEvents <= 0 {
 		capEvents = 4096
 	}
-	return &Buffer{events: make([]Event, 0, capEvents)}
+	return &Buffer{events: make([]Event, capEvents)}
 }
 
-// Add records an event (nil-safe no-op when the buffer is nil).
+// Add records an event (nil-safe no-op when the buffer is nil). Once
+// the ring is full each new event overwrites the oldest.
 func (b *Buffer) Add(e Event) {
 	if b == nil {
 		return
 	}
-	if len(b.events) < cap(b.events) {
-		b.events = append(b.events, e)
+	if b.count < len(b.events) {
+		// Filling: next stays 0, so slot count is the write position.
+		b.events[(b.next+b.count)%len(b.events)] = e
+		b.count++
 		return
 	}
 	b.events[b.next] = e
-	b.next = (b.next + 1) % cap(b.events)
-	b.wrapped = true
+	b.next = (b.next + 1) % len(b.events)
 	b.dropped++
 }
 
@@ -102,7 +112,21 @@ func (b *Buffer) Len() int {
 	if b == nil {
 		return 0
 	}
+	return b.count
+}
+
+// Cap returns the ring capacity in events.
+func (b *Buffer) Cap() int {
+	if b == nil {
+		return 0
+	}
 	return len(b.events)
+}
+
+// At returns retained event i, where 0 is the oldest. It must only be
+// called with 0 <= i < Len().
+func (b *Buffer) At(i int) Event {
+	return b.events[(b.next+i)%len(b.events)]
 }
 
 // Dropped returns how many older events the ring overwrote.
@@ -115,17 +139,14 @@ func (b *Buffer) Dropped() uint64 {
 
 // Events returns the retained events, oldest first.
 func (b *Buffer) Events() []Event {
-	if b == nil {
+	if b == nil || b.count == 0 {
 		return nil
 	}
-	if !b.wrapped {
-		out := make([]Event, len(b.events))
-		copy(out, b.events)
-		return out
+	out := make([]Event, 0, b.count)
+	out = append(out, b.events[b.next:b.next+min(b.count, len(b.events)-b.next)]...)
+	if rest := b.count - (len(b.events) - b.next); rest > 0 {
+		out = append(out, b.events[:rest]...)
 	}
-	out := make([]Event, 0, len(b.events))
-	out = append(out, b.events[b.next:]...)
-	out = append(out, b.events[:b.next]...)
 	return out
 }
 

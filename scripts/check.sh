@@ -11,12 +11,24 @@ go vet ./...
 
 echo "== engine equivalence under the race detector"
 # The parallel engine's determinism contract, gated explicitly: every
-# workload digest-equal to the sequential loop, with the race detector
-# checking the shard rendezvous protocol.
+# workload digest-equal to the sequential loop — including the observed
+# variants, whose recorder must leave the digest untouched — with the
+# race detector checking the shard rendezvous protocol and the
+# recorder's staging path.
 go test -race -count=1 ./internal/engine/
 
 echo "== go test -race"
-go test -race ./...
+# The broad race pass runs -short: the slowest sweeps (every-cycle
+# observability sampling, cross-shard table reruns) run at full depth
+# race-free in the coverage pass below, and the engine package already
+# ran complete under race above.
+go test -race -short ./...
+
+echo "== go test -cover"
+go test -cover ./... | tee /tmp/jm-cover.out
+echo "-- coverage summary"
+awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:") printf "%7s  %s\n", $(i+1), $2 }' \
+    /tmp/jm-cover.out | sort -r
 
 echo "== chaos smoke"
 go build -o /tmp/jm-chaos-check ./cmd/jm-chaos
@@ -25,5 +37,14 @@ SMOKE='-workload all -seed 11 -reliable -watchdog 100000'
 /tmp/jm-chaos-check $SMOKE > /tmp/jm-chaos-check-2.out
 cmp /tmp/jm-chaos-check-1.out /tmp/jm-chaos-check-2.out
 echo "chaos smoke: all workloads completed, output deterministic"
+
+echo "== trace smoke"
+# The observability CLI must produce a loadable timeline that is
+# byte-identical sequential and sharded.
+go build -o /tmp/jm-trace-check ./cmd/jm-trace
+/tmp/jm-trace-check -perfetto /tmp/jm-trace-1.json -shards 1 > /dev/null
+/tmp/jm-trace-check -perfetto /tmp/jm-trace-4.json -shards 4 > /dev/null
+cmp /tmp/jm-trace-1.json /tmp/jm-trace-4.json
+echo "trace smoke: timeline byte-identical across shard counts"
 
 echo "== OK"
