@@ -1,17 +1,27 @@
-// jm-bench measures the parallel engine's wall-clock behaviour on the
-// 512-node Figure 3 loaded-exchange workload and writes the results as
-// JSON (the committed BENCH_engine.json). Each shard count runs the
-// identical workload; the final machine-state digests must match the
-// sequential reference, so the file doubles as a large-scale
-// determinism check.
+// jm-bench measures the simulator's wall-clock behaviour on two
+// 512-node workloads and writes the results as JSON (the committed
+// BENCH_engine.json):
+//
+//   - the Figure 3 loaded exchange (every node firing 8-word messages),
+//     stepped sequentially and under each shard count — the parallel
+//     engine's benchmark; and
+//   - the token-ring idle probe (all but a few nodes suspended on cfut
+//     slots), run under the reference loop and the event-horizon fast
+//     path — the active-set scheduler's benchmark.
+//
+// Each run of the same workload must end in a byte-identical machine
+// state, so the file doubles as a large-scale determinism check. Host
+// parallelism (host_cores, gomaxprocs) is recorded because the engine
+// numbers are meaningless without it; the fast-path ratio is
+// host-independent. Re-running against an existing output file appends
+// that file's summary to a history list instead of erasing it, so the
+// committed JSON accumulates one entry per PR.
 //
 // Usage:
 //
 //	jm-bench [-nodes 512] [-warm 2000] [-measure 20000]
-//	         [-shards 0,2,4,8] [-gobench file] [-out BENCH_engine.json]
-//
-// -gobench merges the `go test -bench` output of the testing.B suite
-// (scripts/bench.sh produces it) into the JSON.
+//	         [-shards 0,2,4,8] [-idle-tokens 4] [-label name]
+//	         [-gobench file] [-out BENCH_engine.json]
 package main
 
 import (
@@ -35,17 +45,82 @@ type goBenchLine struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 }
 
+// idleProbeRow is one idle-probe measurement plus its stepping mode.
+type idleProbeRow struct {
+	bench.EngineProbeResult
+	Mode string `json:"mode"` // "reference" or "fast"
+}
+
+// historyEntry is the one-line summary of a past jm-bench run, carried
+// forward each time the output file is regenerated.
+type historyEntry struct {
+	Label            string  `json:"label,omitempty"`
+	HostCores        int     `json:"host_cores"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	GoVersion        string  `json:"go_version"`
+	Fig3SeqRate      float64 `json:"fig3_seq_cycles_per_sec"`
+	IdleRefRate      float64 `json:"idle_reference_cycles_per_sec,omitempty"`
+	IdleFastRate     float64 `json:"idle_fast_cycles_per_sec,omitempty"`
+	FastPathSpeedup  float64 `json:"fastpath_speedup_idle,omitempty"`
+	BestShardSpeedup float64 `json:"best_shard_speedup,omitempty"`
+}
+
 // report is the BENCH_engine.json schema.
 type report struct {
-	Workload     string                    `json:"workload"`
-	HostCores    int                       `json:"host_cores"`
-	GoMaxProcs   int                       `json:"gomaxprocs"`
-	GoVersion    string                    `json:"go_version"`
-	Notes        []string                  `json:"notes"`
-	Probe        []bench.EngineProbeResult `json:"probe"`
-	Speedup      map[string]float64        `json:"speedup_vs_sequential"`
-	DigestsMatch bool                      `json:"digests_match"`
-	GoBench      []goBenchLine             `json:"go_bench,omitempty"`
+	Workload   string   `json:"workload"`
+	Label      string   `json:"label,omitempty"`
+	HostCores  int      `json:"host_cores"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Notes      []string `json:"notes"`
+	// Probe is the Figure 3 loaded exchange across shard counts; the
+	// sequential rows run with the fast path on (its live-node overhead
+	// on a saturated machine is part of the default configuration).
+	Probe []bench.EngineProbeResult `json:"probe"`
+	// IdleProbe is the token ring under reference and fast stepping.
+	IdleProbe []idleProbeRow `json:"idle_probe,omitempty"`
+	// Speedup compares sharded fig3 rows to the sequential one.
+	Speedup map[string]float64 `json:"speedup_vs_sequential"`
+	// FastPathSpeedup is the idle probe's fast/reference rate ratio on
+	// the sequential loop: the event-horizon win, host-independent.
+	FastPathSpeedup float64        `json:"fastpath_speedup_idle,omitempty"`
+	DigestsMatch    bool           `json:"digests_match"`
+	GoBench         []goBenchLine  `json:"go_bench,omitempty"`
+	History         []historyEntry `json:"history,omitempty"`
+}
+
+// summarize folds a report into its history line.
+func (r *report) summarize() historyEntry {
+	h := historyEntry{
+		Label:           r.Label,
+		HostCores:       r.HostCores,
+		GoMaxProcs:      r.GoMaxProcs,
+		GoVersion:       r.GoVersion,
+		FastPathSpeedup: r.FastPathSpeedup,
+	}
+	for _, p := range r.Probe {
+		if p.Shards <= 1 {
+			h.Fig3SeqRate = p.CyclesPerSec
+			break
+		}
+	}
+	for _, p := range r.IdleProbe {
+		if p.Shards > 1 {
+			continue
+		}
+		switch p.Mode {
+		case "reference":
+			h.IdleRefRate = p.CyclesPerSec
+		case "fast":
+			h.IdleFastRate = p.CyclesPerSec
+		}
+	}
+	for _, s := range r.Speedup {
+		if s > h.BestShardSpeedup {
+			h.BestShardSpeedup = s
+		}
+	}
+	return h
 }
 
 func main() {
@@ -53,6 +128,8 @@ func main() {
 	warm := flag.Int64("warm", 2000, "warm-up cycles before timing")
 	measure := flag.Int64("measure", 20000, "measured cycles")
 	shardList := flag.String("shards", "0,2,4,8", "comma-separated shard counts (0 = sequential)")
+	idleTokens := flag.Int("idle-tokens", 4, "tokens circulating in the idle probe ring")
+	label := flag.String("label", "", "history label for this run (e.g. a PR or commit name)")
 	gobench := flag.String("gobench", "", "`go test -bench` output file to merge")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
 	flag.Parse()
@@ -67,27 +144,31 @@ func main() {
 	}
 
 	rep := report{
-		Workload:   fmt.Sprintf("fig3 loaded exchange, %d nodes, 8-word messages", *nodes),
+		Workload:   fmt.Sprintf("fig3 loaded exchange + idle token ring, %d nodes", *nodes),
+		Label:      *label,
 		HostCores:  runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 		Notes: []string{
 			"cycles_per_sec = measured cycles / wall seconds; ns/op in go_bench is ns per machine cycle",
-			"state digests across shard counts must be equal (byte-identical simulation)",
-			"speedup over the sequential loop requires >= 4 hardware threads; on fewer cores the rendezvous overhead dominates and the sequential reference is the right engine",
+			"state digests within each workload must be equal (byte-identical simulation)",
+			"speedup_vs_sequential (fig3, sharded engine) requires >= 4 hardware threads; on fewer cores the rendezvous overhead dominates",
+			"fastpath_speedup_idle (token ring, event-horizon scheduler vs reference loop) is host-independent: it comes from not stepping parked nodes",
+			"history carries one summary line per past run of this file",
 		},
-		Speedup: map[string]float64{},
+		Speedup:      map[string]float64{},
+		DigestsMatch: true,
 	}
 
+	// Figure 3 loaded exchange across shard counts.
 	var seqRate float64
-	rep.DigestsMatch = true
 	for _, k := range counts {
 		res, err := bench.EngineProbe(*nodes, k, *warm, *measure)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rep.Probe = append(rep.Probe, res)
-		fmt.Fprintf(os.Stderr, "probe nodes=%d shards=%d: %.0f cycles/sec (digest %#x)\n",
+		fmt.Fprintf(os.Stderr, "fig3 probe nodes=%d shards=%d: %.0f cycles/sec (digest %#x)\n",
 			res.Nodes, res.Shards, res.CyclesPerSec, res.Digest)
 		if k <= 1 && seqRate == 0 {
 			seqRate = res.CyclesPerSec
@@ -103,8 +184,46 @@ func main() {
 			}
 		}
 	}
+
+	// Idle token ring: reference loop, then the fast path, sequentially
+	// and under the shard counts.
+	type idleRun struct {
+		mode      string
+		reference bool
+		shards    int
+	}
+	idleRuns := []idleRun{{"reference", true, 0}, {"fast", false, 0}}
+	for _, k := range counts {
+		if k > 1 {
+			idleRuns = append(idleRuns, idleRun{"fast", false, k})
+		}
+	}
+	var idleRef, idleFast float64
+	for _, r := range idleRuns {
+		res, err := bench.IdleProbe(*nodes, r.shards, r.reference, *idleTokens, *warm, *measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.IdleProbe = append(rep.IdleProbe, idleProbeRow{EngineProbeResult: res, Mode: r.mode})
+		fmt.Fprintf(os.Stderr, "idle probe nodes=%d mode=%s shards=%d: %.0f cycles/sec (digest %#x)\n",
+			res.Nodes, r.mode, res.Shards, res.CyclesPerSec, res.Digest)
+		if res.Digest != rep.IdleProbe[0].Digest {
+			rep.DigestsMatch = false
+		}
+		if r.shards == 0 {
+			if r.reference {
+				idleRef = res.CyclesPerSec
+			} else {
+				idleFast = res.CyclesPerSec
+			}
+		}
+	}
+	if idleRef > 0 && idleFast > 0 {
+		rep.FastPathSpeedup = idleFast / idleRef
+		fmt.Fprintf(os.Stderr, "fast-path speedup on the idle ring: %.1fx\n", rep.FastPathSpeedup)
+	}
 	if !rep.DigestsMatch {
-		log.Fatal("state digests diverged across shard counts — determinism violation")
+		log.Fatal("state digests diverged across runs of the same workload — determinism violation")
 	}
 
 	if *gobench != "" {
@@ -113,6 +232,19 @@ func main() {
 			log.Fatal(err)
 		}
 		rep.GoBench = lines
+	}
+
+	// Append, never erase: fold the previous file's summary (and its
+	// accumulated history) into this report's history.
+	if *out != "-" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old report
+			if err := json.Unmarshal(prev, &old); err == nil {
+				rep.History = append(old.History, old.summarize())
+			} else {
+				fmt.Fprintf(os.Stderr, "warning: %s exists but is not a jm-bench report (%v); history starts fresh\n", *out, err)
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	jm-tables [-quick] [-paper] [-v] [-exp fig2,tab1,...]
+//	jm-tables [-quick] [-paper] [-v] [-reference] [-exp fig2,tab1,...]
 //
 // Experiments: seq, fig2, tab1, fig3, fig4, tab2, tab3, fig5, fig6,
 // tab4, tab5, ablate (default: all).
@@ -28,9 +28,11 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiment list")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
+	reference := flag.Bool("reference", false,
+		"disable the event-horizon fast path (every-node-every-cycle stepping; results are byte-identical)")
 	flag.Parse()
 
-	o := bench.Options{Quick: *quick, PaperScale: *paper, Verbose: *verbose, Shards: *shards}
+	o := bench.Options{Quick: *quick, PaperScale: *paper, Verbose: *verbose, Shards: *shards, Reference: *reference}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true

@@ -39,6 +39,13 @@ type Options struct {
 	// stay sequential, where the engine could only add rendezvous
 	// overhead.
 	Shards int
+	// Reference disables the event-horizon fast path on every machine
+	// the experiment steps, forcing the every-node-every-cycle loop.
+	// Like Shards, it is purely a wall-clock knob: results are
+	// byte-identical either way (the fast-path equivalence suite
+	// enforces it), which scripts/check.sh re-proves on the Table 4/5
+	// outputs.
+	Reference bool
 	// Obs, when non-nil, attaches the observability recorder
 	// (internal/obs) to every machine the experiment steps: Perfetto
 	// timelines and metric snapshots stream to the configured files.

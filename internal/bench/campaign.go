@@ -30,6 +30,11 @@ type ResilienceConfig struct {
 	// keeps the sequential reference loop. Results are byte-identical
 	// either way (the equivalence suite enforces it).
 	Shards int
+	// Reference disables the event-horizon fast path (active-set
+	// scheduling and bulk idle-skip), forcing the every-node-every-cycle
+	// reference loop. Results are byte-identical either way; the flag
+	// exists so the equivalence suite can prove it.
+	Reference bool
 	// Obs, when non-nil, streams a Perfetto timeline and metric
 	// snapshots from the campaign machine (see internal/obs). Purely a
 	// tap: the StateDigest in the result is unchanged by it.
@@ -83,6 +88,9 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 	m, err := machine.New(rc.machineConfig(), p)
 	if err != nil {
 		return nil, nil, nil, nil, err
+	}
+	if rc.Reference {
+		m.SetFastPath(false)
 	}
 	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
 	var rel *rt.Reliable

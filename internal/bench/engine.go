@@ -20,6 +20,9 @@ import (
 // the stop so worker goroutines are released — and trace files drained
 // and closed — when the run returns.
 func (o Options) attachEngine(m *machine.Machine) func() {
+	if o.Reference {
+		m.SetFastPath(false)
+	}
 	stopObs := o.Obs.AttachTo(m)
 	if o.Shards <= 1 {
 		return func() { reportObsErr(stopObs()) }
@@ -37,12 +40,15 @@ func (o Options) attachEngine(m *machine.Machine) func() {
 // nil, leaving the app's Params exactly as a sequential caller would
 // build them.
 func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
-	if o.Shards <= 1 && o.Obs == nil {
+	if o.Shards <= 1 && o.Obs == nil && !o.Reference {
 		return nil, func() {}
 	}
 	var eng *engine.Engine
 	stopObs := func() error { return nil }
 	setup := func(m *machine.Machine, _ *rt.Runtime) {
+		if o.Reference {
+			m.SetFastPath(false)
+		}
 		stopObs = o.Obs.AttachTo(m)
 		if o.Shards > 1 {
 			eng = engine.Attach(m, o.Shards)

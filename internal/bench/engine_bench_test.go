@@ -27,6 +27,21 @@ func benchStep(b *testing.B, nodes, shards int) {
 	m.StepN(int64(b.N))
 }
 
+// benchIdleStep measures the per-cycle cost of the token-ring idle
+// workload (internal/bench/idleprobe.go): nearly every node suspended
+// on a cfut slot. This is the shape the event-horizon fast path is
+// for, so it is benchmarked under both stepping modes.
+func benchIdleStep(b *testing.B, nodes, shards int, reference bool) {
+	m, stop, err := newIdleRing(nodes, shards, reference, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	m.StepN(1000) // warm: every waiting node has suspended
+	b.ResetTimer()
+	m.StepN(int64(b.N))
+}
+
 func BenchmarkEngine(b *testing.B) {
 	for _, nodes := range []int{64, 512} {
 		for _, shards := range []int{0, 2, 4, 8} {
@@ -36,5 +51,18 @@ func BenchmarkEngine(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) { benchStep(b, nodes, shards) })
 		}
+	}
+	for _, mode := range []struct {
+		name      string
+		shards    int
+		reference bool
+	}{
+		{"idle-n512/reference", 0, true},
+		{"idle-n512/fast", 0, false},
+		{"idle-n512/fast-shards-4", 4, false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchIdleStep(b, 512, mode.shards, mode.reference)
+		})
 	}
 }

@@ -1,0 +1,130 @@
+package bench
+
+// IdleProbe is the sync-heavy wall-clock harness: a token ring over
+// cfut suspends. Every node blocks reading a presence-tagged slot; the
+// holder of a token re-arms its slot, forwards the token to its ring
+// successor's synchronizing-write handler, and suspends again. At any
+// instant all but a handful of nodes are idle — the Figure 6 shape for
+// synchronization-bound programs — which is exactly the case the
+// event-horizon fast path exists for: the scheduler parks the waiting
+// nodes and only touches the token holders. The reference loop steps
+// all N nodes every cycle regardless, so the cycles/sec ratio between
+// the two modes is the fast path's speedup.
+
+import (
+	"fmt"
+	"time"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+const (
+	idleOffSlot  = 0 // cfut slot the token lands in
+	idleOffCount = 1 // visits this node has forwarded
+	idleOffNext  = 2 // router word of the ring successor
+)
+
+// buildIdleRingProgram assembles the token-ring loop.
+func buildIdleRingProgram() *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.A0, rt.AppBase).
+		Label("main.loop").
+		Move(isa.R0, asm.Mem(isa.A0, idleOffSlot)). // suspends: slot is cfut
+		// Re-arm the slot for the token's next visit.
+		MoveI(isa.R1, 0).
+		Wtag(isa.R1, asm.Imm(int32(word.TagCfut))).
+		St(isa.R1, asm.Mem(isa.A0, idleOffSlot)).
+		// Count the visit.
+		Move(isa.R2, asm.Mem(isa.A0, idleOffCount)).
+		Add(isa.R2, asm.Imm(1)).
+		St(isa.R2, asm.Mem(isa.A0, idleOffCount)).
+		// Forward the token to the successor's writesync handler.
+		Move(isa.R1, asm.Mem(isa.A0, idleOffNext)).
+		Send(asm.R(isa.R1)).
+		MoveHdr(isa.R1, "pass", 2).
+		Send2E(isa.R1, asm.R(isa.R0)).
+		Br("main.loop")
+	b.Label("pass").
+		MoveI(isa.A0, rt.AppBase).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Bsr(isa.R3, rt.LWriteSync).
+		Suspend()
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+// newIdleRing builds and seeds a token-ring machine. The returned stop
+// function releases the engine workers (no-op when sequential).
+func newIdleRing(nodes, shards int, reference bool, tokens int) (*machine.Machine, func(), error) {
+	if tokens < 1 {
+		tokens = 1
+	}
+	p := buildIdleRingProgram()
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if reference {
+		m.SetFastPath(false)
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	stop := (Options{Shards: shards}).attachEngine(m)
+	for i, n := range m.Nodes {
+		if err := n.Mem.FillCfut(rt.AppBase+idleOffSlot, 1); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := n.Mem.Write(rt.AppBase+idleOffNext, m.Net.NodeWord((i+1)%nodes)); err != nil {
+			stop()
+			return nil, nil, err
+		}
+	}
+	rt.StartAll(m, p, "main")
+	for k := 0; k < tokens; k++ {
+		seed := m.Nodes[k*nodes/tokens]
+		seed.Queues[0].Push(word.MsgHeader(p.Entry("pass"), 2))
+		seed.Queues[0].Push(word.Int(1))
+	}
+	return m, stop, nil
+}
+
+// IdleProbe runs the token ring for measure cycles after warm warm-up
+// cycles. reference forces the every-node-every-cycle loop; tokens is
+// the number of tokens seeded evenly around the ring (1 = maximally
+// idle). Runs with the same (nodes, tokens, warm, measure) must end in
+// byte-identical machine states whatever the mode or shard count.
+func IdleProbe(nodes, shards int, reference bool, tokens int, warm, measure int64) (EngineProbeResult, error) {
+	m, stop, err := newIdleRing(nodes, shards, reference, tokens)
+	if err != nil {
+		return EngineProbeResult{}, err
+	}
+	defer stop()
+	m.StepN(warm)
+	start := time.Now()
+	m.StepN(measure)
+	wall := time.Since(start).Seconds()
+	if err := m.FatalErr(); err != nil {
+		return EngineProbeResult{}, fmt.Errorf("idle probe (shards=%d): %w", shards, err)
+	}
+	var visits int64
+	for _, n := range m.Nodes {
+		w, _ := n.Mem.Read(rt.AppBase + idleOffCount)
+		visits += int64(w.Data())
+	}
+	if visits == 0 {
+		return EngineProbeResult{}, fmt.Errorf("idle probe (shards=%d): token never moved", shards)
+	}
+	return EngineProbeResult{
+		Nodes:        nodes,
+		Shards:       shards,
+		Cycles:       measure,
+		WallSeconds:  wall,
+		CyclesPerSec: float64(measure) / wall,
+		Digest:       m.StateDigest(),
+	}, nil
+}

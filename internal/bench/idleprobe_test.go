@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestIdleProbeEquivalence re-proves the determinism contract on the
+// probe itself: reference loop, fast path, and sharded fast path must
+// end the same (nodes, tokens, warm, measure) run in byte-identical
+// machine states.
+func TestIdleProbeEquivalence(t *testing.T) {
+	const (
+		nodes   = 16
+		tokens  = 2
+		warm    = 500
+		measure = 3000
+	)
+	ref, err := IdleProbe(nodes, 0, true, tokens, warm, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		shards    int
+		reference bool
+	}{
+		{"fast/seq", 0, false},
+		{"fast/shards-4", 4, false},
+		{"ref/shards-4", 4, true},
+	}
+	for _, c := range cases {
+		got, err := IdleProbe(nodes, c.shards, c.reference, tokens, warm, measure)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Digest != ref.Digest {
+			t.Errorf("%s: digest %#x, reference %#x", c.name, got.Digest, ref.Digest)
+		}
+	}
+}

@@ -220,10 +220,32 @@ func Attach(m *machine.Machine, c Campaign) *Injector {
 		armed:    make([][]Event, len(m.Nodes)),
 	}
 	sortEvents(inj.events)
-	m.AddCycleFn(inj.tick)
+	m.AddCycleHook(inj.tick, inj.horizon)
 	m.Net.SetStallFn(inj.stall)
 	m.Net.AddInjectFn(inj.onInject)
 	return inj
+}
+
+// horizon declares tick's event horizon to the machine's fast path:
+// the earliest cycle at which a scheduled fault fires or an active
+// fault expires. Link-stall pruning is excluded deliberately — it is
+// unobservable garbage collection (stall consults s.until itself), and
+// the stall hook is only reachable while the network is stepping,
+// which the machine never skips. Always > now between cycles: tick has
+// already applied everything due at the current cycle.
+func (inj *Injector) horizon(now int64) int64 {
+	t := machine.NoEvent
+	if inj.next < len(inj.events) {
+		if c := inj.events[inj.next].Cycle; c < t {
+			t = c
+		}
+	}
+	for _, ex := range inj.expiries {
+		if ex.cycle < t {
+			t = ex.cycle
+		}
+	}
+	return t
 }
 
 // tick applies events scheduled at or before this cycle and expires

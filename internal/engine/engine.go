@@ -46,6 +46,14 @@ type Engine struct {
 	bar     spinBarrier
 	panics  []atomic.Value // per-shard panic capture
 	stopped bool
+
+	// skipNet, decided by the coordinator each cycle before the workers
+	// are released (the release channel send publishes it), elides the
+	// network phases while the mesh is empty: stepping an empty mesh
+	// touches nothing, so snapshot/step/commit and their barriers are
+	// pure overhead. Shares the machine's event-horizon gate so a
+	// reference-mode machine keeps the full phase protocol.
+	skipNet bool
 }
 
 // Attach partitions m across shards goroutines and installs the
@@ -111,6 +119,7 @@ func (e *Engine) StepCycle(m *machine.Machine) {
 		panic("engine: StepCycle on a stopped or sequential engine")
 	}
 	e.sr.Begin()
+	e.skipNet = m.FastPathActive() && m.Net.Quiet()
 	n := e.sr.Shards()
 	for w := 1; w < n; w++ {
 		e.start[w] <- struct{}{}
@@ -153,22 +162,22 @@ func (e *Engine) runShard(s int) {
 			e.bar.abandon()
 		}
 	}()
-	// Phase 1: freeze boundary input-buffer occupancies.
-	e.sr.Snapshot(s)
-	e.bar.wait()
-	// Phase 2: step this slab's routers, staging boundary crossings.
-	e.sr.StepShard(s)
-	e.bar.wait()
-	// Phase 3: one goroutine lands staged phits and replays hooks.
-	if s == 0 {
-		e.sr.Commit()
+	if !e.skipNet {
+		// Phase 1: freeze boundary input-buffer occupancies.
+		e.sr.Snapshot(s)
+		e.bar.wait()
+		// Phase 2: step this slab's routers, staging boundary crossings.
+		e.sr.StepShard(s)
+		e.bar.wait()
+		// Phase 3: one goroutine lands staged phits and replays hooks.
+		if s == 0 {
+			e.sr.Commit()
+		}
+		e.bar.wait()
 	}
-	e.bar.wait()
-	// Phase 4: step this slab's processors.
+	// Phase 4: step this slab's processors (active-set aware).
 	lo, hi := e.sr.NodeRange(s)
-	for i := lo; i < hi; i++ {
-		e.m.Nodes[i].Step()
-	}
+	e.m.StepNodeRange(lo, hi)
 }
 
 // spinBarrier is a sense-reversing barrier over atomics: cheap on

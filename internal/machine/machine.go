@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"jmachine/internal/asm"
 	"jmachine/internal/mdp"
@@ -103,7 +104,30 @@ type Machine struct {
 	lastSig  progressSig
 	lastMove int64 // cycle at which lastSig was taken
 	sigValid bool
+
+	// Event-horizon fast path (see docs/PERF.md). A node whose next
+	// event lies in the future is parked: its Step is skipped and its
+	// clock and idle/stall statistics lag behind, to be caught up in
+	// bulk (mdp.Node.SkipTo) when it wakes or at a sync point. When
+	// every node is parked and the network is empty, whole dead windows
+	// are skipped at once. The reference loop's observable state
+	// sequence is preserved byte-for-byte: StateDigest, the run loops'
+	// exit cycles, watchdog behaviour, and every statistic match a run
+	// with the fast path off.
+	fast       bool         // SetFastPath: fast path permitted
+	pinned     bool         // a horizon-less cycle hook forces single-cycle mode
+	parked     []bool       // node i's Step is currently being skipped
+	wakeAt     []int64      // cycle at which parked node i must step again (NoEvent = external wake only)
+	needWake   []bool       // external work arrived for parked node i (delivery, thaw)
+	nParked    atomic.Int64 // |parked|; atomic: shards park their own slabs concurrently
+	caughtUpTo int64        // cycle through which lagging nodes must catch up (cycle-1 while stepping)
+	horizons   []func(now int64) int64
 }
+
+// NoEvent is the "no wake scheduled" horizon value (re-exported from
+// mdp for hook authors): a horizon function returns it when its hook
+// can never act again until re-armed by other machinery.
+const NoEvent = mdp.NoEvent
 
 // Stepper advances the machine's network and nodes through one cycle.
 // The machine's built-in sequential loop is the reference
@@ -146,12 +170,31 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 		Nodes:    make([]*mdp.Node, nodes),
 		Stats:    stats.NewMachine(nodes),
 		watchdog: cfg.Watchdog,
+		fast:     true,
+		parked:   make([]bool, nodes),
+		wakeAt:   make([]int64, nodes),
+		needWake: make([]bool, nodes),
 	}
 	for i := 0; i < nodes; i++ {
 		m.Nodes[i] = mdp.NewNode(i, cfg.MDP,
 			mem.New(cfg.Mem), xlate.New(cfg.XlateSets, cfg.XlateWays),
 			queues[i], net, prog, m.Stats.Nodes[i])
+		i := i
+		// Catch a parked node up under its pre-mutation flags before an
+		// external actor (chaos freeze/kill, reliable-delivery failure,
+		// a background start) changes them; runs on the coordinator.
+		m.Nodes[i].SetSyncHook(func() {
+			if m.parked[i] {
+				m.Nodes[i].SkipTo(m.caughtUpTo)
+				m.parked[i] = false
+				m.needWake[i] = false
+				m.nParked.Add(-1)
+			}
+		})
 	}
+	// A word completing in a delivery queue is the one external event
+	// that can make an idle node runnable without any hook firing.
+	net.SetWakeFn(func(node int) { m.needWake[node] = true })
 	return m, nil
 }
 
@@ -193,11 +236,50 @@ func (m *Machine) EnableTrace(capEvents int) []*trace.Buffer {
 
 // AddCycleFn registers a hook called at the start of every machine
 // cycle (before the network and the nodes step), in registration order.
-// The chaos injector applies scheduled faults here and the reliable-
-// delivery runtime scans its retransmission timers.
+//
+// A hook registered this way declares no event horizon, so the machine
+// must assume it can act — observe or mutate state — on any cycle:
+// registration pins the machine to single-cycle mode, disabling the
+// event-horizon fast path for the machine's lifetime (fidelity is
+// never silently lost). Hooks that are no-ops except at predictable
+// cycles should use AddCycleHook instead.
 func (m *Machine) AddCycleFn(fn func(cycle int64)) {
 	m.cycleFns = append(m.cycleFns, fn)
+	m.pinned = true
+	m.unparkAll()
 }
+
+// AddCycleHook registers a per-cycle hook together with its event
+// horizon: horizon(now) returns the earliest cycle strictly after now
+// at which the hook may act on (observe or mutate) machine state, or
+// NoEvent when it is permanently passive until other machinery re-arms
+// it. The hook still runs every simulated cycle — it must be a no-op
+// off its horizon — but the machine may skip a fully-idle window up to
+// (not including) the horizon without running it, so the declaration
+// must be conservative. The chaos injector (next scheduled fault or
+// expiry) and the reliable-delivery timer scan (next scan interval
+// while messages are pending) register this way.
+func (m *Machine) AddCycleHook(fn func(cycle int64), horizon func(now int64) int64) {
+	m.cycleFns = append(m.cycleFns, fn)
+	m.horizons = append(m.horizons, horizon)
+}
+
+// SetFastPath enables or disables the event-horizon fast path (on by
+// default). Disabling it restores the literal reference loop — every
+// node stepped every cycle — which the equivalence suite compares
+// against. A machine pinned by AddCycleFn stays in single-cycle mode
+// regardless.
+func (m *Machine) SetFastPath(on bool) {
+	m.fast = on
+	if !on {
+		m.unparkAll()
+	}
+}
+
+// FastPathActive reports whether the event-horizon scheduler is
+// allowed to park nodes and skip cycles (enabled and not pinned).
+// internal/engine consults it before eliding empty network phases.
+func (m *Machine) FastPathActive() bool { return m.fast && !m.pinned }
 
 // SetWatchdog arms (or, with 0, disarms) the progress watchdog after
 // construction — used when the machine was built by an application's
@@ -208,20 +290,151 @@ func (m *Machine) SetWatchdog(window int64) {
 }
 
 // Step advances the whole machine one cycle: the network moves phits,
-// then each node executes.
+// then each node executes. The public single-step is reference-exact:
+// any nodes the fast path left parked are unparked and caught up
+// first, so after every Step the caller observes the same per-node
+// state the reference loop would show. (Bulk stepping that may park —
+// StepN and the run loops — re-synchronizes before returning instead.)
 func (m *Machine) Step() {
+	m.unparkAll()
+	m.stepOnce()
+}
+
+// stepOnce advances one cycle honouring the active set: parked nodes
+// are not stepped, and the network phase is elided while the mesh is
+// empty (an empty-mesh Step touches nothing but the cycle counter).
+func (m *Machine) stepOnce() {
 	m.cycle++
+	m.caughtUpTo = m.cycle - 1
 	for _, fn := range m.cycleFns {
 		fn(m.cycle)
 	}
 	if m.stepper != nil {
 		m.stepper.StepCycle(m)
+		m.caughtUpTo = m.cycle
 		return
 	}
-	m.Net.Step()
-	for _, n := range m.Nodes {
-		n.Step()
+	if m.FastPathActive() && m.Net.Quiet() {
+		m.Net.SkipCycles(1)
+	} else {
+		m.Net.Step()
 	}
+	m.StepNodeRange(0, len(m.Nodes))
+	m.caughtUpTo = m.cycle
+}
+
+// StepNodeRange steps nodes [lo, hi) through the current cycle,
+// maintaining the active set: a parked node is skipped until its wake
+// cycle (or an external wake flag) comes due, at which point it is
+// caught up in bulk and stepped; a node whose next event lies beyond
+// the next cycle is parked. Both the sequential loop and the parallel
+// engine's processor phase use it — under the engine each shard calls
+// it for its own slab, so the bookkeeping for index i is only ever
+// touched by i's owning goroutine (nParked, the one shared counter, is
+// atomic).
+func (m *Machine) StepNodeRange(lo, hi int) {
+	fast := m.FastPathActive()
+	for i := lo; i < hi; i++ {
+		n := m.Nodes[i]
+		if m.parked[i] {
+			if !m.needWake[i] && m.cycle < m.wakeAt[i] {
+				continue
+			}
+			n.SkipTo(m.cycle - 1)
+			m.parked[i] = false
+			m.needWake[i] = false
+			m.nParked.Add(-1)
+		}
+		n.Step()
+		if fast {
+			if ne := n.NextEvent(); ne > m.cycle+1 {
+				m.parked[i] = true
+				m.wakeAt[i] = ne
+				m.needWake[i] = false
+				m.nParked.Add(1)
+			}
+		}
+	}
+}
+
+// advance moves the machine forward at least one cycle, but never past
+// limit. When every node is parked and the network is empty — nothing
+// in the machine can change except cycle counters — the whole dead
+// window up to the nearest of limit, the earliest hook horizon, and
+// the earliest node wake is consumed in one jump; otherwise one real
+// cycle is stepped. Callers cap limit at their own check boundaries
+// (budget, watchdog cadence, quiescence probe) so every check still
+// happens at exactly the cycle the reference loop would perform it.
+func (m *Machine) advance(limit int64) {
+	if m.FastPathActive() && m.nParked.Load() == int64(len(m.Nodes)) && m.Net.Quiet() {
+		if t := m.skipTarget(limit); t > m.cycle {
+			m.Net.SkipCycles(t - m.cycle)
+			m.cycle = t
+			m.caughtUpTo = t
+			if m.cycle >= limit {
+				return
+			}
+		}
+	}
+	m.stepOnce()
+}
+
+// skipTarget returns the latest cycle the machine may jump to from a
+// fully-parked, network-quiet state: capped by limit, by every hook's
+// event horizon (exclusive — the hook must run normally on its horizon
+// cycle), and by every parked node's wake cycle (exclusive — the wake
+// cycle itself is stepped so live state, e.g. a retiring stall, tracks
+// the reference loop).
+func (m *Machine) skipTarget(limit int64) int64 {
+	t := limit
+	for _, h := range m.horizons {
+		if hz := h(m.cycle); hz-1 < t {
+			t = hz - 1
+		}
+	}
+	for i := range m.parked {
+		if m.needWake[i] {
+			return m.cycle // pending external wake: step normally
+		}
+		if w := m.wakeAt[i]; w-1 < t {
+			t = w - 1
+		}
+	}
+	return t
+}
+
+// syncAll catches every parked node up to the current cycle (charging
+// its skipped idle/stall cycles) without unparking it. Run-loop exits,
+// StateDigest, and Diagnose call it so externally-visible state always
+// matches the reference loop.
+func (m *Machine) syncAll() {
+	if m.nParked.Load() == 0 {
+		return
+	}
+	for i, n := range m.Nodes {
+		if m.parked[i] {
+			n.SkipTo(m.caughtUpTo)
+		}
+	}
+}
+
+// unparkAll returns every parked node to the active set, caught up.
+// Used at reference-exact boundaries: the public Step, bulk-step
+// entry (external callers may have mutated node state — pushed a
+// queue word, written memory — without any wake signal), pinning, and
+// SetFastPath(false).
+func (m *Machine) unparkAll() {
+	if m.nParked.Load() == 0 {
+		return
+	}
+	for i, n := range m.Nodes {
+		if m.parked[i] {
+			n.SkipTo(m.caughtUpTo)
+			m.parked[i] = false
+			m.needWake[i] = false
+		}
+	}
+	m.nParked.Store(0)
 }
 
 // StateDigest folds the machine's complete dynamic state — cycle
@@ -231,6 +444,7 @@ func (m *Machine) Step() {
 // byte-identical states; the engine equivalence suite compares
 // sequential and sharded runs with it.
 func (m *Machine) StateDigest() uint64 {
+	m.syncAll()
 	h := uint64(0xcbf29ce484222325) ^ uint64(m.cycle)
 	h ^= m.Net.StateDigest()
 	h *= 0x100000001b3
@@ -241,11 +455,16 @@ func (m *Machine) StateDigest() uint64 {
 	return h
 }
 
-// StepN advances n cycles.
+// StepN advances n cycles. Unlike n calls to Step, dead windows inside
+// the batch are skipped in bulk; the machine is fully re-synchronized
+// before returning, so the final state is reference-exact.
 func (m *Machine) StepN(n int64) {
-	for i := int64(0); i < n; i++ {
-		m.Step()
+	m.unparkAll()
+	target := m.cycle + n
+	for m.cycle < target {
+		m.advance(target)
 	}
+	m.syncAll()
 }
 
 // ErrCycleLimit is returned when a run exceeds its cycle budget.
@@ -358,9 +577,20 @@ func (m *Machine) checkWatchdog() error {
 // surfaces any node's fatal fault or a watchdog trip. The fatal and
 // watchdog scans run periodically to stay off the per-cycle critical
 // path.
+//
+// Under the event-horizon fast path, bulk skips are capped at the
+// budget boundary and at the 256-cycle fatal/watchdog cadence, so
+// every check — and any resulting error — happens at exactly the cycle
+// the single-stepping loop would produce it. During a skipped window
+// nothing observable changes, so cond (which the reference loop
+// evaluates every cycle) is constant across it — except for the cycle
+// counter itself: a cond that reads m.Cycle() observes it at a coarser
+// granularity (it still never overshoots a boundary or the budget).
 func (m *Machine) RunWhile(cond func(*Machine) bool, max int64) error {
 	start := m.cycle
 	m.sigValid = false
+	m.unparkAll()
+	defer m.syncAll()
 	for cond(m) {
 		if m.cycle-start >= max {
 			if err := m.FatalErr(); err != nil {
@@ -368,7 +598,11 @@ func (m *Machine) RunWhile(cond func(*Machine) bool, max int64) error {
 			}
 			return ErrCycleLimit{Limit: max}
 		}
-		m.Step()
+		limit := start + max
+		if b := (m.cycle | 0xFF) + 1; b < limit {
+			limit = b
+		}
+		m.advance(limit)
 		if m.cycle&0xFF == 0 {
 			if err := m.FatalErr(); err != nil {
 				return err
@@ -396,6 +630,8 @@ func (m *Machine) RunQuiescent(max int64) error {
 	const probe = 8
 	start := m.cycle
 	m.sigValid = false
+	m.unparkAll()
+	defer m.syncAll()
 	for {
 		if m.Quiescent() {
 			return nil
@@ -406,8 +642,12 @@ func (m *Machine) RunQuiescent(max int64) error {
 			}
 			return ErrCycleLimit{Limit: max}
 		}
-		for i := 0; i < probe; i++ {
-			m.Step()
+		// One probe batch. Bulk skips are capped at the batch boundary,
+		// keeping the quiescence/fatal/watchdog checks on the same
+		// start+8k cycles as the single-stepping loop.
+		target := m.cycle + probe
+		for m.cycle < target {
+			m.advance(target)
 		}
 		if err := m.FatalErr(); err != nil {
 			return err

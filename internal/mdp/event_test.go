@@ -1,0 +1,178 @@
+package mdp
+
+// White-box tests for the event-horizon interface: NextEvent's wake
+// predictions, SkipTo's byte-identical bulk accounting, and the Busy()
+// truth table the scheduler's quiescence detection rests on. These run
+// inside the package so node states (stall, frozen, softQ) can be set
+// directly instead of being coaxed out of instruction sequences.
+
+import (
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/mem"
+	"jmachine/internal/network"
+	"jmachine/internal/queue"
+	"jmachine/internal/stats"
+	"jmachine/internal/word"
+	"jmachine/internal/xlate"
+)
+
+// newTestNode builds a standalone node on a 1×1×1 mesh. The machine
+// package normally does this wiring; tests here need raw field access.
+func newTestNode(t *testing.T) *Node {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.Label("main").Nop().Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := [2]*queue.Queue{queue.New(64), queue.New(64)}
+	net, err := network.New(network.Config{DimX: 1, DimY: 1, DimZ: 1}, [][2]*queue.Queue{qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(mem.Config{})
+	return NewNode(0, Config{}, m, xlate.New(4, 2), qs, net, p, stats.NewNode())
+}
+
+func TestBusyTruthTable(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(n *Node)
+		want bool
+	}{
+		{"fresh idle node", func(n *Node) {}, false},
+		{"stalled", func(n *Node) { n.stall = 3; n.stallCat = stats.CatComp }, true},
+		{"running background ctx", func(n *Node) { n.ctx[LvlBG].Running = true }, true},
+		{"queued hardware message", func(n *Node) {
+			n.Queues[0].Push(word.MsgHeader(0, 1))
+		}, true},
+		{"softQ only", func(n *Node) {
+			n.softQ = append(n.softQ, softMsg{addr: 100, words: 1})
+		}, true},
+		{"frozen with nothing pending", func(n *Node) { n.SetFrozen(true) }, false},
+		{"frozen hides nothing: queued message", func(n *Node) {
+			n.SetFrozen(true)
+			n.Queues[0].Push(word.MsgHeader(0, 1))
+		}, true},
+		{"halted masks everything", func(n *Node) {
+			n.Queues[0].Push(word.MsgHeader(0, 1))
+			n.ctx[LvlBG].Running = true
+			n.halted = true
+		}, false},
+	}
+	for _, tc := range cases {
+		n := newTestNode(t)
+		tc.set(n)
+		if got := n.Busy(); got != tc.want {
+			t.Errorf("%s: Busy() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNextEventPredictions(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(n *Node)
+		want func(n *Node) int64
+	}{
+		{"idle node never wakes by itself", func(n *Node) {},
+			func(n *Node) int64 { return NoEvent }},
+		{"frozen node waits for the unfreeze hook", func(n *Node) { n.SetFrozen(true) },
+			func(n *Node) int64 { return NoEvent }},
+		{"halted node is done", func(n *Node) { n.halted = true },
+			func(n *Node) int64 { return NoEvent }},
+		// The final stall cycle is an event: stall hits zero and Busy()
+		// can flip that cycle, so the node must step it individually.
+		{"stalled node wakes for its last stall cycle",
+			func(n *Node) { n.stall = 5; n.stallCat = stats.CatComm },
+			func(n *Node) int64 { return n.cycle + 5 }},
+		{"running ctx is live every cycle", func(n *Node) { n.ctx[LvlP0].Running = true },
+			func(n *Node) int64 { return n.cycle + 1 }},
+		{"queued message is live every cycle", func(n *Node) {
+			n.Queues[1].Push(word.MsgHeader(0, 1))
+		}, func(n *Node) int64 { return n.cycle + 1 }},
+		{"relocated message is live every cycle", func(n *Node) {
+			n.softQ = append(n.softQ, softMsg{addr: 100, words: 1})
+		}, func(n *Node) int64 { return n.cycle + 1 }},
+	}
+	for _, tc := range cases {
+		n := newTestNode(t)
+		n.cycle = 1000
+		tc.set(n)
+		if got, want := n.NextEvent(), tc.want(n); got != want {
+			t.Errorf("%s: NextEvent() = %d, want %d", tc.name, got, want)
+		}
+	}
+}
+
+// TestSkipToMatchesStepping is the accounting half of the digest
+// contract: for a node with no external input, SkipTo(target) must land
+// on exactly the state that stepping cycle by cycle produces — same
+// cycle counter, same stall remainder, same per-category stats.
+func TestSkipToMatchesStepping(t *testing.T) {
+	shapes := []struct {
+		name string
+		set  func(n *Node)
+	}{
+		{"idle", func(n *Node) {}},
+		{"frozen", func(n *Node) { n.SetFrozen(true) }},
+		{"stall shorter than the skip", func(n *Node) { n.stall = 4; n.stallCat = stats.CatSync }},
+		{"stall longer than the skip", func(n *Node) { n.stall = 40; n.stallCat = stats.CatComm }},
+		{"frozen while stalled charges idle, not the stall category",
+			func(n *Node) { n.stall = 6; n.stallCat = stats.CatComm; n.SetFrozen(true) }},
+	}
+	const span = 12
+	for _, tc := range shapes {
+		stepped := newTestNode(t)
+		skipped := newTestNode(t)
+		tc.set(stepped)
+		tc.set(skipped)
+		for i := 0; i < span; i++ {
+			stepped.Step()
+		}
+		skipped.SkipTo(skipped.cycle + span)
+		if stepped.cycle != skipped.cycle || stepped.stall != skipped.stall {
+			t.Errorf("%s: stepped (cycle=%d stall=%d) vs skipped (cycle=%d stall=%d)",
+				tc.name, stepped.cycle, stepped.stall, skipped.cycle, skipped.stall)
+		}
+		if stepped.Stats.Cycles != skipped.Stats.Cycles {
+			t.Errorf("%s: stats diverged:\n  stepped: %v\n  skipped: %v",
+				tc.name, stepped.Stats.Cycles, skipped.Stats.Cycles)
+		}
+	}
+}
+
+func TestSkipToEdgeCases(t *testing.T) {
+	n := newTestNode(t)
+	n.cycle = 50
+	n.SkipTo(50) // target == cycle: no-op
+	n.SkipTo(10) // target in the past: no-op
+	if n.cycle != 50 {
+		t.Errorf("no-op SkipTo moved the clock to %d", n.cycle)
+	}
+	n.halted = true
+	n.SkipTo(90)
+	if n.cycle != 50 {
+		t.Errorf("SkipTo advanced a halted node to %d", n.cycle)
+	}
+	if n.Stats.Cycles[stats.CatIdle] != 0 {
+		t.Errorf("halted SkipTo charged %d idle cycles", n.Stats.Cycles[stats.CatIdle])
+	}
+}
+
+// Bulk instruction execution must never be skipped: a runnable node's
+// NextEvent is always cycle+1, so the scheduler cannot legally SkipTo
+// past real work. This pins the invariant the fast path relies on.
+func TestNextEventNeverSkipsRunnableWork(t *testing.T) {
+	n := newTestNode(t)
+	n.StartBackground(n.Prog.Entry("main"))
+	for !n.halted {
+		if ne := n.NextEvent(); ne != n.cycle+1 {
+			t.Fatalf("runnable node at cycle %d predicted wake at %d", n.cycle, ne)
+		}
+		n.Step()
+	}
+}

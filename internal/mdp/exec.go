@@ -476,15 +476,15 @@ func (n *Node) execSend(ctx *Context, in isa.Instr) execResult {
 		return n.res(1, stats.CatComm, ctx.IP) // stall and retry
 	}
 	x, y, z := b[0].NodeXYZ()
-	words := make([]word.Word, payload)
-	copy(words, b[1:])
 	// Injection is deferred by the ending send's operand latency: a word
 	// served from external memory cannot be on the wire before it is
-	// read.
-	n.Net.Inject(n.ID, &network.Message{
-		DestX: int8(x), DestY: int8(y), DestZ: int8(z),
-		Pri: int8(pri), Src: int32(n.ID), Words: words,
-	}, extra)
+	// read. The message (and its payload buffer) is leased from the
+	// network's recycling pool; the network reclaims it at delivery.
+	m := network.NewMessage()
+	m.DestX, m.DestY, m.DestZ = int8(x), int8(y), int8(z)
+	m.Pri, m.Src = int8(pri), int32(n.ID)
+	m.Words = append(m.Words, b[1:]...)
+	n.Net.Inject(n.ID, m, extra)
 	n.Stats.MsgsSent[pri]++
 	n.Stats.WordsSent[pri] += uint64(payload)
 	n.emit(trace.Event{Cycle: n.cycle, Node: int32(n.ID), Kind: trace.Send,

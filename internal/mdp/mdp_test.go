@@ -519,3 +519,63 @@ func TestSoftQueueOverflowRelocatesAndReplays(t *testing.T) {
 		t.Error("node still busy after replay")
 	}
 }
+
+func TestSoftQueueRingWraparound(t *testing.T) {
+	// The overflow ring has softWords/MaxMsgWords fixed slots and a
+	// modular write cursor. Repeated overflow bursts push the cursor
+	// through several full revolutions; relocation and dispatch order
+	// must survive the wrap (a stale slot reused too early would replay
+	// an old message and break the sequence).
+	b := asm.NewBuilder()
+	b.Label("idle").Nop().Br("idle")
+	b.Label("handler").
+		Move(isa.R0, asm.Mem(isa.A3, 1)). // sequence number
+		MoveI(isa.A0, 200).
+		Move(isa.R1, asm.Mem(isa.A0, 0)). // write cursor
+		MoveI(isa.A1, 210).
+		Add(isa.A1, asm.R(isa.R1)).
+		St(isa.R0, asm.Mem(isa.A1, 0)). // record arrival order
+		Add(isa.R1, asm.Imm(1)).
+		St(isa.R1, asm.Mem(isa.A0, 0)).
+		Suspend()
+	p := b.MustAssemble()
+	cfg := machine.Grid(1, 1, 1)
+	cfg.QueueCap = [2]int{16, 64}
+	cfg.MDP.MaxMsgWords = 8
+	// BufWords 32 / MaxMsgWords 8 = 4 ring slots.
+	cfg.MDP.SoftQueue = mdp.SoftQueueConfig{Enable: true, ThresholdWords: 8, BufWords: 32}
+	m := machine.MustNew(cfg, p)
+	n := m.Nodes[0]
+	const slots = 4
+	const bursts, per = 4, 4
+	seq := 0
+	for burst := 0; burst < bursts; burst++ {
+		// Each burst fills the hardware queue (16 words = 4 messages),
+		// forcing ~3 relocations before dispatch catches up.
+		for i := 0; i < per; i++ {
+			n.Queues[0].Push(word.MsgHeader(p.Entry("handler"), 4))
+			n.Queues[0].Push(word.Int(int32(seq)))
+			n.Queues[0].Push(word.Int(0))
+			n.Queues[0].Push(word.Int(0))
+			seq++
+		}
+		m.StepN(800) // drain completely between bursts
+	}
+	if n.Stats.OverflowFaults <= slots {
+		t.Fatalf("only %d relocations: the %d-slot ring never wrapped",
+			n.Stats.OverflowFaults, slots)
+	}
+	cursor, _ := n.Mem.Read(200)
+	if int(cursor.Data()) != seq {
+		t.Fatalf("handled %d of %d messages", cursor.Data(), seq)
+	}
+	for i := 0; i < seq; i++ {
+		got, _ := n.Mem.Read(210 + int32(i))
+		if int(got.Data()) != i {
+			t.Errorf("arrival %d = %d: replay out of order across the wrap", i, got.Data())
+		}
+	}
+	if n.Busy() {
+		t.Error("node still busy after replay")
+	}
+}

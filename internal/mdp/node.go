@@ -2,6 +2,7 @@ package mdp
 
 import (
 	"fmt"
+	"math"
 
 	"jmachine/internal/asm"
 	"jmachine/internal/isa"
@@ -85,7 +86,17 @@ type Node struct {
 	faultFn   FaultFn
 	cycle     int64
 	nnr       word.Word
+	// syncHook, when non-nil, runs before any externally-driven state
+	// mutation (freeze, kill, fail, background start) so a scheduler
+	// that let the node's clock lag behind the machine can charge the
+	// lagged cycles under the node's pre-mutation flags.
+	syncHook func()
 }
+
+// NoEvent is NextEvent's "never": the node cannot create work on its
+// own — only an external push (a network delivery, a chaos thaw, a
+// background start) can make it runnable again.
+const NoEvent = int64(math.MaxInt64)
 
 // NewNode wires up a node. The program image is shared (code is
 // identical on every node, as in the real machine's loaders).
@@ -131,6 +142,72 @@ type softMsg struct {
 // SetFaultFn installs the system-software trap entry.
 func (n *Node) SetFaultFn(fn FaultFn) { n.faultFn = fn }
 
+// SetSyncHook installs the pre-mutation catch-up callback (see the
+// syncHook field). Owned by internal/machine's event-horizon scheduler.
+func (n *Node) SetSyncHook(fn func()) { n.syncHook = fn }
+
+// sync runs the catch-up hook ahead of an external mutation.
+func (n *Node) sync() {
+	if n.syncHook != nil {
+		n.syncHook()
+	}
+}
+
+// NextEvent returns the earliest cycle at which the node can next do
+// work that Step must simulate individually: the next cycle if it is
+// runnable or dispatchable, the cycle after its stall retires if it is
+// mid-operation, and NoEvent when it is idle (or frozen, or halted)
+// with nothing pending. Every cycle strictly before the returned one
+// is, from this node's perspective, bulk-chargeable via SkipTo.
+func (n *Node) NextEvent() int64 {
+	if n.halted || n.frozen {
+		return NoEvent
+	}
+	if n.stall > 0 {
+		// The final stall cycle (cycle+stall) is stepped individually,
+		// not skipped: it retires the counter in live state, so a
+		// between-cycles Busy() probe at that cycle reads exactly what
+		// the reference loop would.
+		return n.cycle + int64(n.stall)
+	}
+	if n.ctx[LvlP0].Running || n.ctx[LvlP1].Running || n.ctx[LvlBG].Running ||
+		n.Queues[0].HeadReady() || n.Queues[1].HeadReady() || len(n.softQ) > 0 {
+		return n.cycle + 1
+	}
+	return NoEvent
+}
+
+// SkipTo advances the node's clock to target, charging the skipped
+// cycles byte-identically to target-cycle individual Step calls: a
+// frozen node charges idle (its stall counter is preserved, exactly as
+// Step leaves it), a stalled node retires stall cycles under the
+// operation's category, and any remainder is idle. The caller must not
+// skip past the node's NextEvent — cycles from there on need real
+// stepping.
+func (n *Node) SkipTo(target int64) {
+	if n.halted || target <= n.cycle {
+		return
+	}
+	d := target - n.cycle
+	n.cycle = target
+	if n.frozen {
+		n.Stats.AddN(stats.CatIdle, d)
+		return
+	}
+	if n.stall > 0 {
+		s := int64(n.stall)
+		if s > d {
+			s = d
+		}
+		n.stall -= int32(s)
+		n.Stats.AddN(n.stallCat, s)
+		d -= s
+	}
+	if d > 0 {
+		n.Stats.AddN(stats.CatIdle, d)
+	}
+}
+
 // emit routes one trace event to the debug ring and the observer tap.
 // Both paths are nil-check cheap when disabled.
 func (n *Node) emit(e trace.Event) {
@@ -158,6 +235,7 @@ func (n *Node) SetFrozen(v bool) {
 	if n.killed {
 		return
 	}
+	n.sync()
 	n.frozen = v
 }
 
@@ -168,6 +246,7 @@ func (n *Node) Frozen() bool { return n.frozen }
 // fatal fault the machine keeps running: the wedge must be detected by
 // the progress watchdog or survived by the reliable-delivery runtime.
 func (n *Node) Kill() {
+	n.sync()
 	n.frozen = true
 	n.killed = true
 }
@@ -178,7 +257,10 @@ func (n *Node) Killed() bool { return n.killed }
 // Fail halts the node with an externally-diagnosed error (used by the
 // reliable-delivery runtime to surface delivery failures as node
 // faults, which RunWhile's fatal scan then reports).
-func (n *Node) Fail(err error) { n.haltFatal(err) }
+func (n *Node) Fail(err error) {
+	n.sync()
+	n.haltFatal(err)
+}
 
 // SoftQueueLen returns the number of messages relocated to the software
 // overflow ring and not yet dispatched.
@@ -204,6 +286,7 @@ func (n *Node) Busy() bool {
 // StartBackground makes the background context runnable at code address
 // ip. The machine boot sequence uses it to seed driver threads.
 func (n *Node) StartBackground(ip int32) {
+	n.sync()
 	n.ctx[LvlBG].IP = ip
 	n.ctx[LvlBG].Running = true
 	n.ctx[LvlBG].HandlerIP = -1

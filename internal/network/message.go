@@ -70,6 +70,13 @@ type Message struct {
 	// failure, duplicate suppression, or exceeding MaxReturns).
 	drop       bool
 	dropReason DropReason
+
+	// pooled marks a message leased from the recycling pool via
+	// NewMessage; the network returns it there when it permanently
+	// retires. Hand-built messages (tests, external injectors) stay
+	// un-pooled and may be inspected after delivery. Not part of the
+	// state digest: it is allocator bookkeeping, invisible on the wire.
+	pooled bool
 }
 
 // DropReason classifies why the network permanently discarded a message.

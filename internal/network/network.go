@@ -2,6 +2,8 @@ package network
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"jmachine/internal/queue"
 	"jmachine/internal/word"
@@ -133,6 +135,23 @@ type Network struct {
 	midX    int8
 	stats   Stats
 
+	// In-flight accounting for O(1) quiescence checks. actPhits counts
+	// phits buffered in routers (== the sum of router occ between
+	// cycles): +1 when a phit enters at feedInjection, -1 when one
+	// retires at the delivery port; mesh hops are pop+push neutral. In
+	// parallel mode the deltas accumulate per shard and fold at commit.
+	// actMsgs counts messages queued in outboxes; it is atomic because
+	// Inject runs on the node-stepping goroutines while the injection
+	// feed runs in the network phases.
+	actPhits int64
+	actMsgs  atomic.Int64
+
+	// wakeFn, when non-nil, is told that a completed word entered node
+	// id's delivery queue this cycle, so an active-set scheduler can
+	// wake a parked node. Called from the goroutine stepping the node's
+	// own router (node i and router i always share a shard).
+	wakeFn func(node int)
+
 	// Fault-injection and delivery hooks (see Add*/Set* below). All are
 	// optional; the hot paths pay only a nil/len check.
 	injectFns  []func(node int, m *Message, cycle int64)
@@ -248,6 +267,7 @@ func (n *Network) Inject(node int, m *Message, delay int32) {
 	m.EnqueueCycle = n.cycle + int64(delay)
 	ob.msgs = append(ob.msgs, m)
 	ob.words += len(m.Words)
+	n.actMsgs.Add(1)
 }
 
 // AddInjectFn registers an observer called for every message handed to
@@ -323,8 +343,16 @@ func (n *Network) LinkOcc(id, port int) int {
 func (n *Network) OutboxDepth(node, pri int) int { return len(n.out[node][pri].msgs) }
 
 // Pending reports whether any message traffic is still in flight
-// anywhere in the network (buffers or outboxes).
+// anywhere in the network (buffers or outboxes). O(1): maintained
+// incrementally at injection and retirement (TestPendingCounterMatchesScan
+// cross-checks it against a full scan).
 func (n *Network) Pending() bool {
+	return n.actPhits != 0 || n.actMsgs.Load() != 0
+}
+
+// pendingScan is the reference O(nodes) implementation of Pending,
+// kept for the counter cross-check test.
+func (n *Network) pendingScan() bool {
 	for i := range n.routers {
 		if n.routers[i].occ > 0 {
 			return true
@@ -334,6 +362,49 @@ func (n *Network) Pending() bool {
 		}
 	}
 	return false
+}
+
+// Quiet reports an empty network: no buffered phits, no queued
+// messages. While quiet, Step degenerates to a cycle-counter increment
+// (every router takes the empty fast path), which is what SkipCycles
+// batches.
+func (n *Network) Quiet() bool { return !n.Pending() }
+
+// SkipCycles advances the network clock k cycles without stepping.
+// Callers must hold the Quiet invariant for the whole window: stepping
+// an empty mesh touches nothing but the cycle counter, so the jump is
+// byte-identical to k empty Step calls.
+func (n *Network) SkipCycles(k int64) { n.cycle += k }
+
+// SetWakeFn installs the delivery wake callback (see wakeFn).
+func (n *Network) SetWakeFn(fn func(node int)) { n.wakeFn = fn }
+
+// msgPool recycles Message objects (and their payload buffers)
+// acquired via NewMessage, so the steady-state send path allocates
+// nothing. Only leased messages are recycled: callers that build a
+// Message by hand may legitimately keep a pointer past delivery
+// (latency tests poll DeliverCycle), so those are never pooled.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage leases a zeroed Message from the recycling pool. The
+// payload slice keeps its capacity (append reuses it); every other
+// field reads as freshly allocated. The network reclaims the message
+// when it permanently retires — delivered or dropped, after the hooks
+// have run — so the caller must not retain it past injection.
+func NewMessage() *Message {
+	m := msgPool.Get().(*Message)
+	*m = Message{Words: m.Words[:0], pooled: true}
+	return m
+}
+
+// release returns a leased message to the pool at terminal retirement.
+// No-op for hand-built messages.
+func (n *Network) release(m *Message) {
+	if !m.pooled {
+		return
+	}
+	m.pooled = false
+	msgPool.Put(m)
 }
 
 // Stats returns accumulated counters.
@@ -350,6 +421,10 @@ func (n *Network) Stats() Stats {
 type stepCtx struct {
 	st *Stats
 	sh *shard
+	// dPhits receives the pass's in-flight phit delta: the network's
+	// own counter in sequential mode, a shard-local accumulator folded
+	// at commit in parallel mode.
+	dPhits *int64
 }
 
 // Step advances the network one cycle: injection feeds, phit movement,
@@ -359,7 +434,7 @@ type stepCtx struct {
 // results.
 func (n *Network) Step() {
 	n.cycle++
-	ctx := stepCtx{st: &n.stats}
+	ctx := stepCtx{st: &n.stats, dPhits: &n.actPhits}
 	for v := 1; v >= 0; v-- {
 		n.stepRange(0, len(n.routers), v, n.cycle, ctx)
 	}
@@ -516,11 +591,15 @@ func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64, ct
 			ctx.st.DeliveryStalls++
 			return // queue full; back-pressure into the network
 		}
+		if n.wakeFn != nil {
+			n.wakeFn(ri)
+		}
 	}
 	p := b.pop()
 	b.popStamp = cyc
 	r.occ--
 	r.linkStamp[PortLocal] = cyc
+	*ctx.dPhits--
 	if complete {
 		ctx.st.DeliveredWords[v]++
 	}
@@ -539,6 +618,7 @@ func (n *Network) deliverPhit(ri int, r *router, v, q int, b *buf, cyc int64, ct
 			for _, fn := range n.deliverFns {
 				fn(ri, p.m, cyc)
 			}
+			n.release(p.m)
 		}
 	}
 }
@@ -553,6 +633,7 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64, ctx
 	b.popStamp = cyc
 	r.occ--
 	r.linkStamp[PortLocal] = cyc
+	*ctx.dPhits--
 	if !p.isTail() {
 		return
 	}
@@ -569,6 +650,7 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64, ctx
 			for _, fn := range n.dropFns {
 				fn(ri, m, m.dropReason, cyc)
 			}
+			n.release(m)
 		}
 		return
 	}
@@ -595,6 +677,7 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64, ctx
 	// it was the original sender; returns ride free).
 	ob.msgs = append(ob.msgs, m)
 	ob.words += len(m.Words)
+	n.actMsgs.Add(1)
 }
 
 // feedInjection streams the node's next outgoing phit at priority v into
@@ -621,10 +704,12 @@ func (n *Network) feedInjection(ri int, r *router, ob *outbox, v int, cyc int64,
 	}
 	b.push(phitRef{m: m, idx: ob.phitIdx, arrived: cyc})
 	r.notePush(cyc)
+	*ctx.dPhits++
 	ob.phitIdx++
 	if ob.phitIdx == m.WirePhits() {
 		ob.msgs = ob.msgs[1:]
 		ob.words -= len(m.Words)
 		ob.phitIdx = 0
+		n.actMsgs.Add(-1)
 	}
 }

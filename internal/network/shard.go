@@ -50,6 +50,7 @@ type shard struct {
 	snapBufs []*buf
 
 	stats   Stats
+	dPhits  int64 // in-flight phit delta, folded into actPhits at commit
 	pushes  []stagedPush
 	events  []hookEvent
 	v0Start int // index in events where the priority-0 pass begins
@@ -137,7 +138,7 @@ func (sr *ShardRun) StepShard(s int) {
 	sh.events = sh.events[:0]
 	n := sr.n
 	cyc := n.cycle
-	ctx := stepCtx{st: &sh.stats, sh: sh}
+	ctx := stepCtx{st: &sh.stats, sh: sh, dPhits: &sh.dPhits}
 	n.stepRange(sh.lo, sh.hi, 1, cyc, ctx)
 	sh.v0Start = len(sh.events)
 	n.stepRange(sh.lo, sh.hi, 0, cyc, ctx)
@@ -159,6 +160,8 @@ func (sr *ShardRun) Commit() {
 		}
 		n.stats.add(&sh.stats)
 		sh.stats = Stats{}
+		n.actPhits += sh.dPhits
+		sh.dPhits = 0
 	}
 	// Priority-1 events of every shard (shards are ordered by node id,
 	// so concatenation preserves ascending router order), then
@@ -183,11 +186,13 @@ func (sr *ShardRun) fire(ev hookEvent, cyc int64) {
 		for _, fn := range n.dropFns {
 			fn(int(ev.node), ev.m, ev.reason, cyc)
 		}
+		n.release(ev.m)
 		return
 	}
 	for _, fn := range n.deliverFns {
 		fn(int(ev.node), ev.m, cyc)
 	}
+	n.release(ev.m)
 }
 
 // add folds a per-cycle stats delta into s. All fields are commutative

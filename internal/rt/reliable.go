@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"jmachine/internal/machine"
 	"jmachine/internal/mdp"
 	"jmachine/internal/network"
 	"jmachine/internal/word"
@@ -117,8 +118,21 @@ func EnableReliable(r *Runtime, cfg ReliableConfig) *Reliable {
 	net.AddDeliverFn(rel.onDeliver)
 	net.AddDropFn(rel.onDrop)
 	net.SetFilterFn(rel.filterDup)
-	r.M.AddCycleFn(rel.tick)
+	r.M.AddCycleHook(rel.tick, rel.horizon)
 	return rel
+}
+
+// horizon declares tick's event horizon: with no pending messages the
+// scan is a guaranteed no-op on every cycle (NoEvent); otherwise the
+// next ScanInterval multiple, where a timeout could retransmit or fail
+// a node. Pending entries are only created by injection hooks — which
+// require a node to execute a send, so the machine cannot be skipping —
+// making the no-pending declaration safe across a whole dead window.
+func (rel *Reliable) horizon(now int64) int64 {
+	if rel.Pending() == 0 {
+		return machine.NoEvent
+	}
+	return (now/rel.cfg.ScanInterval + 1) * rel.cfg.ScanInterval
 }
 
 // Stats returns a snapshot of the protocol counters.
@@ -249,11 +263,10 @@ func (rel *Reliable) onDrop(node int, m *network.Message, reason network.DropRea
 func (rel *Reliable) sendAck(from, to int, seq int32) {
 	net := rel.rt.M.Net
 	x, y, z := net.NodeCoords(to)
-	ack := &network.Message{
-		DestX: int8(x), DestY: int8(y), DestZ: int8(z),
-		Pri: 1, Src: int32(from), Ctl: true,
-		Words: []word.Word{word.MsgHeader(rel.rt.dack, 2), word.Int(seq)},
-	}
+	ack := network.NewMessage()
+	ack.DestX, ack.DestY, ack.DestZ = int8(x), int8(y), int8(z)
+	ack.Pri, ack.Src, ack.Ctl = 1, int32(from), true
+	ack.Words = append(ack.Words, word.MsgHeader(rel.rt.dack, 2), word.Int(seq))
 	net.Inject(from, ack, 0)
 	atomic.AddUint64(&rel.stats.AcksSent, 1)
 }
@@ -313,10 +326,9 @@ func (rel *Reliable) retransmit(seq int32, p *pendingMsg, cycle int64) {
 	p.attempts++
 	atomic.AddUint64(&rel.stats.Retries, 1)
 	p.deadline = cycle + rel.cfg.TimeoutCycles<<p.attempts
-	m := &network.Message{
-		DestX: p.destX, DestY: p.destY, DestZ: p.destZ,
-		Pri: p.pri, Src: int32(p.src), Seq: seq,
-		Words: append([]word.Word(nil), p.words...),
-	}
+	m := network.NewMessage()
+	m.DestX, m.DestY, m.DestZ = p.destX, p.destY, p.destZ
+	m.Pri, m.Src, m.Seq = p.pri, int32(p.src), seq
+	m.Words = append(m.Words, p.words...)
 	rel.rt.M.Net.Inject(p.src, m, 0)
 }

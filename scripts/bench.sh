@@ -1,23 +1,29 @@
 #!/bin/sh
 # Engine benchmark harness: the testing.B suite (ns per machine cycle
-# at two machine sizes and several shard counts) plus the 512-node
-# Figure 3 loaded-exchange probe, folded into BENCH_engine.json by
-# jm-bench. The probe also re-checks the determinism contract: the
-# final state digests across shard counts must be equal.
+# at two machine sizes, several shard counts, and both stepping modes
+# on the idle ring) plus the 512-node probes — the Figure 3 loaded
+# exchange across shard counts and the token-ring idle workload under
+# the reference loop and the event-horizon fast path — folded into
+# BENCH_engine.json by jm-bench. The probes also re-check the
+# determinism contract: final state digests within each workload must
+# be equal, whatever the shard count or stepping mode.
 #
-# The recorded speedup depends on the host: the engine needs >= 4
+# The recorded engine speedup depends on the host: it needs >= 4
 # hardware threads to beat the sequential loop (the committed JSON
-# records host_cores so numbers are comparable).
+# records host_cores so numbers are comparable). The fast-path ratio
+# on the idle ring is host-independent. Re-running appends the previous
+# file's summary to the JSON's history list, one entry per PR.
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_engine.json}
+LABEL=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}
 GOBENCH=/tmp/jm-bench-go.txt
 
 echo "== testing.B suite"
 go test -run '^$' -bench BenchmarkEngine -benchtime 2000x ./internal/bench/ | tee "$GOBENCH"
 
-echo "== 512-node probe"
-go run ./cmd/jm-bench -gobench "$GOBENCH" -out "$OUT"
+echo "== 512-node probes"
+go run ./cmd/jm-bench -gobench "$GOBENCH" -label "$LABEL" -out "$OUT"
 
 echo "== wrote $OUT"

@@ -12,9 +12,11 @@ go vet ./...
 echo "== engine equivalence under the race detector"
 # The parallel engine's determinism contract, gated explicitly: every
 # workload digest-equal to the sequential loop — including the observed
-# variants, whose recorder must leave the digest untouched — with the
-# race detector checking the shard rendezvous protocol and the
-# recorder's staging path.
+# variants, whose recorder must leave the digest untouched, and the
+# fast-path sweep (TestFastPathEquiv*: ping, barrier, and the four
+# applications under {reference, event-horizon} x shards {1,2,4,7}) —
+# with the race detector checking the shard rendezvous protocol and
+# the recorder's staging path.
 go test -race -count=1 ./internal/engine/
 
 echo "== go test -race"
@@ -37,6 +39,21 @@ SMOKE='-workload all -seed 11 -reliable -watchdog 100000'
 /tmp/jm-chaos-check $SMOKE > /tmp/jm-chaos-check-2.out
 cmp /tmp/jm-chaos-check-1.out /tmp/jm-chaos-check-2.out
 echo "chaos smoke: all workloads completed, output deterministic"
+
+echo "== fast-path equivalence smoke"
+# Event-horizon stepping vs the reference loop at the CLI surface: the
+# Table 4/5 text (thread statistics off full application runs) must be
+# byte-identical under {reference, fast} x shards {1,4}. The engine
+# suite above proves the same for ping, barrier, and LCS digests.
+go build -o /tmp/jm-tables-check ./cmd/jm-tables
+/tmp/jm-tables-check -quick -exp tab4,tab5 -shards 1 > /tmp/jm-tables-fast-1.out
+/tmp/jm-tables-check -quick -exp tab4,tab5 -shards 4 > /tmp/jm-tables-fast-4.out
+/tmp/jm-tables-check -quick -exp tab4,tab5 -reference -shards 1 > /tmp/jm-tables-ref-1.out
+/tmp/jm-tables-check -quick -exp tab4,tab5 -reference -shards 4 > /tmp/jm-tables-ref-4.out
+cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-fast-4.out
+cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-ref-1.out
+cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-ref-4.out
+echo "fast-path smoke: Table 4/5 byte-identical across stepping modes"
 
 echo "== trace smoke"
 # The observability CLI must produce a loadable timeline that is
