@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check tables bench
+.PHONY: build test check lint tables bench
 
 build:
 	go build ./...
@@ -8,9 +8,15 @@ build:
 test:
 	go test ./...
 
-# Full verification: vet, race-detector tests, chaos smoke.
+# Full verification: vet, lint, race-detector tests, chaos smoke.
 check:
 	sh scripts/check.sh
+
+# Determinism analyzers (JML001..6) + the MDP program verifier smoke.
+# docs/LINT.md documents every diagnostic.
+lint:
+	go run ./cmd/jm-lint ./internal/...
+	go run ./cmd/jm-jc -check examples/jlang/dotprod.j
 
 # Regenerate the paper's tables and figures.
 tables:

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	jm-jc [-nodes N] [-all] [-listing] [-trace N] [-max cycles] prog.j
+//	jm-jc [-nodes N] [-all] [-listing] [-check] [-trace N] [-max cycles] prog.j
 //
 // The program's "main" boots on node 0 (or on every node with -all) and
 // the machine runs until node 0 halts. Global variables and execution
 // statistics are printed at exit.
+//
+// With -check the assembled program is run through the static MDP
+// verifier (internal/asm.Check, see docs/LINT.md) instead of being
+// executed: findings are printed one per line and the exit status is 1
+// if any fire, 0 on a clean program.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"sort"
 
+	"jmachine/internal/asm"
 	"jmachine/internal/bench"
 	"jmachine/internal/jlang"
 	"jmachine/internal/machine"
@@ -28,6 +34,7 @@ func main() {
 	nodes := flag.Int("nodes", 1, "machine size")
 	all := flag.Bool("all", false, "boot main on every node (SPMD)")
 	listing := flag.Bool("listing", false, "print the generated assembly")
+	check := flag.Bool("check", false, "run the static MDP verifier instead of executing")
 	traceN := flag.Int("trace", 0, "print the first N machine events per node")
 	max := flag.Int64("max", 100_000_000, "cycle budget")
 	flag.Parse()
@@ -48,6 +55,17 @@ func main() {
 	}
 	if *listing {
 		fmt.Print(c.Program.Listing())
+	}
+	if *check {
+		findings := asm.Check(c.Program, rt.CheckAllowances()...)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d instructions, check clean\n", flag.Arg(0), len(c.Program.Instrs))
+		return
 	}
 
 	m, err := machine.New(machine.GridForNodes(*nodes), c.Program)

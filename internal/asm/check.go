@@ -1,0 +1,601 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"jmachine/internal/isa"
+	"jmachine/internal/word"
+)
+
+// This file is the static verifier over assembled MDP programs: the
+// second layer of the jm-lint suite (docs/LINT.md). The simulator
+// reports a handler's mistakes only when a run happens to reach them —
+// an undefined register read, a SEND arity that disagrees with the
+// header built by MoveHdr, or a consumed cfut slot all surface as
+// mid-run faults. Check finds the same classes before any cycle is
+// simulated, from the decoded instruction stream alone.
+//
+// Diagnostic codes:
+//
+//	ASM001  register read before any definition on a handler path
+//	ASM002  SEND message length disagrees with its MoveHdr declaration
+//	ASM003  consuming a register just tagged cfut/fut (faults at run time)
+//	ASM004  unreachable code after an unconditional control transfer
+//	ASM005  control can fall off the end of the program
+//	ASM006  branch target malformed or outside the code segment
+//	ASM007  message still open (no ending SEND) at SUSPEND/HALT
+//	ASM008  instruction faults unconditionally (bad ST operand, ÷0)
+
+// Finding is one static-verifier diagnostic.
+type Finding struct {
+	Code  string // "ASM001" ... "ASM008"
+	Addr  int32  // instruction index, -1 for program-level findings
+	Label string // nearest label at or before Addr, "" if none
+	Msg   string
+}
+
+func (f Finding) String() string {
+	at := fmt.Sprintf("@%d", f.Addr)
+	if f.Label != "" {
+		at = fmt.Sprintf("%s%s", f.Label, at)
+	}
+	return fmt.Sprintf("%s: %s: %s", at, f.Code, f.Msg)
+}
+
+// Allowance suppresses findings of one code under one label, the asm
+// layer's equivalent of a //jm: suppression comment. The rationale is
+// required and carried for documentation.
+type Allowance struct {
+	Code      string
+	Label     string // nearest-label scope the allowance covers
+	Rationale string
+}
+
+// Check statically verifies an assembled program and returns its
+// findings sorted by address. Findings matched by an allowance (same
+// code, same nearest label, non-empty rationale) are dropped.
+func Check(p *Program, allow ...Allowance) []Finding {
+	c := &checker{p: p, labelAt: labelIndex(p)}
+	c.recoverHeaders()
+	c.buildCFG()
+	c.checkFlow()     // ASM001, reachability seeds
+	c.checkBlocks()   // ASM002, ASM003, ASM007, ASM008
+	c.checkLayout()   // ASM004, ASM005
+	c.checkBranches() // ASM006
+	out := c.findings[:0]
+	for _, f := range c.findings {
+		if !allowed(f, allow) {
+			out = append(out, f)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+func allowed(f Finding, allow []Allowance) bool {
+	for _, a := range allow {
+		if a.Code == f.Code && a.Label == f.Label && a.Rationale != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checker carries the per-program analysis state.
+type checker struct {
+	p       *Program
+	labelAt map[int32]string // address -> label (first if several)
+
+	// headers holds MoveHdr-built message headers recovered from the
+	// instruction stream: instruction index of the MOVE -> header word.
+	headers map[int]word.Word
+	// entries are handler entry addresses named by recovered headers.
+	entries map[int32]bool
+
+	succs [][]int32 // CFG successor lists, by instruction index
+	preds []int     // in-degree (fall-through and branch edges)
+
+	findings []Finding
+}
+
+func labelIndex(p *Program) map[int32]string {
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic pick when labels share an address
+	at := make(map[int32]string, len(names))
+	for _, name := range names {
+		if _, taken := at[p.Labels[name]]; !taken {
+			at[p.Labels[name]] = name
+		}
+	}
+	return at
+}
+
+// nearestLabel names the label at or before addr.
+func (c *checker) nearestLabel(addr int32) string {
+	for a := addr; a >= 0; a-- {
+		if name, ok := c.labelAt[a]; ok {
+			return name
+		}
+	}
+	return ""
+}
+
+func (c *checker) report(code string, addr int32, format string, args ...any) {
+	label := ""
+	if addr >= 0 {
+		label = c.nearestLabel(addr)
+	}
+	c.findings = append(c.findings, Finding{
+		Code: code, Addr: addr, Label: label,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// recoverHeaders finds the MoveHdr idiom in the assembled stream —
+// MOVE r, #imm immediately followed by WTAG r, #TagMsg — and decodes
+// the packed header constant back into (handler IP, message length).
+// These are the handler entry points and declared arities the rest of
+// the verifier checks against.
+func (c *checker) recoverHeaders() {
+	c.headers = make(map[int]word.Word)
+	c.entries = make(map[int32]bool)
+	ins := c.p.Instrs
+	for i := 0; i+1 < len(ins); i++ {
+		mv, wt := ins[i], ins[i+1]
+		if mv.Op != isa.MOVE || mv.B.Mode != isa.ModeImm {
+			continue
+		}
+		if wt.Op != isa.WTAG || wt.A != mv.A ||
+			wt.B.Mode != isa.ModeImm || word.Tag(wt.B.Imm&0xF) != word.TagMsg {
+			continue
+		}
+		hdr := word.New(word.TagMsg, mv.B.Imm)
+		c.headers[i] = hdr
+		ip := hdr.HeaderIP()
+		if ip < 0 || int(ip) >= len(ins) {
+			c.report("ASM006", int32(i),
+				"message header names handler IP %d outside the code segment (%d instructions)", ip, len(ins))
+			continue
+		}
+		c.entries[ip] = true
+	}
+}
+
+// buildCFG records successor edges and in-degrees for every
+// instruction. BSR is treated as a call: control reaches both the
+// subroutine and (on return) the following instruction.
+func (c *checker) buildCFG() {
+	n := len(c.p.Instrs)
+	c.succs = make([][]int32, n)
+	c.preds = make([]int, n)
+	edge := func(from int, to int32) {
+		if to >= 0 && int(to) < n {
+			c.succs[from] = append(c.succs[from], to)
+			c.preds[to]++
+		}
+	}
+	for i, in := range c.p.Instrs {
+		next := int32(i + 1)
+		switch in.Op {
+		case isa.BR:
+			if in.B.Mode == isa.ModeImm {
+				edge(i, in.B.Imm)
+			}
+		case isa.BT, isa.BF:
+			if in.B.Mode == isa.ModeImm {
+				edge(i, in.B.Imm)
+			}
+			edge(i, next)
+		case isa.BSR:
+			if in.B.Mode == isa.ModeImm {
+				edge(i, in.B.Imm)
+			}
+			edge(i, next)
+		case isa.JMP:
+			if in.B.Mode == isa.ModeImm {
+				edge(i, in.B.Imm)
+			}
+			// A register JMP is a subroutine return: no static successor.
+		case isa.SUSPEND, isa.HALT:
+			// Thread ends.
+		default:
+			edge(i, next)
+		}
+	}
+}
+
+// Register sets are 16-bit masks indexed by isa.Reg.
+const (
+	specialsMask = uint16(1<<isa.NNR | 1<<isa.QLEN | 1<<isa.PRI |
+		1<<isa.ZERO | 1<<isa.CYC | 1<<isa.RGN)
+	// entryMask is the register state at handler dispatch: A3 addresses
+	// the message; everything else is whatever the previous thread left.
+	entryMask = specialsMask | uint16(1)<<isa.A3
+	allMask   = ^uint16(0)
+)
+
+// reads returns the registers an instruction reads; writes the register
+// it defines (or -1).
+func reads(in isa.Instr) (mask uint16) {
+	operand := func(op isa.Operand) {
+		switch op.Mode {
+		case isa.ModeReg:
+			mask |= 1 << op.Reg
+		case isa.ModeMem:
+			mask |= 1 << op.Reg
+		case isa.ModeMemReg:
+			mask |= 1<<op.Reg | 1<<op.Idx
+		}
+	}
+	switch in.Op {
+	case isa.NOP, isa.SUSPEND, isa.HALT, isa.BR:
+	case isa.MOVE, isa.XLATE, isa.PROBE, isa.RTAG, isa.ISCF:
+		operand(in.B)
+	case isa.NOT, isa.NEG:
+		mask |= 1 << in.A
+	case isa.BT, isa.BF:
+		mask |= 1 << in.A
+	case isa.BSR:
+		// Writes the link register; reads nothing.
+	case isa.JMP, isa.TRAP, isa.SEND, isa.SENDE, isa.SEND1, isa.SENDE1:
+		operand(in.B)
+	case isa.SEND2, isa.SEND2E, isa.SEND21, isa.SEND2E1:
+		mask |= 1 << in.A
+		operand(in.B)
+	case isa.ST, isa.ENTER, isa.WTAG:
+		mask |= 1 << in.A
+		operand(in.B)
+	default: // arithmetic and comparisons: A op B
+		mask |= 1 << in.A
+		operand(in.B)
+	}
+	return mask
+}
+
+func writesReg(in isa.Instr) int {
+	switch in.Op {
+	case isa.MOVE, isa.NOT, isa.NEG, isa.BSR, isa.XLATE, isa.PROBE,
+		isa.RTAG, isa.WTAG, isa.ISCF,
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+		isa.AND, isa.OR, isa.XOR, isa.LSH, isa.ASH,
+		isa.EQ, isa.NE, isa.LT, isa.LE, isa.GT, isa.GE:
+		return int(in.A)
+	}
+	return -1
+}
+
+// checkFlow runs a forward must-defined dataflow from every handler
+// entry (recovered headers, plus labels no instruction branches or
+// falls through to — entry points dispatched by host-built headers) and
+// reports reads of registers no path has defined (ASM001).
+func (c *checker) checkFlow() {
+	ins := c.p.Instrs
+	n := len(ins)
+	if n == 0 {
+		return
+	}
+	in := make([]uint16, n) // must-defined at instruction entry
+	seen := make([]bool, n) // visited by the dataflow at all
+	for i := range in {
+		in[i] = allMask // ⊤ for the intersection meet
+	}
+	var work []int32
+	seed := func(addr int32) {
+		in[addr] &= entryMask
+		if !seen[addr] {
+			seen[addr] = true
+		}
+		work = append(work, addr)
+	}
+	for addr := range c.entries {
+		seed(addr)
+	}
+	for _, addr := range c.p.Labels {
+		if int(addr) < n && c.preds[addr] == 0 && !c.entries[addr] {
+			seed(addr)
+		}
+	}
+	if len(work) == 0 {
+		seed(0) // no labels at all: treat address 0 as the entry
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		instr := ins[i]
+		out := in[i]
+		if w := writesReg(instr); w >= 0 {
+			out |= uint16(1) << w
+		}
+		for _, s := range c.succs[i] {
+			flow := out
+			if instr.Op == isa.BSR && s == i+1 {
+				// After the called subroutine returns, make no claim
+				// about registers: everything counts as defined, so
+				// only genuinely path-independent bugs are reported.
+				flow = allMask
+			}
+			if !seen[s] || in[s]&flow != in[s] {
+				seen[s] = true
+				in[s] &= flow
+				work = append(work, s)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			continue
+		}
+		if undef := reads(ins[i]) &^ in[i]; undef != 0 {
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				if undef&(1<<r) != 0 {
+					c.report("ASM001", int32(i),
+						"%s reads %s, which no path from a handler entry defines", ins[i], r)
+				}
+			}
+		}
+	}
+}
+
+// blockValue is what the per-block scan knows about one register.
+type blockValue struct {
+	isHeader bool
+	header   word.Word
+	tag      word.Tag // TagCfut / TagFut when future-tagged, else 0
+	at       int32    // instruction that established this state
+}
+
+// checkBlocks scans each straight-line region (between labels, branch
+// targets, and control transfers) tracking MoveHdr constants, presence
+// tags, and the send buffer, reporting ASM002, ASM003, ASM007, ASM008.
+func (c *checker) checkBlocks() {
+	ins := c.p.Instrs
+	boundary := make([]bool, len(ins)+1)
+	boundary[0] = true
+	for _, addr := range c.p.Labels {
+		if int(addr) < len(boundary) {
+			boundary[addr] = true
+		}
+	}
+	for i, in := range ins {
+		for _, s := range c.succs[i] {
+			if s != int32(i+1) {
+				boundary[s] = true // branch target starts a block
+			}
+		}
+		if in.Op.IsBranch() || in.Op == isa.SUSPEND || in.Op == isa.HALT {
+			boundary[i+1] = true
+		}
+	}
+
+	var regs map[isa.Reg]blockValue
+	type sendState struct {
+		open     bool
+		words    int   // words injected so far, including the destination
+		declared int   // header-declared payload length; -1 = untraceable
+		declAt   int32 // instruction that supplied the header word
+		known    bool  // header word traced to a MoveHdr constant
+	}
+	var send [2]sendState // per network priority
+
+	resetBlock := func() {
+		regs = make(map[isa.Reg]blockValue)
+		send[0] = sendState{}
+		send[1] = sendState{}
+	}
+	resetBlock()
+
+	for i, in := range ins {
+		if boundary[i] {
+			resetBlock()
+		}
+
+		// ASM008: instructions that cannot execute without faulting.
+		switch {
+		case in.Op == isa.ST && !in.B.IsMem():
+			c.report("ASM008", int32(i), "%s: ST requires a memory operand; this always faults", in)
+		case (in.Op == isa.DIV || in.Op == isa.MOD) && in.B.Mode == isa.ModeImm && in.B.Imm == 0:
+			c.report("ASM008", int32(i), "%s: division by constant zero always faults", in)
+		}
+
+		// ASM003: consuming a register that was just future-tagged.
+		for _, r := range readRegs(in) {
+			v, tracked := regs[r]
+			if !tracked || v.tag == 0 {
+				continue
+			}
+			if presenceSafe(in, r) {
+				continue
+			}
+			if v.tag == word.TagFut && !consuming(in, r) {
+				continue // fut words may be copied, only consumption faults
+			}
+			c.report("ASM003", int32(i),
+				"%s reads %s while it carries the %s presence tag set at @%d; this faults at run time",
+				in, r, v.tag, v.at)
+		}
+
+		// ASM002 / ASM007: send-sequence bookkeeping.
+		if in.Op.IsSend() {
+			pri := in.Op.SendPriority()
+			s := &send[pri]
+			if !s.open {
+				*s = sendState{open: true}
+			}
+			prev := s.words
+			s.words += in.Op.SendWords()
+			// The second injected word (slot 1, after the destination)
+			// is the message header: resolve the register that supplies
+			// it, if this instruction covers slot 1.
+			if prev <= 1 && s.words >= 2 && !s.known && s.declared == 0 {
+				var src isa.Reg
+				have := false
+				if in.Op.SendWords() == 2 && prev == 1 {
+					src, have = in.A, true // slots: prev=dest, A=header
+				} else if in.B.Mode == isa.ModeReg {
+					src, have = in.B.Reg, true // B lands in slot 1
+				}
+				if have {
+					if v, ok := regs[src]; ok && v.isHeader {
+						s.declared = int(v.header.HeaderLen())
+						s.declAt = v.at
+						s.known = true
+					}
+				}
+				if !s.known {
+					s.declared = -1 // header word untraceable: skip ASM002
+				}
+			}
+			if in.Op.SendEnds() {
+				if s.words < 2 {
+					c.report("ASM002", int32(i),
+						"message ends after %d word(s); every message needs a destination and a header", s.words)
+				} else if s.known && s.words-1 != s.declared {
+					c.report("ASM002", int32(i),
+						"message sends %d payload words but its header (built at @%d) declares %d",
+						s.words-1, s.declAt, s.declared)
+				}
+				*s = sendState{}
+			}
+		}
+
+		// ASM007: a thread may not end with a half-built message. The
+		// building buffer is per level, so nothing else will finish it.
+		if in.Op == isa.SUSPEND || in.Op == isa.HALT {
+			for pri := range send {
+				if send[pri].open {
+					c.report("ASM007", int32(i),
+						"%s with a priority-%d message still open (no ending SEND)", in.Op, pri)
+				}
+			}
+		}
+
+		// Track register state for the next instruction in the block.
+		if w := writesReg(in); w >= 0 {
+			r := isa.Reg(w)
+			switch {
+			case in.Op == isa.WTAG && in.B.Mode == isa.ModeImm:
+				switch tag := word.Tag(in.B.Imm & 0xF); tag {
+				case word.TagCfut, word.TagFut:
+					regs[r] = blockValue{tag: tag, at: int32(i)}
+				case word.TagMsg:
+					// The closing WTAG of a MoveHdr: the register now
+					// holds the recovered header constant.
+					if hdr, ok := c.headers[i-1]; ok {
+						regs[r] = blockValue{isHeader: true, header: hdr, at: int32(i - 1)}
+					} else {
+						regs[r] = blockValue{}
+					}
+				default:
+					regs[r] = blockValue{}
+				}
+			default:
+				regs[r] = blockValue{}
+			}
+		}
+	}
+}
+
+// readRegs lists the registers an instruction reads (unpacked form of
+// reads, for per-register reporting).
+func readRegs(in isa.Instr) []isa.Reg {
+	mask := reads(in)
+	var out []isa.Reg
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if mask&(1<<r) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// presenceSafe reports whether the instruction may touch a
+// future-tagged register r without faulting: ST stores all 36 bits to
+// create presence slots, WTAG retags, RTAG and ISCF inspect the tag.
+func presenceSafe(in isa.Instr, r isa.Reg) bool {
+	switch in.Op {
+	case isa.ST, isa.WTAG:
+		return in.A == r
+	case isa.RTAG, isa.ISCF:
+		return in.B.Mode == isa.ModeReg && in.B.Reg == r
+	}
+	return false
+}
+
+// consuming reports whether the instruction's read of r is a consuming
+// read (faults on fut as well as cfut) rather than a copy.
+func consuming(in isa.Instr, r isa.Reg) bool {
+	switch in.Op {
+	case isa.MOVE:
+		return false
+	case isa.SEND, isa.SENDE, isa.SEND1, isa.SENDE1,
+		isa.SEND2, isa.SEND2E, isa.SEND21, isa.SEND2E1:
+		return false // send copies words into the message
+	}
+	return true
+}
+
+// checkLayout reports dead instructions after unconditional transfers
+// (ASM004) and control falling off the end of the program (ASM005).
+func (c *checker) checkLayout() {
+	ins := c.p.Instrs
+	if len(ins) == 0 {
+		return
+	}
+	for i := 1; i < len(ins); i++ {
+		prev := ins[i-1].Op
+		ends := prev == isa.BR || prev == isa.SUSPEND || prev == isa.HALT ||
+			(prev == isa.JMP)
+		if !ends {
+			continue
+		}
+		if _, labeled := c.labelAt[int32(i)]; labeled {
+			continue
+		}
+		if c.entries[int32(i)] || c.preds[i] > 0 {
+			continue
+		}
+		c.report("ASM004", int32(i),
+			"unreachable: follows %s and is neither labeled nor branched to", prev)
+	}
+	last := ins[len(ins)-1].Op
+	switch last {
+	case isa.BR, isa.JMP, isa.SUSPEND, isa.HALT:
+	default:
+		c.report("ASM005", int32(len(ins)-1),
+			"control falls off the end of the program after %s", last)
+	}
+}
+
+// checkBranches validates branch operands: label-style branches must
+// carry immediate targets inside the code segment (ASM006).
+func (c *checker) checkBranches() {
+	n := int32(len(c.p.Instrs))
+	for i, in := range c.p.Instrs {
+		switch in.Op {
+		case isa.BR, isa.BT, isa.BF, isa.BSR:
+			if in.B.Mode != isa.ModeImm {
+				c.report("ASM006", int32(i),
+					"%s: branch operand must be an immediate code address", in)
+				continue
+			}
+			if in.B.Imm < 0 || in.B.Imm >= n {
+				c.report("ASM006", int32(i),
+					"%s: branch target %d outside the code segment (%d instructions)", in, in.B.Imm, n)
+			}
+		case isa.JMP:
+			if in.B.Mode == isa.ModeImm && (in.B.Imm < 0 || in.B.Imm >= n) {
+				c.report("ASM006", int32(i),
+					"%s: jump target %d outside the code segment (%d instructions)", in, in.B.Imm, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/isa"
+	"jmachine/internal/word"
+)
+
+// codes extracts the diagnostic codes of a finding list.
+func codes(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Code)
+	}
+	return out
+}
+
+func assemble(t *testing.T, b *Builder) *Program {
+	t.Helper()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCheckNegative builds one minimal offending program per
+// diagnostic code and asserts exactly the expected findings fire.
+func TestCheckNegative(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+		want  []string // expected codes, in address order
+	}{
+		{
+			name: "ASM001_read_before_def",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Add(isa.R0, Imm(1)) // R0 never defined on this path
+				return b.Suspend()
+			},
+			want: []string{"ASM001"},
+		},
+		{
+			name: "ASM001_clean_when_defined_or_dispatch_reg",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.MoveI(isa.R0, 0)
+				b.Add(isa.R0, Imm(1))
+				b.Move(isa.R1, Mem(isa.A3, 1)) // A3 is defined at dispatch
+				return b.Suspend()
+			},
+			want: nil,
+		},
+		{
+			name: "ASM001_branch_join_requires_both_paths",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Move(isa.R0, Mem(isa.A3, 1))
+				b.Bf(isa.R0, "skip") // defines R1 on one path only
+				b.MoveI(isa.R1, 7)
+				b.Label("skip")
+				b.Add(isa.R1, Imm(1)) // R1 may be undefined here
+				return b.Suspend()
+			},
+			want: []string{"ASM001"},
+		},
+		{
+			name: "ASM002_arity_mismatch",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Suspend()
+				b.Label("main")
+				b.MoveHdr(isa.R1, "h", 2) // declares a 2-word payload
+				b.Send(R(isa.NNR))        // destination
+				b.Send(R(isa.R1))         // header
+				b.Send(Imm(10))           // payload word 2
+				b.SendE(Imm(11))          // payload word 3 — one too many
+				return b.Suspend()
+			},
+			want: []string{"ASM002"},
+		},
+		{
+			name: "ASM002_arity_match_is_clean",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Suspend()
+				b.Label("main")
+				b.MoveHdr(isa.R1, "h", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(10))
+				return b.Suspend()
+			},
+			want: nil,
+		},
+		{
+			name: "ASM002_message_too_short",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("main")
+				b.SendE(R(isa.NNR)) // one word: no room for dest + header
+				return b.Suspend()
+			},
+			want: []string{"ASM002"},
+		},
+		{
+			name: "ASM003_consume_cfut",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.MoveI(isa.R0, 0)
+				b.MoveI(isa.R1, 0)
+				b.Wtag(isa.R0, Imm(int32(word.TagCfut)))
+				b.Add(isa.R1, R(isa.R0)) // consuming a cfut faults
+				return b.Suspend()
+			},
+			want: []string{"ASM003"},
+		},
+		{
+			name: "ASM003_copy_cfut_also_faults",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.MoveI(isa.R0, 0)
+				b.Wtag(isa.R0, Imm(int32(word.TagCfut)))
+				b.Move(isa.R1, R(isa.R0)) // even a copy faults on cfut
+				return b.Suspend()
+			},
+			want: []string{"ASM003"},
+		},
+		{
+			name: "ASM003_fut_copy_ok_store_ok",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.MoveI(isa.R0, 0)
+				b.MoveI(isa.A0, 100)
+				b.Wtag(isa.A0, Imm(int32(word.TagAddr)))
+				b.Wtag(isa.R0, Imm(int32(word.TagFut)))
+				b.Move(isa.R1, R(isa.R0)) // fut may be copied
+				b.St(isa.R0, Mem(isa.A0, 0))
+				return b.Suspend()
+			},
+			want: nil,
+		},
+		{
+			name: "ASM004_dead_code_after_br",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Br("end")
+				b.Nop() // unreachable, unlabeled
+				b.Label("end")
+				return b.Suspend()
+			},
+			want: []string{"ASM004"},
+		},
+		{
+			name: "ASM005_fall_off_end",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				return b.MoveI(isa.R0, 1)
+			},
+			want: []string{"ASM005"},
+		},
+		{
+			name: "ASM006_branch_out_of_range",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Jmp(Imm(99))
+				return b.Suspend()
+			},
+			// The jump target is bogus (ASM006) and the following
+			// SUSPEND is unreachable (ASM004).
+			want: []string{"ASM006", "ASM004"},
+		},
+		{
+			name: "ASM007_open_message_at_suspend",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Send(R(isa.NNR))
+				b.Send(Imm(3)) // message never ended
+				return b.Suspend()
+			},
+			want: []string{"ASM007"},
+		},
+		{
+			name: "ASM008_bad_st_and_div_zero",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.MoveI(isa.R0, 6)
+				b.St(isa.R0, Imm(5)) // ST needs a memory operand
+				b.Div(isa.R0, Imm(0))
+				return b.Suspend()
+			},
+			want: []string{"ASM008", "ASM008"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := assemble(t, tc.build())
+			got := Check(p)
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings:\n%s\nwant codes %v", render(got), tc.want)
+			}
+			for i := range got {
+				if got[i].Code != tc.want[i] {
+					t.Fatalf("finding %d = %s, want %s\n%s", i, got[i].Code, tc.want[i], render(got))
+				}
+			}
+		})
+	}
+}
+
+func render(fs []Finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString("  " + f.String() + "\n")
+	}
+	if sb.Len() == 0 {
+		return "  (none)"
+	}
+	return sb.String()
+}
+
+// TestCheckAllowance verifies the suppression mechanism: same code and
+// label with a rationale drops the finding; a missing rationale or a
+// different label does not.
+func TestCheckAllowance(t *testing.T) {
+	b := NewBuilder()
+	b.Label("h")
+	b.Add(isa.R0, Imm(1))
+	b.Suspend()
+	p := assemble(t, b)
+
+	if got := Check(p, Allowance{Code: "ASM001", Label: "h", Rationale: "test"}); len(got) != 0 {
+		t.Errorf("allowance with rationale should drop the finding:\n%s", render(got))
+	}
+	if got := Check(p, Allowance{Code: "ASM001", Label: "h"}); len(got) != 1 {
+		t.Errorf("allowance without rationale must not suppress:\n%s", render(got))
+	}
+	if got := Check(p, Allowance{Code: "ASM001", Label: "other", Rationale: "r"}); len(got) != 1 {
+		t.Errorf("allowance for another label must not suppress:\n%s", render(got))
+	}
+}
+
+// TestCheckFindingString pins the rendered form used by jm-jc -check.
+func TestCheckFindingString(t *testing.T) {
+	f := Finding{Code: "ASM001", Addr: 4, Label: "h", Msg: "m"}
+	if got := f.String(); got != "h@4: ASM001: m" {
+		t.Errorf("String() = %q", got)
+	}
+}

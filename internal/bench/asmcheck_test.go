@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"jmachine/internal/apps/lcs"
+	"jmachine/internal/apps/nqueens"
+	"jmachine/internal/apps/radix"
+	"jmachine/internal/apps/tsp"
+	"jmachine/internal/asm"
+	"jmachine/internal/rt"
+)
+
+// TestAsmCheckWorkloads sweeps the static MDP verifier (asm.Check,
+// docs/LINT.md) over every workload program: the four macro-benchmark
+// applications plus the two micro-benchmark programs built in this
+// package. New handlers added to any workload are verified by default.
+func TestAsmCheckWorkloads(t *testing.T) {
+	programs := []struct {
+		name string
+		prog *asm.Program
+	}{
+		{"lcs", lcs.BuildProgram()},
+		{"radix", radix.BuildProgram()},
+		{"nqueens", nqueens.BuildProgram()},
+		{"tsp", tsp.BuildProgram()},
+		{"pingpong", buildMicroProgram(buildPingClient)},
+		{"barrier", barrierBenchProgram(4)},
+	}
+	for _, tc := range programs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, f := range asm.Check(tc.prog, rt.CheckAllowances()...) {
+				t.Errorf("%s: %s", tc.name, f)
+			}
+		})
+	}
+}

@@ -105,9 +105,9 @@ func IdleProbe(nodes, shards int, reference bool, tokens int, warm, measure int6
 	}
 	defer stop()
 	m.StepN(warm)
-	start := time.Now()
+	start := time.Now() //jm:wallclock host-rate probe: wall time is reported, never fed back into the simulation
 	m.StepN(measure)
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //jm:wallclock host-rate probe
 	if err := m.FatalErr(); err != nil {
 		return EngineProbeResult{}, fmt.Errorf("idle probe (shards=%d): %w", shards, err)
 	}

@@ -53,9 +53,9 @@ func EngineProbe(nodes, shards int, warm, measure int64) (EngineProbeResult, err
 	}
 	rt.StartAll(m, p, "main")
 	m.StepN(warm)
-	start := time.Now()
+	start := time.Now() //jm:wallclock host-rate probe: wall time is reported, never fed back into the simulation
 	m.StepN(measure)
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //jm:wallclock host-rate probe
 	if err := m.FatalErr(); err != nil {
 		return EngineProbeResult{}, fmt.Errorf("probe (shards=%d): %w", shards, err)
 	}

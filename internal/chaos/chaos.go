@@ -220,7 +220,7 @@ func Attach(m *machine.Machine, c Campaign) *Injector {
 		armed:    make([][]Event, len(m.Nodes)),
 	}
 	sortEvents(inj.events)
-	m.AddCycleHook(inj.tick, inj.horizon)
+	m.AddCycleHook(inj.tick, inj.horizon) //jm:horizon next scheduled campaign event bounds tick's next effect
 	m.Net.SetStallFn(inj.stall)
 	m.Net.AddInjectFn(inj.onInject)
 	return inj

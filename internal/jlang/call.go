@@ -51,8 +51,10 @@ func (g *gen) genCall(x *CallExpr) error {
 		g.b.Move(isa.R0, asm.R(isa.CYC))
 	case "suspend":
 		g.b.Suspend()
+		g.term = true
 	case "halt":
 		g.b.Halt()
+		g.term = true
 	case "barinit":
 		g.b.Bsr(isa.R3, rt.LBarInit)
 	case "barrier":

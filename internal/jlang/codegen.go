@@ -116,6 +116,11 @@ type gen struct {
 	ememNext int32
 	cur      *frame
 	labelSeq int
+	// term is true while the most recently emitted statement ended its
+	// control path (return, halt(), suspend()). Codegen consults it to
+	// avoid emitting unreachable jumps and epilogues, which the static
+	// verifier (internal/asm.Check) would flag as ASM004 dead code.
+	term bool
 }
 
 // declare allocates globals and frames, and registers functions.
@@ -301,13 +306,18 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	g.cur = fr
 
 	g.b.Label(fn.Name)
-	if fn.Handler {
+	g.term = false
+	switch {
+	case fn.Handler:
 		// Unpack message words 1..n into parameter slots.
 		for i, p := range fn.Params {
 			g.b.Move(isa.R0, asm.Mem(isa.A3, int32(1+i)))
 			g.storeScalar(fr.slots[p].addr)
 		}
-	} else {
+	case fn.Name == "main":
+		// main is a boot entry, dispatched rather than called: there is
+		// no return link in R3 to save.
+	default:
 		// Save the return link.
 		g.b.MoveI(isa.A0, fr.base)
 		g.b.St(isa.R3, asm.Mem(isa.A0, 0))
@@ -315,15 +325,23 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	if err := g.genStmts(fn.Body); err != nil {
 		return err
 	}
-	g.emitReturn(fn)
+	if !g.term {
+		g.emitReturn(fn)
+	}
 	g.cur = nil
 	return nil
 }
 
-// emitReturn ends a function (restore link, jump) or handler (suspend).
+// emitReturn ends a function (restore link, jump), a handler (suspend),
+// or main (halt: a boot entry has no caller to return to).
 func (g *gen) emitReturn(fn *FuncDecl) {
+	g.term = true
 	if fn.Handler {
 		g.b.Suspend()
+		return
+	}
+	if fn.Name == "main" {
+		g.b.Halt()
 		return
 	}
 	g.b.MoveI(isa.A0, g.cur.base)
@@ -341,6 +359,7 @@ func (g *gen) genStmts(ss []Stmt) error {
 }
 
 func (g *gen) genStmt(s Stmt) error {
+	g.term = false
 	switch st := s.(type) {
 	case *AssignStmt:
 		return g.genAssign(st)
@@ -363,12 +382,16 @@ func (g *gen) genStmt(s Stmt) error {
 		if err := g.genStmts(st.Then); err != nil {
 			return err
 		}
-		g.b.Br(endL)
+		if !g.term {
+			g.b.Br(endL)
+		}
 		g.b.Label(elseL)
+		g.term = false
 		if err := g.genStmts(st.Else); err != nil {
 			return err
 		}
 		g.b.Label(endL)
+		g.term = false
 		return nil
 	case *WhileStmt:
 		topL, endL := g.label("loop"), g.label("end")
@@ -380,8 +403,11 @@ func (g *gen) genStmt(s Stmt) error {
 		if err := g.genStmts(st.Body); err != nil {
 			return err
 		}
-		g.b.Br(topL)
+		if !g.term {
+			g.b.Br(topL)
+		}
 		g.b.Label(endL)
+		g.term = false
 		return nil
 	}
 	return errf(0, 0, "unhandled statement %T", s)

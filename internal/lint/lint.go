@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Code    string // "JML001" ... — stable, documented in docs/LINT.md
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+}
+
+// Analyzer is one determinism check. Run inspects a single package but
+// receives the whole Program, so checks that follow calls across
+// package boundaries (reachability from digest or step roots) see
+// every loaded package at once.
+type Analyzer struct {
+	Name string // short name usable on a command line ("maporder")
+	Code string // diagnostic code prefix ("JML003")
+	Doc  string
+	Run  func(prog *Program, pkg *Package, report func(ast.Node, string))
+}
+
+// Analyzers is the jm-lint suite, in diagnostic-code order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		RandAnalyzer,
+		MapOrderAnalyzer,
+		StepConcurrencyAnalyzer,
+		HookDeclAnalyzer,
+		DigestExemptAnalyzer,
+	}
+}
+
+// AnalyzerByName returns the analyzer with the given short name or
+// code, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name || a.Code == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to every package of prog and returns the
+// findings sorted by position. Diagnostics suppressed by annotations
+// never appear: suppression is the analyzers' own business, so a
+// suppressed site costs an annotation with a rationale, not a flag.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			a := a
+			report := func(n ast.Node, msg string) {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(n.Pos()),
+					Code:    a.Code,
+					Message: msg,
+				})
+			}
+			a.Run(prog, pkg, report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+	return diags
+}
+
+// notesFor returns the annotations of the file containing pos.
+func (pkg *Package) notesFor(f *ast.File) Annotations { return pkg.Notes[f] }
+
+// fileOf returns the *ast.File of pkg containing node n.
+func (pkg *Package) fileOf(n ast.Node) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= n.Pos() && n.Pos() <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether node n's line (in its file) carries the
+// given suppression annotation with a rationale.
+func (pkg *Package) suppressed(fset *token.FileSet, n ast.Node, key string) bool {
+	f := pkg.fileOf(n)
+	if f == nil {
+		return false
+	}
+	line := fset.Position(n.Pos()).Line
+	return pkg.Notes[f].Has(line, key, true)
+}

@@ -1,0 +1,134 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"jmachine/internal/lint"
+)
+
+// wantRe matches the expectation markers in fixture sources:
+//
+//	for k := range m { // want JML003
+//	x := f() /* want JML001 JML002 */
+var wantRe = regexp.MustCompile(`want ((?:JML\d{3})(?:\s+JML\d{3})*)`)
+
+// fixtures maps each fixture module under testdata/src to the suite.
+// Every fixture runs ALL analyzers, so a fixture also proves the other
+// five analyzers stay silent on its code.
+var fixtures = []string{"jml001", "jml002", "jml003", "jml004", "jml005", "jml006"}
+
+func TestFixtures(t *testing.T) {
+	for _, name := range fixtures {
+		name := name
+		t.Run(name, func(t *testing.T) { runFixture(t, name) })
+	}
+}
+
+func runFixture(t *testing.T, name string) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.LoadDirs(dir + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range lint.Run(prog, lint.Analyzers()) {
+		rel, err := filepath.Rel(dir, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		got = append(got, rel+":"+strconv.Itoa(d.Pos.Line)+": "+d.Code)
+	}
+	want := expectations(t, dir)
+	sort.Strings(got)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fixture %s: diagnostics do not match the // want markers\ngot:\n  %s\nwant:\n  %s",
+			name, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// expectations collects every "want CODE..." marker under dir as
+// "relfile:line: CODE" strings, one per code.
+func expectations(t *testing.T, dir string) []string {
+	var want []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, code := range strings.Fields(m[1]) {
+				want = append(want, rel+":"+strconv.Itoa(i+1)+": "+code)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestRepoClean asserts the real tree lints clean: every violation is
+// either fixed or carries its suppression annotation with a rationale.
+// This is the same check CI runs via cmd/jm-lint.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo typecheck is not short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.LoadDirs(filepath.Join(root, "internal") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.Run(prog, lint.Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzerRoster pins the suite: each diagnostic code is
+// implemented exactly once and resolvable by name and by code.
+func TestAnalyzerRoster(t *testing.T) {
+	wantCodes := []string{"JML001", "JML002", "JML003", "JML004", "JML005", "JML006"}
+	as := lint.Analyzers()
+	if len(as) != len(wantCodes) {
+		t.Fatalf("got %d analyzers, want %d", len(as), len(wantCodes))
+	}
+	for i, a := range as {
+		if a.Code != wantCodes[i] {
+			t.Errorf("analyzer %d: code %s, want %s", i, a.Code, wantCodes[i])
+		}
+		if lint.AnalyzerByName(a.Name) != a || lint.AnalyzerByName(a.Code) != a {
+			t.Errorf("analyzer %s not resolvable by name/code", a.Name)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package jml001 is a jm-lint fixture: wall-clock reads (JML001).
+package jml001
+
+import "time"
+
+// Bad: raw wall-clock reads in simulation code.
+func rate() float64 {
+	start := time.Now() // want JML001
+	work()
+	return time.Since(start).Seconds() // want JML001
+}
+
+func deadline(t time.Time) bool {
+	return time.Until(t) < 0 // want JML001
+}
+
+// Good: the sanctioned host-rate probe pattern.
+func probedRate() float64 {
+	start := time.Now() //jm:wallclock host-rate probe for the fixture
+	work()
+	return time.Since(start).Seconds() //jm:wallclock host-rate probe
+}
+
+// Good: annotation on the preceding line also governs the call.
+func probedRate2() time.Time {
+	//jm:wallclock fixture probe
+	return time.Now()
+}
+
+// Good: time package use that does not read the clock.
+func pause() { time.Sleep(time.Millisecond) }
+
+// Bad: an annotation without a rationale does not sanction the read.
+func bareAnnotation() time.Time {
+	return time.Now() /* want JML001 */ //jm:wallclock
+}
+
+func work() {}

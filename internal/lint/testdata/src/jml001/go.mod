@@ -1,0 +1,3 @@
+module jml001
+
+go 1.21

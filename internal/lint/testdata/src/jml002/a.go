@@ -1,0 +1,18 @@
+// Package jml002 is a jm-lint fixture: global math/rand source (JML002).
+package jml002
+
+import "math/rand"
+
+// Bad: draws from the process-global source.
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want JML002
+}
+
+func pickBad(n int) int { return rand.Intn(n) } // want JML002
+
+// Good: an explicitly seeded generator; constructors and methods on
+// the generator are fine.
+func pickGood(n int) int {
+	r := rand.New(rand.NewSource(3))
+	return r.Intn(n)
+}

@@ -1,0 +1,3 @@
+module jml002
+
+go 1.21

@@ -1,0 +1,72 @@
+// Package jml003 is a jm-lint fixture: map iteration on digest, trace,
+// and hook-replay paths (JML003).
+package jml003
+
+import "jml003/internal/sub"
+
+type Digester struct {
+	counts map[int]int
+}
+
+// Bad: a digest root ranging a map directly.
+func (d *Digester) StateDigest() uint64 {
+	var h uint64
+	for k, v := range d.counts { // want JML003
+		h += uint64(k) * uint64(v)
+	}
+	return h
+}
+
+// Bad: reachable from the digest root through a helper, and through a
+// package boundary.
+func (d *Digester) Digest() uint64 {
+	return d.helper() + sub.Helper(d.counts) + d.sorted()
+}
+
+func (d *Digester) helper() uint64 {
+	var h uint64
+	for k := range d.counts { // want JML003
+		h += uint64(k)
+	}
+	return h
+}
+
+// Good: collect-then-sort with the suppression and its rationale.
+func (d *Digester) sorted() uint64 {
+	var h uint64
+	for k := range d.counts { //jm:maporder keys feed a sort below; fixture
+		h += uint64(k)
+	}
+	return h
+}
+
+// Good: not reachable from any digest/trace/hook root.
+func unrooted(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Bad: a function registered as a hook runs on the replay path.
+type machine struct{}
+
+func (machine) AddDeliverFn(fn func(map[int]int)) {}
+
+func install(m machine) {
+	m.AddDeliverFn(func(seen map[int]int) {
+		for k := range seen { // want JML003
+			_ = k
+		}
+	})
+}
+
+// Bad: //jm:trace-root marks an explicit trace-output root.
+//
+//jm:trace-root fixture: emits deterministic trace bytes
+func flush(spans map[int]string) {
+	for _, s := range spans { // want JML003
+		_ = s
+	}
+}

@@ -1,0 +1,3 @@
+module jml003
+
+go 1.21

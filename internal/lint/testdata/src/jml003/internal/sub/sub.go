@@ -1,0 +1,11 @@
+// Package sub proves JML003 reachability crosses package boundaries.
+package sub
+
+// Helper is called from jml003.(*Digester).Digest, a digest root.
+func Helper(m map[int]int) uint64 {
+	var h uint64
+	for k := range m { // want JML003
+		h += uint64(k)
+	}
+	return h
+}

@@ -1,0 +1,41 @@
+// Package jml004 is a jm-lint fixture: host concurrency on the
+// per-cycle step path (JML004).
+package jml004
+
+import "jml004/internal/engine"
+
+type Node struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// Bad: the step path spawns goroutines and touches channels.
+func (n *Node) Step() {
+	go n.work() // want JML004
+	n.ch <- 1   // want JML004
+	<-n.done    // want JML004
+	select {    // want JML004
+	case v := <-n.ch: // want JML004
+		_ = v
+	default:
+	}
+}
+
+// Bad: reachable from SkipTo through a helper.
+func (n *Node) SkipTo(target int64) { n.drain() }
+
+func (n *Node) drain() {
+	<-n.ch // want JML004
+}
+
+func (n *Node) work() {}
+
+// Good: the same constructs off the step path (host-side harness).
+func Harness(n *Node) {
+	go n.work()
+	n.ch <- 1
+	<-n.done
+}
+
+// Good: internal/engine owns deterministic host parallelism.
+var _ = engine.Run

@@ -1,0 +1,3 @@
+module jml004
+
+go 1.21

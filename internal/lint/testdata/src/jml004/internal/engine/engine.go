@@ -1,0 +1,13 @@
+// Package engine stands in for the real internal/engine: the one place
+// host concurrency on the step path is allowed.
+package engine
+
+type Shard struct{ ch chan int }
+
+// Step uses channels on the step path — exempt inside internal/engine.
+func (s *Shard) Step() {
+	go func() { s.ch <- 1 }()
+	<-s.ch
+}
+
+func Run() {}

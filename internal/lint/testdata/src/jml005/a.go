@@ -1,0 +1,33 @@
+// Package jml005 is a jm-lint fixture: undeclared cycle hooks (JML005).
+package jml005
+
+type Machine struct{}
+
+func (m *Machine) AddCycleFn(fn func(int64))                    {}
+func (m *Machine) AddCycleHook(fn func(int64), hz func() int64) {}
+
+func horizon() int64 { return 0 }
+
+// Bad: hook registrations without their horizon-cost declarations.
+func installBad(m *Machine) {
+	m.AddCycleFn(func(int64) {})            // want JML005
+	m.AddCycleHook(func(int64) {}, horizon) // want JML005
+}
+
+// Bad: the annotation alone, with no rationale, is not a declaration.
+func installBare(m *Machine) {
+	m.AddCycleFn(func(int64) {}) /* want JML005 */ //jm:pins
+}
+
+// Good: annotated call sites, trailing or preceding.
+func installGood(m *Machine) {
+	m.AddCycleFn(func(int64) {}) //jm:pins fixture hook samples every cycle
+	//jm:horizon fixture hook's next effect is bounded by horizon()
+	m.AddCycleHook(func(int64) {}, horizon)
+}
+
+// Good: a forwarding wrapper named like the registrar is the
+// mechanism, not a use.
+type Wrapper struct{ m *Machine }
+
+func (w *Wrapper) AddCycleFn(fn func(int64)) { w.m.AddCycleFn(fn) }

@@ -1,0 +1,3 @@
+module jml005
+
+go 1.21

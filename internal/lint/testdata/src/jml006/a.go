@@ -1,0 +1,43 @@
+// Package jml006 is a jm-lint fixture: digest-exempt fields read on
+// step paths (JML006).
+package jml006
+
+type Event struct{ Cycle int64 }
+
+type Node struct {
+	cycle int64
+	// Watch is the observer tap, deliberately outside the digest.
+	//jm:digest-exempt observer tap; fixture
+	Watch func(Event)
+}
+
+// Bad: the step path reads the exempt field.
+func (n *Node) Step() {
+	n.cycle++
+	if n.Watch != nil { // want JML006
+		n.Watch(Event{n.cycle}) // want JML006
+	}
+}
+
+// Bad: reachable from SkipTo through a helper.
+func (n *Node) SkipTo(target int64) { n.emit() }
+
+func (n *Node) emit() {
+	n.Watch(Event{n.cycle}) // want JML006
+}
+
+// Good: writes on the step path are allowed (installing the tap).
+func (n *Node) StepN(k int) {
+	n.Watch = nil
+}
+
+// Good: the sanctioned read carries the rationale.
+func (n *Node) StepCycle() {
+	//jm:digest-exempt-ok write-only tap; fixture
+	if n.Watch != nil {
+		n.Watch(Event{n.cycle}) //jm:digest-exempt-ok same tap
+	}
+}
+
+// Good: reads off the step path are fine.
+func Inspect(n *Node) bool { return n.Watch != nil }

@@ -1,0 +1,3 @@
+module jml006
+
+go 1.21

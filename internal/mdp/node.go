@@ -55,6 +55,7 @@ type Node struct {
 	// digest byte-identical to an unobserved run. The callback runs on
 	// the goroutine stepping this node — one per cycle under both
 	// engines — and must not touch other nodes' state.
+	//jm:digest-exempt observer tap; deliberately outside StateDigest
 	Watch func(trace.Event)
 
 	ctx      [NumLevels]Context
@@ -212,8 +213,9 @@ func (n *Node) SkipTo(target int64) {
 // Both paths are nil-check cheap when disabled.
 func (n *Node) emit(e trace.Event) {
 	n.Trace.Add(e)
+	//jm:digest-exempt-ok write-only tap: the callback observes the event stream and cannot return state into the node
 	if n.Watch != nil {
-		n.Watch(e)
+		n.Watch(e) //jm:digest-exempt-ok same tap, call through the pointer just nil-checked
 	}
 }
 

@@ -150,6 +150,7 @@ func Attach(m *machine.Machine, cfg Config) *Recorder {
 			words: int16(len(msg.Words)), drop: true, reason: reason,
 		})
 	})
+	//jm:pins the recorder samples every cycle by design; recording runs accept the pinned horizon
 	m.AddCycleFn(func(cycle int64) {
 		if r.closed {
 			return

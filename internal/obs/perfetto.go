@@ -204,12 +204,16 @@ func (p *PerfettoWriter) Counter(ts int64, pid int32, name string, series map[st
 
 // Close ends any spans still open (at the latest timestamp observed)
 // and terminates the JSON document. The writer must not be used after.
+// The emitted JSON is golden-tested byte-for-byte, so everything below
+// must stay order-deterministic.
+//
+//jm:trace-root timeline bytes are part of the deterministic trace output
 func (p *PerfettoWriter) Close() error {
 	// Deterministic order: ascending node id.
 	for len(p.open) > 0 {
 		var minNode int32
 		first := true
-		for n := range p.open {
+		for n := range p.open { //jm:maporder min-select loop: the minimum is order-independent
 			if first || n < minNode {
 				minNode, first = n, false
 			}

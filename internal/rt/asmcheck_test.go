@@ -1,0 +1,22 @@
+package rt
+
+import (
+	"testing"
+
+	"jmachine/internal/asm"
+)
+
+// TestAsmCheckLib runs the static MDP verifier over the runtime
+// library on its own: every handler and subroutine BuildLib emits is
+// checked without any application attached.
+func TestAsmCheckLib(t *testing.T) {
+	b := asm.NewBuilder()
+	BuildLib(b)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range asm.Check(p, CheckAllowances()...) {
+		t.Errorf("rt lib: %s", f)
+	}
+}

@@ -118,7 +118,7 @@ func EnableReliable(r *Runtime, cfg ReliableConfig) *Reliable {
 	net.AddDeliverFn(rel.onDeliver)
 	net.AddDropFn(rel.onDrop)
 	net.SetFilterFn(rel.filterDup)
-	r.M.AddCycleHook(rel.tick, rel.horizon)
+	r.M.AddCycleHook(rel.tick, rel.horizon) //jm:horizon nearest retransmit deadline (or none pending) bounds tick's next effect
 	return rel
 }
 
@@ -296,7 +296,7 @@ func (rel *Reliable) tick(cycle int64) {
 	}
 	var due []int32
 	for i := range rel.nodes {
-		for seq, p := range rel.nodes[i].pending {
+		for seq, p := range rel.nodes[i].pending { //jm:maporder due set is sorted before any retransmit; iteration order cannot leak
 			if p.deadline <= cycle {
 				due = append(due, seq)
 			}

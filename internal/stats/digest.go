@@ -28,7 +28,7 @@ func (n *Node) StateDigest(h uint64) uint64 {
 	h = mix(h, n.CfutFaults)
 	h = mix(h, n.OverflowFaults)
 	ips := make([]int32, 0, len(n.byHandler))
-	for ip := range n.byHandler {
+	for ip := range n.byHandler { //jm:maporder keys are collected then sorted before mixing; order cannot leak
 		ips = append(ips, ip)
 	}
 	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })

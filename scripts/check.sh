@@ -9,6 +9,16 @@ cd "$(dirname "$0")/.."
 echo "== go vet"
 go vet ./...
 
+echo "== jm-lint (determinism analyzers, docs/LINT.md)"
+# JML001..JML006 over the whole simulation tree; any diagnostic fails
+# the build. The MDP assembly verifier (ASM001..ASM008) runs inside
+# `go test` below, swept over the rt library and every workload
+# program; the -check smoke here exercises the jm-jc surface.
+go build -o /tmp/jm-lint-check ./cmd/jm-lint
+/tmp/jm-lint-check ./internal/...
+go build -o /tmp/jm-jc-check ./cmd/jm-jc
+/tmp/jm-jc-check -check examples/jlang/dotprod.j
+
 echo "== engine equivalence under the race detector"
 # The parallel engine's determinism contract, gated explicitly: every
 # workload digest-equal to the sequential loop — including the observed
