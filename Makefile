@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check lint tables bench
+.PHONY: build test check lint tables bench ckpt-smoke
 
 build:
 	go build ./...
@@ -25,3 +25,8 @@ tables:
 # Engine benchmarks: testing.B suite + 512-node probe -> BENCH_engine.json.
 bench:
 	sh scripts/bench.sh
+
+# Crash-recovery smoke: SIGKILL a checkpointing run, resume, compare
+# digests against an uninterrupted run. docs/CHECKPOINT.md.
+ckpt-smoke:
+	sh scripts/ckpt_smoke.sh

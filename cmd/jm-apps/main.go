@@ -20,6 +20,7 @@ import (
 	"jmachine/internal/apps/radix"
 	"jmachine/internal/apps/tsp"
 	"jmachine/internal/bench"
+	"jmachine/internal/ckpt"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
@@ -38,15 +39,38 @@ func main() {
 	seed := flag.Int64("seed", 11, "workload seed")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
+	ckptPath := flag.String("ckpt", "", "write periodic crash-consistent checkpoints to this file")
+	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
+	resume := flag.Bool("resume", false, "restore the -ckpt file over the fresh machine and continue from it")
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -ckpt")
+	}
 
-	// setup attaches the parallel engine through each app's Setup hook;
-	// stop releases its workers once the run returns.
+	// setup attaches the checkpoint writer and the parallel engine
+	// through each app's Setup hook; stop releases the engine workers
+	// once the run returns. preRun restores (or seeds) the checkpoint
+	// after the app's start-up, right before the run loop.
 	var eng *engine.Engine
-	setup := func(m *machine.Machine, _ *rt.Runtime) {
+	var cw *ckpt.Checkpointer
+	var savers []ckpt.Saver
+	setup := func(m *machine.Machine, r *rt.Runtime) {
+		savers = []ckpt.Saver{r}
+		if *ckptPath != "" {
+			cw = ckpt.AttachWriter(m, *ckptPath, *ckptEvery, savers...)
+		}
 		if *shards > 1 {
 			eng = engine.Attach(m, *shards)
 		}
+	}
+	preRun := func(m *machine.Machine) error {
+		if *ckptPath == "" {
+			return nil
+		}
+		if *resume {
+			return ckpt.RestoreFile(*ckptPath, m, savers...)
+		}
+		return cw.WriteNow()
 	}
 	stop := func() { eng.Stop() }
 
@@ -54,7 +78,7 @@ func main() {
 	var m *machine.Machine
 	switch *app {
 	case "lcs":
-		params := lcs.Params{LenA: *lena, LenB: *lenb, Seed: *seed, Setup: setup}
+		params := lcs.Params{LenA: *lena, LenB: *lenb, Seed: *seed, Setup: setup, PreRun: preRun}
 		r, err := lcs.Run(*nodes, params)
 		stop()
 		if err != nil {
@@ -64,7 +88,7 @@ func main() {
 		fmt.Printf("LCS(%d×%d) = %d (reference %d)\n", *lena, *lenb, r.Length, lcs.Reference(a, b))
 		cycles, m = r.Cycles, r.M
 	case "radix":
-		params := radix.Params{Keys: *keys, Seed: *seed, Setup: setup}
+		params := radix.Params{Keys: *keys, Seed: *seed, Setup: setup, PreRun: preRun}
 		r, err := radix.Run(*nodes, params)
 		stop()
 		if err != nil {
@@ -81,7 +105,7 @@ func main() {
 		fmt.Printf("radix sort of %d keys: correct=%v\n", *keys, ok)
 		cycles, m = r.Cycles, r.M
 	case "nqueens":
-		r, err := nqueens.Run(*nodes, nqueens.Params{N: *n, SplitDepth: *depth, Setup: setup})
+		r, err := nqueens.Run(*nodes, nqueens.Params{N: *n, SplitDepth: *depth, Setup: setup, PreRun: preRun})
 		stop()
 		if err != nil {
 			log.Fatal(err)
@@ -90,7 +114,7 @@ func main() {
 			*n, r.Solutions, nqueens.Reference(*n), r.Tasks)
 		cycles, m = r.Cycles, r.M
 	case "tsp":
-		params := tsp.Params{Cities: *cities, Seed: *seed, Setup: setup}
+		params := tsp.Params{Cities: *cities, Seed: *seed, Setup: setup, PreRun: preRun}
 		r, err := tsp.Run(*nodes, params)
 		stop()
 		if err != nil {
@@ -111,4 +135,5 @@ func main() {
 		100*bd[stats.CatXlate], 100*bd[stats.CatNNR], 100*bd[stats.CatIdle])
 	fmt.Printf("threads dispatched: %d, instructions: %d, send faults: %d\n",
 		m.Stats.Threads(), m.Stats.Instrs(), m.Stats.SendFaults())
+	fmt.Printf("state digest: %016x\n", m.StateDigest())
 }

@@ -132,7 +132,13 @@ func main() {
 	label := flag.String("label", "", "history label for this run (e.g. a PR or commit name)")
 	gobench := flag.String("gobench", "", "`go test -bench` output file to merge")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
+	ckptPath := flag.String("ckpt", "", "write periodic fig3-probe checkpoints to this file (suffixed .s<shards> per row)")
+	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
+	resume := flag.Bool("resume", false, "restore each fig3 row's checkpoint and step only the remaining cycles")
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -ckpt")
+	}
 
 	var counts []int
 	for _, f := range strings.Split(*shardList, ",") {
@@ -163,7 +169,13 @@ func main() {
 	// Figure 3 loaded exchange across shard counts.
 	var seqRate float64
 	for _, k := range counts {
-		res, err := bench.EngineProbe(*nodes, k, *warm, *measure)
+		path := ""
+		if *ckptPath != "" {
+			// One file per shard row: rows are independent runs, and a
+			// resumed campaign must pair each row with its own state.
+			path = fmt.Sprintf("%s.s%d", *ckptPath, k)
+		}
+		res, err := bench.EngineProbeCkpt(*nodes, k, *warm, *measure, path, *ckptEvery, *resume)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -26,6 +26,7 @@ import (
 	"jmachine/internal/apps/tsp"
 	"jmachine/internal/bench"
 	"jmachine/internal/chaos"
+	"jmachine/internal/ckpt"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
@@ -49,7 +50,13 @@ func main() {
 	runs := flag.Int("runs", 1, "repeat count (identical output per run proves determinism)")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
+	ckptPath := flag.String("ckpt", "", "write periodic crash-consistent checkpoints to this file")
+	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
+	resume := flag.Bool("resume", false, "restore the -ckpt file over the fresh machine and continue from it")
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -ckpt")
+	}
 
 	camp, err := buildCampaign(*campaignStr, *seed, *nodes, *horizon, *faults)
 	if err != nil {
@@ -64,6 +71,9 @@ func main() {
 		Reliable:   *reliable,
 		Budget:     *budget,
 		Shards:     *shards,
+		Ckpt:       *ckptPath,
+		CkptEvery:  *ckptEvery,
+		Resume:     *resume,
 	}
 
 	fmt.Printf("campaign: %s\n", camp.String())
@@ -80,7 +90,11 @@ func main() {
 			fmt.Printf("=== run %d ===\n", r+1)
 		}
 		for _, name := range names {
-			res, err := runWorkload(name, camp, rc)
+			rcw := rc
+			if rcw.Ckpt != "" && len(names) > 1 {
+				rcw.Ckpt = rc.Ckpt + "." + name
+			}
+			res, err := runWorkload(name, camp, rcw)
 			if err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}
@@ -113,25 +127,25 @@ func runWorkload(name string, camp chaos.Campaign, rc bench.ResilienceConfig) (*
 	case "lcs":
 		var h holder
 		res, err := lcs.Run(rc.Nodes, lcs.Params{
-			LenA: 64, LenB: 128, Setup: h.setup(camp, rc),
+			LenA: 64, LenB: 128, Setup: h.setup(camp, rc), PreRun: h.preRun(rc),
 		})
 		return h.collect("lcs", res.M, res.Cycles, err), nil
 	case "radix":
 		var h holder
 		res, err := radix.Run(rc.Nodes, radix.Params{
-			Keys: 512, Setup: h.setup(camp, rc),
+			Keys: 512, Setup: h.setup(camp, rc), PreRun: h.preRun(rc),
 		})
 		return h.collect("radix", res.M, res.Cycles, err), nil
 	case "nqueens":
 		var h holder
 		res, err := nqueens.Run(rc.Nodes, nqueens.Params{
-			N: 6, SplitDepth: 2, Setup: h.setup(camp, rc),
+			N: 6, SplitDepth: 2, Setup: h.setup(camp, rc), PreRun: h.preRun(rc),
 		})
 		return h.collect("nqueens", res.M, res.Cycles, err), nil
 	case "tsp":
 		var h holder
 		res, err := tsp.Run(rc.Nodes, tsp.Params{
-			Cities: 6, Setup: h.setup(camp, rc),
+			Cities: 6, Setup: h.setup(camp, rc), PreRun: h.preRun(rc),
 		})
 		return h.collect("tsp", res.M, res.Cycles, err), nil
 	default:
@@ -139,12 +153,15 @@ func runWorkload(name string, camp chaos.Campaign, rc bench.ResilienceConfig) (*
 	}
 }
 
-// holder captures the chaos and reliable layers attached through an
-// application's Setup hook so results can be collected afterwards.
+// holder captures the chaos, reliable, and checkpoint layers attached
+// through an application's Setup hook so the PreRun hook can restore
+// and results can be collected afterwards.
 type holder struct {
-	inj *chaos.Injector
-	rel *rt.Reliable
-	eng *engine.Engine
+	inj    *chaos.Injector
+	rel    *rt.Reliable
+	eng    *engine.Engine
+	cw     *ckpt.Checkpointer
+	savers []ckpt.Saver
 }
 
 // setup returns the Params.Setup hook applying the resilience switches
@@ -159,9 +176,33 @@ func (h *holder) setup(camp chaos.Campaign, rc bench.ResilienceConfig) func(*mac
 			h.rel = rt.EnableReliable(r, rt.ReliableConfig{})
 		}
 		h.inj = chaos.Attach(m, camp)
+		h.savers = []ckpt.Saver{r}
+		if h.rel != nil {
+			h.savers = append(h.savers, h.rel)
+		}
+		h.savers = append(h.savers, h.inj)
+		if rc.Ckpt != "" {
+			h.cw = ckpt.AttachWriter(m, rc.Ckpt, rc.CkptEvery, h.savers...)
+		}
 		if rc.Shards > 1 {
 			h.eng = engine.Attach(m, rc.Shards)
 		}
+	}
+}
+
+// preRun returns the Params.PreRun hook: on -resume it restores the
+// checkpoint over the freshly built machine; otherwise it writes the
+// period-zero checkpoint so a crash before the first periodic write
+// still leaves a resumable file.
+func (h *holder) preRun(rc bench.ResilienceConfig) func(*machine.Machine) error {
+	return func(m *machine.Machine) error {
+		if rc.Ckpt == "" {
+			return nil
+		}
+		if rc.Resume {
+			return ckpt.RestoreFile(rc.Ckpt, m, h.savers...)
+		}
+		return h.cw.WriteNow()
 	}
 }
 
@@ -177,6 +218,7 @@ func (h *holder) collect(name string, m *machine.Machine, cycles int64, runErr e
 	if m != nil {
 		res.Net = m.Net.Stats()
 		res.WatchdogTrips = m.WatchdogTrips
+		res.StateDigest = m.StateDigest()
 	}
 	if h.rel != nil {
 		res.HasReliable = true
@@ -198,6 +240,7 @@ func printResult(r *bench.CampaignResult) {
 	if r.Completed && r.Value != 0 {
 		fmt.Printf(" value=%d", r.Value)
 	}
+	fmt.Printf(" digest=%016x", r.StateDigest)
 	fmt.Println()
 	ns := r.Net
 	fmt.Printf("  net: delivered=%d/%d returned=%d retransmits=%d dropped=%d corrupt=%d dup=%d stalls=%d\n",

@@ -24,6 +24,7 @@ import (
 	"jmachine/internal/apps/tsp"
 	"jmachine/internal/bench"
 	"jmachine/internal/chaos"
+	"jmachine/internal/ckpt"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/obs"
@@ -41,10 +42,16 @@ func main() {
 	every := flag.Int("every", 64, "sampling period in cycles for counters and snapshots")
 	perLink := flag.Bool("perlink", false, "add per-mesh-link occupancy counter tracks")
 	budget := flag.Int64("budget", 4_000_000, "cycle budget for the micro-benchmarks")
+	ckptPath := flag.String("ckpt", "", "write periodic crash-consistent checkpoints to this file")
+	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
+	resume := flag.Bool("resume", false, "restore the -ckpt file over the fresh machine and continue from it")
 	flag.Parse()
 
 	if *perfetto == "" && *metrics == "" {
 		log.Fatal("nothing to record: set -perfetto and/or -metrics")
+	}
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -ckpt")
 	}
 	o := &obs.Options{
 		PerfettoPath: *perfetto,
@@ -53,7 +60,7 @@ func main() {
 		PerLink:      *perLink,
 	}
 
-	cycles, digest, err := run(*workload, *nodes, *shards, *budget, o)
+	cycles, digest, err := run(*workload, *nodes, *shards, *budget, o, *ckptPath, *ckptEvery, *resume)
 	if err != nil {
 		log.Fatalf("%s: %v", *workload, err)
 	}
@@ -67,12 +74,15 @@ func main() {
 	}
 }
 
-func run(workload string, nodes, shards int, budget int64, o *obs.Options) (int64, uint64, error) {
+func run(workload string, nodes, shards int, budget int64, o *obs.Options, ckptPath string, ckptEvery int64, resume bool) (int64, uint64, error) {
 	rc := bench.ResilienceConfig{
-		Nodes:  nodes,
-		Budget: budget,
-		Shards: shards,
-		Obs:    o,
+		Nodes:     nodes,
+		Budget:    budget,
+		Shards:    shards,
+		Obs:       o,
+		Ckpt:      ckptPath,
+		CkptEvery: ckptEvery,
+		Resume:    resume,
 	}
 	switch workload {
 	case "pingpong":
@@ -83,19 +93,19 @@ func run(workload string, nodes, shards int, budget int64, o *obs.Options) (int6
 		return resultOf(res, err)
 	case "lcs":
 		var h holder
-		res, err := lcs.Run(nodes, lcs.Params{LenA: 64, LenB: 128, Setup: h.setup(shards, o)})
+		res, err := lcs.Run(nodes, lcs.Params{LenA: 64, LenB: 128, Setup: h.setup(shards, o, rc), PreRun: h.preRun(rc)})
 		return h.finish(res.M, res.Cycles, err)
 	case "radix":
 		var h holder
-		res, err := radix.Run(nodes, radix.Params{Keys: 512, Setup: h.setup(shards, o)})
+		res, err := radix.Run(nodes, radix.Params{Keys: 512, Setup: h.setup(shards, o, rc), PreRun: h.preRun(rc)})
 		return h.finish(res.M, res.Cycles, err)
 	case "nqueens":
 		var h holder
-		res, err := nqueens.Run(nodes, nqueens.Params{N: 6, SplitDepth: 2, Setup: h.setup(shards, o)})
+		res, err := nqueens.Run(nodes, nqueens.Params{N: 6, SplitDepth: 2, Setup: h.setup(shards, o, rc), PreRun: h.preRun(rc)})
 		return h.finish(res.M, res.Cycles, err)
 	case "tsp":
 		var h holder
-		res, err := tsp.Run(nodes, tsp.Params{Cities: 6, Setup: h.setup(shards, o)})
+		res, err := tsp.Run(nodes, tsp.Params{Cities: 6, Setup: h.setup(shards, o, rc), PreRun: h.preRun(rc)})
 		return h.finish(res.M, res.Cycles, err)
 	default:
 		return 0, 0, fmt.Errorf("unknown workload %q", workload)
@@ -112,19 +122,40 @@ func resultOf(res *bench.CampaignResult, err error) (int64, uint64, error) {
 	return res.Cycles, res.StateDigest, nil
 }
 
-// holder carries the recorder stop and engine across an application's
-// Setup hook so finish can tear them down before reading the digest.
+// holder carries the recorder stop, engine, and checkpoint layers
+// across an application's Setup hook so finish can tear them down
+// before reading the digest.
 type holder struct {
 	stopObs func() error
 	eng     *engine.Engine
+	cw      *ckpt.Checkpointer
+	savers  []ckpt.Saver
 }
 
-func (h *holder) setup(shards int, o *obs.Options) func(*machine.Machine, *rt.Runtime) {
-	return func(m *machine.Machine, _ *rt.Runtime) {
+func (h *holder) setup(shards int, o *obs.Options, rc bench.ResilienceConfig) func(*machine.Machine, *rt.Runtime) {
+	return func(m *machine.Machine, r *rt.Runtime) {
+		h.savers = []ckpt.Saver{r}
+		if rc.Ckpt != "" {
+			h.cw = ckpt.AttachWriter(m, rc.Ckpt, rc.CkptEvery, h.savers...)
+		}
 		h.stopObs = o.AttachTo(m)
 		if shards > 1 {
 			h.eng = engine.Attach(m, shards)
 		}
+	}
+}
+
+// preRun restores the checkpoint on -resume, or writes the period-zero
+// checkpoint so a crash before the first periodic write is resumable.
+func (h *holder) preRun(rc bench.ResilienceConfig) func(*machine.Machine) error {
+	return func(m *machine.Machine) error {
+		if rc.Ckpt == "" {
+			return nil
+		}
+		if rc.Resume {
+			return ckpt.RestoreFile(rc.Ckpt, m, h.savers...)
+		}
+		return h.cw.WriteNow()
 	}
 }
 

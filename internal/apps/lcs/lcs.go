@@ -54,6 +54,10 @@ type Params struct {
 	// problem is loaded but before the machine starts — the hook where
 	// cmd/jm-chaos attaches fault campaigns and resilience layers.
 	Setup func(*machine.Machine, *rt.Runtime)
+	// PreRun, when non-nil, runs after the start-up threads are queued,
+	// immediately before the run loop — the hook where a checkpoint is
+	// restored over the freshly built state. An error aborts the run.
+	PreRun func(*machine.Machine) error
 }
 
 func (p Params) withDefaults() Params {
@@ -275,6 +279,11 @@ func Run(nodes int, params Params) (Result, error) {
 		params.Setup(m, r)
 	}
 	rt.StartNode(m, p, 0, LStartUp)
+	if params.PreRun != nil {
+		if err := params.PreRun(m); err != nil {
+			return Result{M: m, P: p}, err
+		}
+	}
 	// Budget: the DP is LenA×LenB steps at ~16 cycles, plus slack.
 	budget := int64(params.LenA)*int64(params.LenB)*32/int64(nodes) + 5_000_000
 	if err := m.RunUntilHalt(0, budget); err != nil {

@@ -61,6 +61,10 @@ type Params struct {
 	// problem is loaded but before the machine starts — the hook where
 	// cmd/jm-chaos attaches fault campaigns and resilience layers.
 	Setup func(*machine.Machine, *rt.Runtime)
+	// PreRun, when non-nil, runs after the start-up threads are queued,
+	// immediately before the run loop — the hook where a checkpoint is
+	// restored over the freshly built state. An error aborts the run.
+	PreRun func(*machine.Machine) error
 }
 
 func (p Params) withDefaults() Params {
@@ -342,6 +346,11 @@ func Run(nodes int, params Params) (Result, error) {
 		params.Setup(m, r)
 	}
 	rt.StartAll(m, p, LMain)
+	if params.PreRun != nil {
+		if err := params.PreRun(m); err != nil {
+			return Result{M: m, P: p}, err
+		}
+	}
 	// Budget: the search tree for n queens, ~25 cycles per node visit.
 	budget := int64(Reference(n))*2000/int64(nodes)*30 + 20_000_000
 	if err := m.RunUntilHalt(0, budget); err != nil {

@@ -70,6 +70,10 @@ type Params struct {
 	// problem is loaded but before the machine starts — the hook where
 	// cmd/jm-chaos attaches fault campaigns and resilience layers.
 	Setup func(*machine.Machine, *rt.Runtime)
+	// PreRun, when non-nil, runs after the start-up threads are queued,
+	// immediately before the run loop — the hook where a checkpoint is
+	// restored over the freshly built state. An error aborts the run.
+	PreRun func(*machine.Machine) error
 }
 
 func (p Params) withDefaults() Params {
@@ -437,6 +441,11 @@ func Run(nodes int, params Params) (Result, error) {
 		params.Setup(m, r)
 	}
 	rt.StartAll(m, p, LSort)
+	if params.PreRun != nil {
+		if err := params.PreRun(m); err != nil {
+			return Result{M: m, P: p}, err
+		}
+	}
 	budget := int64(digits)*int64(kpn)*120 + 2_000_000
 	if err := m.RunUntilHalt(0, budget); err != nil {
 		return Result{Cycles: m.Cycle(), M: m, P: p}, err

@@ -53,6 +53,10 @@ type Params struct {
 	// problem is loaded but before the machine starts — the hook where
 	// cmd/jm-chaos attaches fault campaigns and resilience layers.
 	Setup func(*machine.Machine, *rt.Runtime)
+	// PreRun, when non-nil, runs after the boot messages are queued,
+	// immediately before the run loop — the hook where a checkpoint is
+	// restored over the freshly built state. An error aborts the run.
+	PreRun func(*machine.Machine) error
 }
 
 func (p Params) withDefaults() Params {
@@ -411,6 +415,11 @@ func runCapped(nodes int, params Params, budget int64) (Result, error) {
 
 	if params.Setup != nil {
 		params.Setup(m, r)
+	}
+	if params.PreRun != nil {
+		if err := params.PreRun(m); err != nil {
+			return Result{M: m, P: p, R: r}, err
+		}
 	}
 	// The scheduler boot messages were queued by SetupNode; just run.
 	runErr := m.RunUntilHalt(0, budget)

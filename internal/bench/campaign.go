@@ -9,6 +9,7 @@ package bench
 import (
 	"jmachine/internal/asm"
 	"jmachine/internal/chaos"
+	"jmachine/internal/ckpt"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/network"
@@ -39,6 +40,16 @@ type ResilienceConfig struct {
 	// snapshots from the campaign machine (see internal/obs). Purely a
 	// tap: the StateDigest in the result is unchanged by it.
 	Obs *obs.Options
+	// Ckpt, when non-empty, periodically writes a crash-consistent
+	// checkpoint of the complete run state (machine, runtime, reliable
+	// protocol, chaos cursor) to this path.
+	Ckpt string
+	// CkptEvery is the checkpoint period in cycles (default 65536).
+	CkptEvery int64
+	// Resume restores Ckpt over the freshly built machine before the
+	// run loop starts; the run then continues exactly where the
+	// checkpointed one stood.
+	Resume bool
 }
 
 func (c ResilienceConfig) withDefaults() ResilienceConfig {
@@ -81,13 +92,16 @@ type CampaignResult struct {
 
 // prepare builds a machine for a campaign run and attaches the runtime,
 // the optional reliable-delivery layer, the chaos injector, the
-// observability recorder, and — when rc.Shards > 1 — the parallel
-// engine. The caller must defer the returned stop, which releases the
-// engine workers and drains the recorder's trace files.
-func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, func(), error) {
+// checkpoint writer, the observability recorder, and — when
+// rc.Shards > 1 — the parallel engine. The caller must defer the
+// returned stop (which releases the engine workers and drains the
+// recorder's trace files) and invoke preRun after the workload's
+// start-up, immediately before the run loop: it restores the
+// checkpoint when rc.Resume is set.
+func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine.Machine, *rt.Reliable, *chaos.Injector, func(), func() error, error) {
 	m, err := machine.New(rc.machineConfig(), p)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if rc.Reference {
 		m.SetFastPath(false)
@@ -98,6 +112,15 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 		rel = rt.EnableReliable(r, rc.ReliableCfg)
 	}
 	inj := chaos.Attach(m, camp)
+	savers := []ckpt.Saver{r}
+	if rel != nil {
+		savers = append(savers, rel)
+	}
+	savers = append(savers, inj)
+	var cw *ckpt.Checkpointer
+	if rc.Ckpt != "" {
+		cw = ckpt.AttachWriter(m, rc.Ckpt, rc.CkptEvery, savers...)
+	}
 	stopObs := rc.Obs.AttachTo(m)
 	var eng *engine.Engine
 	if rc.Shards > 1 {
@@ -107,7 +130,19 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 		eng.Stop()
 		reportObsErr(stopObs())
 	}
-	return m, rel, inj, stop, nil
+	preRun := func() error {
+		if rc.Ckpt == "" {
+			return nil
+		}
+		if rc.Resume {
+			return ckpt.RestoreFile(rc.Ckpt, m, savers...)
+		}
+		// Write the period-zero checkpoint now — after the workload's
+		// start-up, so a crash before the first periodic write still
+		// leaves a resumable file on the real trajectory.
+		return cw.WriteNow()
+	}
+	return m, rel, inj, stop, preRun, nil
 }
 
 // collect folds the run outcome into a CampaignResult.
@@ -136,7 +171,7 @@ func collect(name string, m *machine.Machine, rel *rt.Reliable, inj *chaos.Injec
 func PingCampaign(camp chaos.Campaign, rc ResilienceConfig) (*CampaignResult, error) {
 	rc = rc.withDefaults()
 	p := buildMicroProgram(buildPingClient)
-	m, rel, inj, stop, err := prepare(camp, rc, p)
+	m, rel, inj, stop, preRun, err := prepare(camp, rc, p)
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +181,9 @@ func PingCampaign(camp chaos.Campaign, rc ResilienceConfig) (*CampaignResult, er
 		return nil, err
 	}
 	rt.StartNode(m, p, 0, "main")
+	if err := preRun(); err != nil {
+		return nil, err
+	}
 	runErr := m.RunWhile(func(m *machine.Machine) bool {
 		w, _ := m.Nodes[0].Mem.Read(rt.AddrFlag)
 		return !w.Truthy()
@@ -168,12 +206,15 @@ func BarrierCampaign(camp chaos.Campaign, rc ResilienceConfig, inner int) (*Camp
 		inner = 4
 	}
 	p := barrierBenchProgram(inner)
-	m, rel, inj, stop, err := prepare(camp, rc, p)
+	m, rel, inj, stop, preRun, err := prepare(camp, rc, p)
 	if err != nil {
 		return nil, err
 	}
 	defer stop()
 	rt.StartAll(m, p, "main")
+	if err := preRun(); err != nil {
+		return nil, err
+	}
 	runErr := m.RunUntilHalt(0, rc.Budget)
 	var per int64
 	if runErr == nil {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"jmachine/internal/ckpt"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
 	"jmachine/internal/word"
@@ -32,6 +33,18 @@ type EngineProbeResult struct {
 // the same (nodes, warm, measure) and different shard counts end in
 // byte-identical machine states, so their digests must match.
 func EngineProbe(nodes, shards int, warm, measure int64) (EngineProbeResult, error) {
+	return EngineProbeCkpt(nodes, shards, warm, measure, "", 0, false)
+}
+
+// EngineProbeCkpt is EngineProbe with an optional checkpoint file:
+// when ckptPath is non-empty the run writes a crash-consistent
+// checkpoint every `every` cycles, and with resume set it restores the
+// file first and steps only the cycles that remain. StepN boundaries
+// are synchronization points, so splitting the run across processes is
+// digest-neutral: a resumed probe ends in the byte-identical machine
+// state an uninterrupted one reaches. The reported rate covers the
+// measured cycles this process actually stepped.
+func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, every int64, resume bool) (EngineProbeResult, error) {
 	const words = 8
 	const idleIters = 16
 	p := buildFig3Program(words, true, 1<<30)
@@ -39,32 +52,57 @@ func EngineProbe(nodes, shards int, warm, measure int64) (EngineProbeResult, err
 	if err != nil {
 		return EngineProbeResult{}, err
 	}
-	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	var cw *ckpt.Checkpointer
+	if ckptPath != "" {
+		cw = ckpt.AttachWriter(m, ckptPath, every, r)
+	}
 	defer (Options{Shards: shards}).attachEngine(m)()
-	r := rand.New(rand.NewSource(3))
+	rnd := rand.New(rand.NewSource(3))
 	period := 4*idleIters + 120
 	for _, n := range m.Nodes {
 		n.Mem.Write(rt.AppBase+fig3OffMask, word.Int(fig3TableSize-1))
 		n.Mem.Write(rt.AppBase+fig3OffIdle, word.Int(int32(idleIters)))
-		n.Mem.Write(rt.AppBase+fig3OffSkew, word.Int(int32(r.Intn(period/2+1))))
+		n.Mem.Write(rt.AppBase+fig3OffSkew, word.Int(int32(rnd.Intn(period/2+1))))
 		for i := 0; i < fig3TableSize; i++ {
-			n.Mem.Write(fig3TableBase+int32(i), m.Net.NodeWord(r.Intn(m.NumNodes())))
+			n.Mem.Write(fig3TableBase+int32(i), m.Net.NodeWord(rnd.Intn(m.NumNodes())))
 		}
 	}
 	rt.StartAll(m, p, "main")
-	m.StepN(warm)
+	if ckptPath != "" {
+		if resume {
+			if err := ckpt.RestoreFile(ckptPath, m, r); err != nil {
+				return EngineProbeResult{}, err
+			}
+		} else if err := cw.WriteNow(); err != nil {
+			return EngineProbeResult{}, err
+		}
+	}
+	total := warm + measure
+	warmLeft := warm - m.Cycle()
+	if warmLeft > 0 {
+		m.StepN(warmLeft)
+	}
+	measured := total - m.Cycle()
+	if measured < 0 {
+		measured = 0
+	}
 	start := time.Now() //jm:wallclock host-rate probe: wall time is reported, never fed back into the simulation
-	m.StepN(measure)
+	m.StepN(measured)
 	wall := time.Since(start).Seconds() //jm:wallclock host-rate probe
 	if err := m.FatalErr(); err != nil {
 		return EngineProbeResult{}, fmt.Errorf("probe (shards=%d): %w", shards, err)
 	}
+	rate := 0.0
+	if wall > 0 {
+		rate = float64(measured) / wall
+	}
 	return EngineProbeResult{
 		Nodes:        nodes,
 		Shards:       shards,
-		Cycles:       measure,
+		Cycles:       measured,
 		WallSeconds:  wall,
-		CyclesPerSec: float64(measure) / wall,
+		CyclesPerSec: rate,
 		Digest:       m.StateDigest(),
 	}, nil
 }

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"jmachine/internal/ckpt/wire"
+)
+
+// Checkpoint section for the injector. The campaign itself is not
+// serialized — the restoring process reconstructs it (same seed, same
+// generator) and the codec verifies a fingerprint of the schedule; what
+// is serialized is the cursor and every in-force fault: active link
+// stalls, scheduled thaws and squeeze restores, armed corruption, and
+// the applied counters. Frozen/killed processors and squeezed queue
+// limits live in the machine section.
+
+const chaosFormat = 1
+
+// fingerprint folds the sorted schedule's rendered events, so a
+// checkpoint cannot be restored under a different campaign.
+func (inj *Injector) fingerprint() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	mix(uint64(len(inj.events)))
+	for _, e := range inj.events {
+		for _, b := range []byte(e.String()) {
+			mix(uint64(b))
+		}
+		mix(0xff)
+	}
+	return h
+}
+
+func saveEvent(e *wire.Encoder, ev Event) {
+	e.U8(uint8(ev.Kind))
+	e.I64(ev.Cycle)
+	e.Int(ev.Node)
+	e.Int(ev.Port)
+	e.I64(ev.Duration)
+	e.Int(ev.Word)
+	e.U32(ev.Mask)
+	e.Int(ev.CapWords)
+	e.Int(ev.Pri)
+}
+
+func restoreEvent(d *wire.Decoder) Event {
+	return Event{
+		Kind:     Kind(d.U8()),
+		Cycle:    d.I64(),
+		Node:     d.Int(),
+		Port:     d.Int(),
+		Duration: d.I64(),
+		Word:     d.Int(),
+		Mask:     d.U32(),
+		CapWords: d.Int(),
+		Pri:      d.Int(),
+	}
+}
+
+// CkptName names the injector's checkpoint section.
+func (inj *Injector) CkptName() string { return "chaos" }
+
+// CkptSave serializes the injector's dynamic state.
+func (inj *Injector) CkptSave(e *wire.Encoder) {
+	e.U32(chaosFormat)
+	e.U64(inj.fingerprint())
+	e.Int(inj.next)
+	e.Int(len(inj.stalls))
+	for _, s := range inj.stalls {
+		e.Int(s.node)
+		e.Int(s.port)
+		e.I64(s.until)
+	}
+	e.Int(len(inj.expiries))
+	for _, ex := range inj.expiries {
+		e.I64(ex.cycle)
+		e.Int(ex.node)
+		e.Int(ex.pri)
+		e.U8(uint8(ex.kind))
+	}
+	for _, q := range inj.armed {
+		e.Int(len(q))
+		for _, ev := range q {
+			saveEvent(e, ev)
+		}
+	}
+	for _, v := range inj.applied {
+		e.U64(v)
+	}
+	e.U64(atomic.LoadUint64(&inj.corrupts))
+}
+
+// CkptRestore rebuilds the injector's dynamic state; the attached
+// campaign must render to the same schedule the checkpoint was taken
+// under.
+func (inj *Injector) CkptRestore(d *wire.Decoder) error {
+	if f := d.U32(); f != chaosFormat {
+		return fmt.Errorf("chaos: checkpoint section format %d, want %d", f, chaosFormat)
+	}
+	if fp := d.U64(); fp != inj.fingerprint() {
+		return fmt.Errorf("chaos: checkpoint campaign fingerprint %016x != attached campaign %016x", fp, inj.fingerprint())
+	}
+	inj.next = d.Int()
+	if inj.next < 0 || inj.next > len(inj.events) {
+		return fmt.Errorf("chaos: checkpoint cursor %d out of range (%d events)", inj.next, len(inj.events))
+	}
+	nStalls := d.Count(16)
+	inj.stalls = inj.stalls[:0]
+	for i := 0; i < nStalls; i++ {
+		inj.stalls = append(inj.stalls, activeStall{node: d.Int(), port: d.Int(), until: d.I64()})
+	}
+	nExp := d.Count(17)
+	inj.expiries = inj.expiries[:0]
+	for i := 0; i < nExp; i++ {
+		inj.expiries = append(inj.expiries, expiry{cycle: d.I64(), node: d.Int(), pri: d.Int(), kind: Kind(d.U8())})
+	}
+	for node := range inj.armed {
+		nq := d.Count(41)
+		q := inj.armed[node][:0]
+		for i := 0; i < nq; i++ {
+			q = append(q, restoreEvent(d))
+		}
+		inj.armed[node] = q
+	}
+	for k := range inj.applied {
+		inj.applied[k] = d.U64()
+	}
+	atomic.StoreUint64(&inj.corrupts, d.U64())
+	return d.Err()
+}

@@ -1,0 +1,150 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"jmachine/internal/ckpt/wire"
+	"jmachine/internal/machine"
+)
+
+// Saver is an attached simulation layer that owns checkpoint state.
+// rt.Runtime, rt.Reliable, and chaos.Injector satisfy it structurally;
+// they import only the wire codec, never this package.
+type Saver interface {
+	// CkptName names the layer's section; names must be unique per
+	// snapshot and double as a configuration check — a checkpoint only
+	// restores into a process with the identical layer stack.
+	CkptName() string
+	CkptSave(*wire.Encoder)
+	CkptRestore(*wire.Decoder) error
+}
+
+// machineSection is the mandatory first section's name.
+const machineSection = "machine"
+
+// Capture snapshots the machine and every extra layer. It must run
+// between cycles or from a cycle hook; the snapshot represents
+// m.SnapshotCycle(), and restoring it reproduces the machine's
+// StateDigest exactly.
+func Capture(m *machine.Machine, extras ...Saver) *Snapshot {
+	snap := &Snapshot{}
+	e := &wire.Encoder{}
+	m.SaveState(e)
+	snap.Sections = append(snap.Sections, Section{Name: machineSection, Data: e.Bytes()})
+	for _, s := range extras {
+		e := &wire.Encoder{}
+		s.CkptSave(e)
+		snap.Sections = append(snap.Sections, Section{Name: s.CkptName(), Data: e.Bytes()})
+	}
+	return snap
+}
+
+// Restore loads a snapshot into a freshly constructed machine with the
+// same configuration, program, and attached layers as the capturing
+// process. It must run after all layers are attached and any workload
+// start-up (memory image, initial threads, boot messages) has been
+// applied, and before the run loop starts. The snapshot's section list
+// must match the attached layers exactly.
+func Restore(m *machine.Machine, snap *Snapshot, extras ...Saver) error {
+	want := []string{machineSection}
+	for _, s := range extras {
+		want = append(want, s.CkptName())
+	}
+	got := snap.Names()
+	if len(got) != len(want) {
+		return fmt.Errorf("ckpt: checkpoint has sections %v, this process expects %v (layer stack mismatch)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("ckpt: checkpoint has sections %v, this process expects %v (layer stack mismatch)", got, want)
+		}
+	}
+	d := wire.NewDecoder(snap.Sections[0].Data)
+	if err := m.RestoreState(d); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("ckpt: machine section has %d trailing bytes", d.Remaining())
+	}
+	for i, s := range extras {
+		d := wire.NewDecoder(snap.Sections[i+1].Data)
+		if err := s.CkptRestore(d); err != nil {
+			return fmt.Errorf("ckpt: section %q: %w", s.CkptName(), err)
+		}
+		if d.Remaining() != 0 {
+			return fmt.Errorf("ckpt: section %q has %d trailing bytes", s.CkptName(), d.Remaining())
+		}
+	}
+	return nil
+}
+
+// RestoreFile reads path and restores it into m.
+func RestoreFile(path string, m *machine.Machine, extras ...Saver) error {
+	snap, err := ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return Restore(m, snap, extras...)
+}
+
+// Checkpointer periodically captures the machine to a file from a
+// cycle hook, so a SIGKILL at any point leaves a valid checkpoint at
+// most Every cycles old (WriteFile is atomic).
+type Checkpointer struct {
+	m      *machine.Machine
+	path   string
+	every  int64
+	extras []Saver
+	writes int
+	err    error
+}
+
+// AttachWriter installs a periodic checkpointer writing to path every
+// `every` cycles. It must be attached after every layer that
+// contributes a section. The hook declares its next write as its event
+// horizon, so fast-path runs step through (and capture) every
+// checkpoint cycle instead of skipping them.
+func AttachWriter(m *machine.Machine, path string, every int64, extras ...Saver) *Checkpointer {
+	if every <= 0 {
+		every = 1 << 16
+	}
+	c := &Checkpointer{m: m, path: path, every: every, extras: extras}
+	m.AddCycleHook(c.tick, c.horizon) //jm:horizon next periodic checkpoint cycle bounds tick's next effect
+	return c
+}
+
+func (c *Checkpointer) horizon(now int64) int64 {
+	return (now/c.every + 1) * c.every
+}
+
+// tick writes a checkpoint at every multiple of the period. Host I/O
+// failures are recorded (first one wins) and surfaced through Err —
+// the simulation itself is unaffected.
+func (c *Checkpointer) tick(cycle int64) {
+	if cycle%c.every != 0 {
+		return
+	}
+	if err := WriteFile(c.path, Capture(c.m, c.extras...)); err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return
+	}
+	c.writes++
+}
+
+// WriteNow captures and writes a checkpoint immediately (between
+// cycles; used for a final checkpoint at run end).
+func (c *Checkpointer) WriteNow() error {
+	if err := WriteFile(c.path, Capture(c.m, c.extras...)); err != nil {
+		return err
+	}
+	c.writes++
+	return nil
+}
+
+// Writes returns how many checkpoints have been written.
+func (c *Checkpointer) Writes() int { return c.writes }
+
+// Err returns the first checkpoint-write failure, if any.
+func (c *Checkpointer) Err() error { return c.err }

@@ -1,0 +1,131 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jmachine/internal/ckpt"
+)
+
+func sampleSnapshot() *ckpt.Snapshot {
+	return &ckpt.Snapshot{Sections: []ckpt.Section{
+		{Name: "machine", Data: []byte{1, 2, 3, 4, 5}},
+		{Name: "rt", Data: []byte{}},
+		{Name: "rt.reliable", Data: bytes.Repeat([]byte{0xaa}, 300)},
+	}}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	enc := snap.Encode()
+	got, err := ckpt.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Sections) != len(snap.Sections) {
+		t.Fatalf("section count %d, want %d", len(got.Sections), len(snap.Sections))
+	}
+	for i, s := range snap.Sections {
+		if got.Sections[i].Name != s.Name {
+			t.Errorf("section %d name %q, want %q", i, got.Sections[i].Name, s.Name)
+		}
+		if !bytes.Equal(got.Sections[i].Data, s.Data) {
+			t.Errorf("section %d data mismatch", i)
+		}
+	}
+	// Decoded sections must not alias the encoded buffer: corrupting the
+	// source afterwards must not corrupt the snapshot.
+	for i := range enc {
+		enc[i] = 0xff
+	}
+	if !bytes.Equal(got.Sections[0].Data, snap.Sections[0].Data) {
+		t.Fatal("decoded section aliases the encoded buffer")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleSnapshot().Encode()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ckpt.Decode(nil); err == nil {
+			t.Fatal("want error for empty input")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[0] ^= 0x40
+		if _, err := ckpt.Decode(bad); err == nil {
+			t.Fatal("want error for bad magic")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{1, len(enc) / 4, len(enc) / 2, len(enc) - 1} {
+			if _, err := ckpt.Decode(enc[:n]); err == nil {
+				t.Fatalf("want error for truncation at %d bytes", n)
+			}
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		// Any single-bit payload flip must fail the section CRC.
+		for _, pos := range []int{12, len(enc) / 2, len(enc) - 3} {
+			bad := append([]byte(nil), enc...)
+			bad[pos] ^= 0x01
+			if _, err := ckpt.Decode(bad); err == nil {
+				t.Fatalf("want error for bit flip at byte %d", pos)
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		bad := append(append([]byte(nil), enc...), 0x00)
+		if _, err := ckpt.Decode(bad); err == nil {
+			t.Fatal("want error for trailing garbage")
+		}
+	})
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	snap := sampleSnapshot()
+	if err := ckpt.WriteFile(path, snap); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Overwrite must be atomic-rename based: no temp file left behind.
+	if err := ckpt.WriteFile(path, snap); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("stray file %q next to checkpoint", e.Name())
+		}
+	}
+	got, err := ckpt.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got.Encode(), snap.Encode()) {
+		t.Fatal("ReadFile round trip mismatch")
+	}
+	if _, err := ckpt.ReadFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestDecodeErrorMentionsCorruption(t *testing.T) {
+	enc := sampleSnapshot().Encode()
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-2] ^= 0x10
+	_, err := ckpt.Decode(bad)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corruption error %q should mention corruption", err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package wire is the primitive binary codec underneath the checkpoint
+// format (internal/ckpt): little-endian fixed-width integers plus
+// length-prefixed byte strings, written into a growing buffer and read
+// back through a sticky-error decoder.
+//
+// The package is a leaf — stdlib only — so every state-owning package
+// (machine, network, mdp, rt, chaos, ...) can implement its own
+// SaveState/RestoreState against it without import cycles.
+//
+// Decoding is hardened for untrusted input: reads past the end of the
+// buffer, and length prefixes larger than the bytes that remain, set a
+// sticky error and return zero values instead of panicking. Callers
+// check Err once per section and must additionally validate semantic
+// ranges (counts, indices) before using decoded values.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is the sticky decode error for reads past the end of
+// the input.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// Encoder appends primitive values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// I32 appends an int32.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int (as int64; Decoder.Int rejects values outside the
+// platform int range, which cannot occur for values this codec wrote).
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Blob appends a u32 length prefix followed by the raw bytes.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads primitive values back. Errors are sticky: after the
+// first failed read every subsequent read returns a zero value, so a
+// section's RestoreState can decode straight through and check Err
+// once (plus semantic validation of counts and indices).
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a byte slice for reading.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Fail sets the sticky error (used by callers for semantic-validation
+// failures so one error path covers both truncation and bad values).
+func (d *Decoder) Fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte bool; any value other than 0 or 1 is an error
+// (fuzzed input must not decode to a "valid" snapshot by accident).
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Fail("wire: invalid bool byte")
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// I32 reads an int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int written by Encoder.Int.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.Fail("wire: int value %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Count reads a non-negative element count and validates it against
+// the bytes remaining (at least min bytes must follow per element), so
+// corrupted counts fail cleanly instead of driving huge allocations.
+func (d *Decoder) Count(minBytesPerElem int) int {
+	n := d.Int()
+	if n < 0 {
+		d.Fail("wire: negative count %d", n)
+		return 0
+	}
+	if minBytesPerElem > 0 && n > d.Remaining()/minBytesPerElem {
+		d.Fail("wire: count %d exceeds remaining input", n)
+		return 0
+	}
+	return n
+}
+
+// Blob reads a length-prefixed byte string (the returned slice aliases
+// the decoder's buffer).
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	if int64(n) > int64(d.Remaining()) {
+		d.Fail("wire: blob length %d exceeds remaining input", n)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Blob()) }

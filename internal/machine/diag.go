@@ -36,12 +36,29 @@ type NodeDiag struct {
 	Events   string // last few trace events, when tracing is attached
 }
 
+// ParkDiag describes one node parked by the event-horizon stepper.
+type ParkDiag struct {
+	Node     int
+	WakeAt   int64 // next self-scheduled event (NoEvent = waits on traffic)
+	NeedWake bool  // a message arrived for it but the wake is not yet consumed
+}
+
 // Diagnostic is the machine state dump attached to ErrNoProgress.
 type Diagnostic struct {
 	Cycle   int64
 	Nodes   int
 	Routers []RouterDiag // routers with in-flight or outbox traffic
 	Suspect []NodeDiag
+	// Parking state of the event-horizon stepper: a wedge where every
+	// node is parked with WakeAt=NoEvent and no hook has a pending
+	// horizon is a lost-wakeup, not a livelock.
+	NParked         int
+	Parked          []ParkDiag // parked nodes (capped)
+	ParkedTruncated int        // parked nodes omitted from the dump
+	// Horizons holds each registered cycle hook's declared next-effect
+	// cycle, evaluated at Cycle (NoEvent = the hook is permanently
+	// quiescent until other state changes).
+	Horizons []int64
 	// AllQuiet is set when no node matched the suspect heuristics — the
 	// wedge is every node suspended awaiting a message that will never
 	// arrive (e.g. dropped by checksum verification). Suspect then holds
@@ -68,6 +85,20 @@ func (m *Machine) Diagnose() *Diagnostic {
 			continue
 		}
 		d.Suspect = append(d.Suspect, nodeDiag(n))
+	}
+	const maxParked = 16
+	for i := range m.parked {
+		if !m.parked[i] {
+			continue
+		}
+		d.NParked++
+		if len(d.Parked) < maxParked {
+			d.Parked = append(d.Parked, ParkDiag{Node: i, WakeAt: m.wakeAt[i], NeedWake: m.needWake[i]})
+		}
+	}
+	d.ParkedTruncated = d.NParked - len(d.Parked)
+	for _, h := range m.horizons {
+		d.Horizons = append(d.Horizons, h(m.cycle))
 	}
 	if len(d.Suspect) == 0 {
 		// Every node looks idle: the machine is suspended waiting on
@@ -163,6 +194,33 @@ func (d *Diagnostic) String() string {
 	}
 	if d.Truncated > 0 {
 		fmt.Fprintf(&sb, "  (%d more nodes omitted)\n", d.Truncated)
+	}
+	if d.NParked > 0 {
+		fmt.Fprintf(&sb, "  parked: %d node(s)\n", d.NParked)
+		for _, p := range d.Parked {
+			wake := "awaiting traffic"
+			if p.WakeAt != NoEvent {
+				wake = fmt.Sprintf("wake at cycle %d", p.WakeAt)
+			}
+			if p.NeedWake {
+				wake += ", wake pending"
+			}
+			fmt.Fprintf(&sb, "    node n%03d: %s\n", p.Node, wake)
+		}
+		if d.ParkedTruncated > 0 {
+			fmt.Fprintf(&sb, "    (%d more parked nodes omitted)\n", d.ParkedTruncated)
+		}
+	}
+	if len(d.Horizons) > 0 {
+		var hs []string
+		for _, h := range d.Horizons {
+			if h == NoEvent {
+				hs = append(hs, "none")
+			} else {
+				hs = append(hs, fmt.Sprintf("%d", h))
+			}
+		}
+		fmt.Fprintf(&sb, "  hook horizons: %s\n", strings.Join(hs, ", "))
 	}
 	return strings.TrimRight(sb.String(), "\n")
 }

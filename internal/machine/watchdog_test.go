@@ -131,3 +131,38 @@ func TestRunQuiescentFatalBeatsCycleLimit(t *testing.T) {
 		t.Fatalf("fatal masked by cycle limit: got %v", err)
 	}
 }
+
+func TestWatchdogDiagReportsParkingState(t *testing.T) {
+	// An idle wedge under the fast path: every node is parked awaiting
+	// traffic. The diagnostic must report the parking state and each
+	// registered hook's declared horizon, so a lost-wakeup wedge is
+	// distinguishable from a livelock in the dump itself.
+	m := MustNew(Config{DimX: 2, DimY: 1, DimZ: 1, Watchdog: 200}, trivialProg())
+	m.AddCycleHook(func(int64) {}, func(now int64) int64 { return now + 1000 })
+	err := m.RunWhile(func(m *Machine) bool { return true }, 1_000_000)
+	var np ErrNoProgress
+	if !errors.As(err, &np) {
+		t.Fatalf("expected ErrNoProgress, got %v", err)
+	}
+	d := np.Diag
+	if d.NParked == 0 || len(d.Parked) == 0 {
+		t.Fatalf("idle wedge reported no parked nodes: NParked=%d", d.NParked)
+	}
+	for _, p := range d.Parked {
+		if p.WakeAt != NoEvent {
+			t.Errorf("idle node %d has a scheduled wake at %d, want NoEvent", p.Node, p.WakeAt)
+		}
+	}
+	if len(d.Horizons) != 1 {
+		t.Fatalf("got %d hook horizons, want 1", len(d.Horizons))
+	}
+	if h := d.Horizons[0]; h <= d.Cycle {
+		t.Errorf("hook horizon %d not in the future of cycle %d", h, d.Cycle)
+	}
+	s := d.String()
+	for _, want := range []string{"parked:", "awaiting traffic", "hook horizons:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic dump missing %q:\n%s", want, s)
+		}
+	}
+}

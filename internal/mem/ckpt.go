@@ -1,0 +1,55 @@
+package mem
+
+import (
+	"fmt"
+
+	"jmachine/internal/ckpt/wire"
+	"jmachine/internal/word"
+)
+
+// SaveState serializes the memory image run-length encoded: node
+// memories are dominated by long runs of identical words (untouched
+// zeroed DRAM, cfut-filled frames), so a (count, word) stream is far
+// smaller than the raw image while staying byte-exact.
+func (m *Memory) SaveState(e *wire.Encoder) {
+	e.Int(len(m.words))
+	e.Int(m.imemWords)
+	i := 0
+	for i < len(m.words) {
+		j := i + 1
+		for j < len(m.words) && m.words[j] == m.words[i] {
+			j++
+		}
+		e.U32(uint32(j - i))
+		e.U64(uint64(m.words[i]))
+		i = j
+	}
+}
+
+// RestoreState rebuilds the memory image in place (the node and its
+// segment descriptors alias the backing array). The configured
+// geometry must match the checkpoint exactly.
+func (m *Memory) RestoreState(d *wire.Decoder) error {
+	if n := d.Int(); n != len(m.words) {
+		return fmt.Errorf("mem: checkpoint size %d words != configured %d", n, len(m.words))
+	}
+	if iw := d.Int(); iw != m.imemWords {
+		return fmt.Errorf("mem: checkpoint imem %d words != configured %d", iw, m.imemWords)
+	}
+	at := 0
+	for at < len(m.words) {
+		run := int(d.U32())
+		w := word.Word(d.U64())
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if run <= 0 || at+run > len(m.words) {
+			return fmt.Errorf("mem: checkpoint run of %d words overflows image at %d", run, at)
+		}
+		for i := 0; i < run; i++ {
+			m.words[at+i] = w
+		}
+		at += run
+	}
+	return d.Err()
+}

@@ -1,0 +1,62 @@
+package queue
+
+import (
+	"fmt"
+
+	"jmachine/internal/ckpt/wire"
+	"jmachine/internal/word"
+)
+
+// SaveState serializes the queue's complete dynamic state for a
+// checkpoint: buffered words in logical (head-first) order, arrival
+// bookkeeping, the squeeze limit, and statistics. The hardware
+// capacity is written only to be verified on restore — it is
+// configuration, rebuilt by the restoring process.
+func (q *Queue) SaveState(e *wire.Encoder) {
+	e.Int(len(q.buf))
+	e.Int(q.limit)
+	e.Int(q.used)
+	e.Int(q.arriving)
+	e.Int(q.expecting)
+	e.Int(q.msgs)
+	e.Int(q.maxUsed)
+	e.U64(q.delivered)
+	e.U64(q.rejected)
+	for i := 0; i < q.used; i++ {
+		e.U64(uint64(q.buf[(q.head+i)%len(q.buf)]))
+	}
+}
+
+// RestoreState rebuilds the queue from a checkpoint. The buffered
+// words land at ring offset zero: the digest and all queue operations
+// address contents logically from head, so the physical rotation is
+// unobservable. The backing array is written in place (the network and
+// the node share this queue by pointer).
+func (q *Queue) RestoreState(d *wire.Decoder) error {
+	if hc := d.Int(); hc != len(q.buf) {
+		return fmt.Errorf("queue: checkpoint capacity %d != configured %d", hc, len(q.buf))
+	}
+	q.limit = d.Int()
+	used := d.Int()
+	if used < 0 || used > len(q.buf) {
+		return fmt.Errorf("queue: checkpoint used %d out of range", used)
+	}
+	q.arriving = d.Int()
+	q.expecting = d.Int()
+	q.msgs = d.Int()
+	q.maxUsed = d.Int()
+	q.delivered = d.U64()
+	q.rejected = d.U64()
+	q.head = 0
+	q.used = used
+	for i := 0; i < used; i++ {
+		q.buf[i] = word.Word(d.U64())
+	}
+	for i := used; i < len(q.buf); i++ {
+		q.buf[i] = 0
+	}
+	if q.msgs < 0 || q.arriving < 0 || q.expecting < 0 || q.maxUsed < 0 {
+		return fmt.Errorf("queue: negative checkpoint counters")
+	}
+	return d.Err()
+}

@@ -1,0 +1,242 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"jmachine/internal/ckpt/wire"
+	"jmachine/internal/mdp"
+	"jmachine/internal/word"
+)
+
+// Checkpoint sections for the system software. The runtime and the
+// reliable-delivery layer satisfy internal/ckpt's Saver interface
+// structurally — this package imports only the wire codec, never the
+// orchestrator. Maps are encoded in sorted-key order so identical
+// state always produces identical bytes.
+
+const (
+	rtFormat  = 1
+	relFormat = 1
+)
+
+// CkptName names the runtime's checkpoint section.
+func (r *Runtime) CkptName() string { return "rt" }
+
+// CkptSave serializes the per-node runtime state: suspended threads
+// awaiting presence-tag values, the waiter-id counter, and the
+// memory-resident name tables. NodeState.User (language-runtime state)
+// is not serialized; no current workload populates it, and a runtime
+// that does must carry its own section.
+func (r *Runtime) CkptSave(e *wire.Encoder) {
+	e.U32(rtFormat)
+	e.Int(len(r.nodes))
+	for _, ns := range r.nodes {
+		e.I32(ns.nextWaiter)
+		ids := make([]int32, 0, len(ns.saved))
+		for id := range ns.saved { //jm:maporder keys are collected then sorted before encoding; order cannot leak
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.Int(len(ids))
+		for _, id := range ids {
+			st := ns.saved[id]
+			e.I32(id)
+			e.Int(st.level)
+			for _, reg := range st.ctx.Regs {
+				e.U64(uint64(reg))
+			}
+			e.I32(st.ctx.IP)
+			e.Bool(st.ctx.Running)
+			e.I32(st.ctx.HandlerIP)
+		}
+		keys := make([]word.Word, 0, len(ns.names))
+		for k := range ns.names { //jm:maporder keys are collected then sorted before encoding; order cannot leak
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return uint64(keys[i]) < uint64(keys[j]) })
+		e.Int(len(keys))
+		for _, k := range keys {
+			e.U64(uint64(k))
+			e.U64(uint64(ns.names[k]))
+		}
+	}
+}
+
+// CkptRestore rebuilds the per-node runtime state.
+func (r *Runtime) CkptRestore(d *wire.Decoder) error {
+	if f := d.U32(); f != rtFormat {
+		return fmt.Errorf("rt: checkpoint section format %d, want %d", f, rtFormat)
+	}
+	if n := d.Int(); n != len(r.nodes) {
+		return fmt.Errorf("rt: checkpoint has %d nodes, runtime has %d", n, len(r.nodes))
+	}
+	for _, ns := range r.nodes {
+		ns.nextWaiter = d.I32()
+		nSaved := d.Count(1 + 8*8)
+		ns.saved = make(map[int32]savedThread, nSaved)
+		for i := 0; i < nSaved; i++ {
+			id := d.I32()
+			st := savedThread{level: d.Int()}
+			for reg := range st.ctx.Regs {
+				st.ctx.Regs[reg] = word.Word(d.U64())
+			}
+			st.ctx.IP = d.I32()
+			st.ctx.Running = d.Bool()
+			st.ctx.HandlerIP = d.I32()
+			if st.level < 0 || st.level >= mdp.NumLevels {
+				return fmt.Errorf("rt: saved thread %d has level %d out of range", id, st.level)
+			}
+			if _, dup := ns.saved[id]; dup {
+				return fmt.Errorf("rt: duplicate saved thread id %d in checkpoint", id)
+			}
+			ns.saved[id] = st
+		}
+		nNames := d.Count(16)
+		ns.names = make(map[word.Word]word.Word, nNames)
+		for i := 0; i < nNames; i++ {
+			k := word.Word(d.U64())
+			v := word.Word(d.U64())
+			if _, dup := ns.names[k]; dup {
+				return fmt.Errorf("rt: duplicate name %x in checkpoint", uint64(k))
+			}
+			ns.names[k] = v
+		}
+	}
+	return d.Err()
+}
+
+// CkptName names the reliable-delivery checkpoint section.
+func (rel *Reliable) CkptName() string { return "rt.reliable" }
+
+// CkptSave serializes the protocol state: per-node sequence counters
+// and pending retransmission records, the delivery-side duplicate
+// filter, the counters, and any surfaced failure. The configuration is
+// included and verified on restore — timeouts and retry budgets shape
+// every recorded deadline.
+func (rel *Reliable) CkptSave(e *wire.Encoder) {
+	e.U32(relFormat)
+	e.I64(rel.cfg.TimeoutCycles)
+	e.Int(rel.cfg.MaxRetries)
+	e.I64(rel.cfg.ScanInterval)
+	e.Int(len(rel.nodes))
+	for i := range rel.nodes {
+		rn := &rel.nodes[i]
+		e.I32(rn.count)
+		seqs := make([]int32, 0, len(rn.pending))
+		for seq := range rn.pending { //jm:maporder keys are collected then sorted before encoding; order cannot leak
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+		e.Int(len(seqs))
+		for _, seq := range seqs {
+			p := rn.pending[seq]
+			e.I32(seq)
+			e.Int(p.src)
+			e.U8(uint8(p.destX))
+			e.U8(uint8(p.destY))
+			e.U8(uint8(p.destZ))
+			e.U8(uint8(p.pri))
+			e.Int(len(p.words))
+			for _, w := range p.words {
+				e.U64(uint64(w))
+			}
+			e.I64(p.deadline)
+			e.Int(p.attempts)
+		}
+	}
+	seqs := make([]int32, 0, len(rel.seen))
+	for seq := range rel.seen { //jm:maporder keys are collected then sorted before encoding; order cannot leak
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	e.Int(len(seqs))
+	for _, seq := range seqs {
+		e.I32(seq)
+		e.I64(rel.seen[seq])
+	}
+	s := rel.Stats()
+	for _, v := range [...]uint64{s.Tracked, s.AcksSent, s.AcksReceived, s.Retries, s.DupAcked, s.Failures} {
+		e.U64(v)
+	}
+	if rel.err != nil {
+		e.Bool(true)
+		e.String(rel.err.Error())
+	} else {
+		e.Bool(false)
+	}
+}
+
+// CkptRestore rebuilds the protocol state. A surfaced failure is
+// restored as a fresh error with the identical message — Err's only
+// consumers treat it as opaque.
+func (rel *Reliable) CkptRestore(d *wire.Decoder) error {
+	if f := d.U32(); f != relFormat {
+		return fmt.Errorf("rt: reliable checkpoint section format %d, want %d", f, relFormat)
+	}
+	to, mr, si := d.I64(), d.Int(), d.I64()
+	if to != rel.cfg.TimeoutCycles || mr != rel.cfg.MaxRetries || si != rel.cfg.ScanInterval {
+		return fmt.Errorf("rt: reliable checkpoint config (timeout %d, retries %d, scan %d) != configured (%d, %d, %d)",
+			to, mr, si, rel.cfg.TimeoutCycles, rel.cfg.MaxRetries, rel.cfg.ScanInterval)
+	}
+	if n := d.Int(); n != len(rel.nodes) {
+		return fmt.Errorf("rt: reliable checkpoint has %d nodes, machine has %d", n, len(rel.nodes))
+	}
+	for i := range rel.nodes {
+		rn := &rel.nodes[i]
+		rn.count = d.I32()
+		nPending := d.Count(4 + 8)
+		rn.pending = nil
+		if nPending > 0 {
+			rn.pending = make(map[int32]*pendingMsg, nPending)
+		}
+		for j := 0; j < nPending; j++ {
+			seq := d.I32()
+			p := &pendingMsg{src: d.Int()}
+			p.destX = int8(d.U8())
+			p.destY = int8(d.U8())
+			p.destZ = int8(d.U8())
+			p.pri = int8(d.U8())
+			nw := d.Count(8)
+			p.words = make([]word.Word, nw)
+			for w := range p.words {
+				p.words[w] = word.Word(d.U64())
+			}
+			p.deadline = d.I64()
+			p.attempts = d.Int()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			if rel.seqNode(seq) != i {
+				return fmt.Errorf("rt: pending seq %d recorded under node %d, stripes to node %d", seq, i, rel.seqNode(seq))
+			}
+			if _, dup := rn.pending[seq]; dup {
+				return fmt.Errorf("rt: duplicate pending seq %d in checkpoint", seq)
+			}
+			rn.pending[seq] = p
+		}
+	}
+	nSeen := d.Count(4 + 8)
+	rel.seen = make(map[int32]int64, nSeen)
+	for i := 0; i < nSeen; i++ {
+		seq := d.I32()
+		at := d.I64()
+		if _, dup := rel.seen[seq]; dup {
+			return fmt.Errorf("rt: duplicate delivered seq %d in checkpoint", seq)
+		}
+		rel.seen[seq] = at
+	}
+	atomic.StoreUint64(&rel.stats.Tracked, d.U64())
+	atomic.StoreUint64(&rel.stats.AcksSent, d.U64())
+	atomic.StoreUint64(&rel.stats.AcksReceived, d.U64())
+	atomic.StoreUint64(&rel.stats.Retries, d.U64())
+	atomic.StoreUint64(&rel.stats.DupAcked, d.U64())
+	atomic.StoreUint64(&rel.stats.Failures, d.U64())
+	rel.err = nil
+	if d.Bool() {
+		rel.err = errors.New(d.String())
+	}
+	return d.Err()
+}

@@ -94,8 +94,12 @@ type Reliable struct {
 	nodes []relNode
 	stats ReliableStats
 
-	seen map[int32]struct{} // sequence numbers already delivered
-	err  error              // first MaxRetries exhaustion
+	// seen maps delivered sequence numbers to their delivery cycle.
+	// Entries older than the longest possible retransmission schedule
+	// are pruned by tick, bounding the filter by protocol activity
+	// rather than by total messages ever sent.
+	seen map[int32]int64
+	err  error // first MaxRetries exhaustion
 }
 
 // EnableReliable attaches the reliable-delivery runtime. The machine's
@@ -110,7 +114,7 @@ func EnableReliable(r *Runtime, cfg ReliableConfig) *Reliable {
 		cfg:   cfg.withDefaults(),
 		nn:    int32(r.M.NumNodes()),
 		nodes: make([]relNode, r.M.NumNodes()),
-		seen:  make(map[int32]struct{}),
+		seen:  make(map[int32]int64),
 	}
 	r.RegisterService(SvcDack, rel.svcDack)
 	net := r.M.Net
@@ -204,7 +208,7 @@ func (rel *Reliable) onDeliver(node int, m *network.Message, cycle int64) {
 	if m.Ctl || m.Seq == 0 {
 		return
 	}
-	rel.seen[m.Seq] = struct{}{}
+	rel.seen[m.Seq] = cycle
 	if rel.niAlive(node) {
 		rel.sendAck(node, int(m.Src), m.Seq)
 	}
@@ -294,6 +298,7 @@ func (rel *Reliable) tick(cycle int64) {
 	if cycle%rel.cfg.ScanInterval != 0 {
 		return
 	}
+	rel.pruneSeen(cycle)
 	var due []int32
 	for i := range rel.nodes {
 		for seq, p := range rel.nodes[i].pending { //jm:maporder due set is sorted before any retransmit; iteration order cannot leak
@@ -307,6 +312,34 @@ func (rel *Reliable) tick(cycle int64) {
 		rel.retransmit(seq, rel.nodes[rel.seqNode(seq)].pending[seq], cycle)
 	}
 }
+
+// dupWindow is how long a delivered sequence number must stay in the
+// duplicate filter: longer than the worst-case retransmission schedule
+// (the backoff sum is below TimeoutCycles<<(MaxRetries+1)), so a copy
+// of a pruned message can no longer be in flight.
+func (rel *Reliable) dupWindow() int64 {
+	return rel.cfg.TimeoutCycles << (uint(rel.cfg.MaxRetries) + 2)
+}
+
+// pruneSeen ages the duplicate filter. It runs only while messages are
+// pending: with none pending, horizon declares tick a no-op and
+// fast-path runs skip the scan entirely, so pruning then would let the
+// filter's contents depend on the stepping mode.
+func (rel *Reliable) pruneSeen(cycle int64) {
+	if rel.Pending() == 0 {
+		return
+	}
+	cutoff := cycle - rel.dupWindow()
+	for seq, at := range rel.seen { //jm:maporder the delete set depends only on entry values; iteration order cannot leak
+		if at < cutoff {
+			delete(rel.seen, seq)
+		}
+	}
+}
+
+// DupFilterSize returns how many delivered sequence numbers the
+// duplicate filter currently retains (for tests).
+func (rel *Reliable) DupFilterSize() int { return len(rel.seen) }
 
 // retransmit resends one pending message as a fresh, clean copy (the
 // sequence number is preserved; injected corruption is not), backing

@@ -1,0 +1,61 @@
+package rt_test
+
+import (
+	"testing"
+
+	"jmachine/internal/apps/radix"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+)
+
+// TestReliableDupFilterBounded soaks the reliable layer under a full
+// application's traffic and asserts the duplicate filter is bounded by
+// protocol activity, not by total messages ever delivered: entries
+// older than the longest possible retransmission schedule are pruned,
+// so the filter's high-water mark must stay well below the tracked
+// total on a long run.
+func TestReliableDupFilterBounded(t *testing.T) {
+	// TimeoutCycles 512 with MaxRetries 2 keeps the retransmission
+	// window (and so the filter's retention horizon) a small fraction
+	// of the ~50k-cycle run while staying far above the real ack RTT.
+	cfg := rt.ReliableConfig{TimeoutCycles: 512, MaxRetries: 2, ScanInterval: 16}
+	var rel *rt.Reliable
+	maxSeen := 0
+	setup := func(m *machine.Machine, r *rt.Runtime) {
+		m.Net.SetChecksum(true)
+		rel = rt.EnableReliable(r, cfg)
+		m.AddCycleHook(func(c int64) {
+			if c%64 != 0 {
+				return
+			}
+			if s := rel.DupFilterSize(); s > maxSeen {
+				maxSeen = s
+			}
+		}, func(now int64) int64 { return (now/64 + 1) * 64 })
+	}
+	res, err := radix.Run(8, radix.Params{Keys: 512, Setup: setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Stats()
+	t.Logf("cycles=%d tracked=%d retries=%d filter high-water=%d final=%d",
+		res.Cycles, s.Tracked, s.Retries, maxSeen, rel.DupFilterSize())
+	if s.Failures != 0 {
+		t.Fatalf("soak saw %d delivery failures", s.Failures)
+	}
+	if s.Tracked < 1000 {
+		t.Fatalf("soak generated only %d tracked messages — not a soak", s.Tracked)
+	}
+	if maxSeen == 0 {
+		t.Fatal("duplicate filter never held an entry — sampling broken?")
+	}
+	// The bound: without pruning the filter would end at Tracked
+	// entries; with aging it must stay a small fraction of that.
+	if limit := int(s.Tracked) / 2; maxSeen >= limit {
+		t.Errorf("duplicate filter high-water %d >= %d (half of %d tracked) — aging is not bounding it",
+			maxSeen, limit, s.Tracked)
+	}
+	if final := rel.DupFilterSize(); final > maxSeen {
+		t.Errorf("final filter size %d above observed high-water %d", final, maxSeen)
+	}
+}

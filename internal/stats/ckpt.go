@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"jmachine/internal/ckpt/wire"
+)
+
+// curSentinel encodes "no thread class executing" for the cur pointer
+// (-1 is a real handler key: background threads use ip = -1).
+const curSentinel = int32(-0x80000000)
+
+// SaveState serializes the node's counters and per-thread-class table.
+// The handler map is written in ascending ip order so the encoding is
+// byte-stable; cur is stored as its ip key and re-linked on restore.
+func (n *Node) SaveState(e *wire.Encoder) {
+	for _, c := range n.Cycles {
+		e.I64(c)
+	}
+	e.U64(n.Instrs)
+	e.U64(n.Threads)
+	e.U64(n.SendFaultCycles)
+	e.U64(n.SendFaults)
+	for v := 0; v < 2; v++ {
+		e.U64(n.MsgsSent[v])
+		e.U64(n.WordsSent[v])
+	}
+	e.U64(n.XlateFaults)
+	e.U64(n.CfutFaults)
+	e.U64(n.OverflowFaults)
+
+	ips := make([]int32, 0, len(n.byHandler))
+	for ip := range n.byHandler { //jm:maporder keys are collected then sorted before encoding; order cannot leak
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	e.Int(len(ips))
+	cur := curSentinel
+	for _, ip := range ips {
+		h := n.byHandler[ip]
+		e.I32(ip)
+		e.U64(h.Invocations)
+		e.U64(h.Instrs)
+		e.U64(h.MsgWords)
+		if n.cur == h {
+			cur = ip
+		}
+	}
+	e.I32(cur)
+}
+
+// RestoreState rebuilds the node's counters and handler table.
+func (n *Node) RestoreState(d *wire.Decoder) error {
+	for c := range n.Cycles {
+		n.Cycles[c] = d.I64()
+	}
+	n.Instrs = d.U64()
+	n.Threads = d.U64()
+	n.SendFaultCycles = d.U64()
+	n.SendFaults = d.U64()
+	for v := 0; v < 2; v++ {
+		n.MsgsSent[v] = d.U64()
+		n.WordsSent[v] = d.U64()
+	}
+	n.XlateFaults = d.U64()
+	n.CfutFaults = d.U64()
+	n.OverflowFaults = d.U64()
+
+	cnt := d.Count(4 + 24)
+	n.byHandler = make(map[int32]*HandlerStats, cnt)
+	for i := 0; i < cnt; i++ {
+		ip := d.I32()
+		h := &HandlerStats{
+			Invocations: d.U64(),
+			Instrs:      d.U64(),
+			MsgWords:    d.U64(),
+		}
+		if _, dup := n.byHandler[ip]; dup {
+			return fmt.Errorf("stats: duplicate handler ip %d in checkpoint", ip)
+		}
+		n.byHandler[ip] = h
+	}
+	curIP := d.I32()
+	n.cur = nil
+	if curIP != curSentinel {
+		h, ok := n.byHandler[curIP]
+		if !ok {
+			return fmt.Errorf("stats: current handler ip %d missing from checkpoint table", curIP)
+		}
+		n.cur = h
+	}
+	return d.Err()
+}

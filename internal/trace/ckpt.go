@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+
+	"jmachine/internal/ckpt/wire"
+)
+
+// SaveState serializes the ring: capacity (verified on restore), the
+// retained events in logical oldest-first order, and the drop count.
+// Nil-safe like every Buffer method — a node without tracing writes an
+// absent marker.
+func (b *Buffer) SaveState(e *wire.Encoder) {
+	if b == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(len(b.events))
+	e.Int(b.count)
+	e.U64(b.dropped)
+	for i := 0; i < b.count; i++ {
+		ev := b.At(i)
+		e.I64(ev.Cycle)
+		e.I32(ev.Node)
+		e.U8(uint8(ev.Kind))
+		e.I32(ev.A)
+		e.I32(ev.B)
+	}
+}
+
+// RestoreState rebuilds the ring with the retained events rebased to
+// slot zero; the digest and all readers address events logically from
+// the oldest, so the physical rotation is unobservable. The receiver
+// may be nil only if the checkpoint was taken without tracing.
+func (b *Buffer) RestoreState(d *wire.Decoder) error {
+	present := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if !present {
+		if b != nil {
+			return fmt.Errorf("trace: machine has tracing attached but checkpoint has none")
+		}
+		return nil
+	}
+	if b == nil {
+		return fmt.Errorf("trace: checkpoint has tracing but machine has none attached")
+	}
+	if c := d.Int(); c != len(b.events) {
+		return fmt.Errorf("trace: checkpoint ring capacity %d != configured %d", c, len(b.events))
+	}
+	count := d.Int()
+	if count < 0 || count > len(b.events) {
+		return fmt.Errorf("trace: checkpoint count %d out of range", count)
+	}
+	b.next = 0
+	b.count = count
+	b.dropped = d.U64()
+	for i := 0; i < count; i++ {
+		b.events[i] = Event{
+			Cycle: d.I64(),
+			Node:  d.I32(),
+			Kind:  Kind(d.U8()),
+			A:     d.I32(),
+			B:     d.I32(),
+		}
+	}
+	for i := count; i < len(b.events); i++ {
+		b.events[i] = Event{}
+	}
+	return d.Err()
+}

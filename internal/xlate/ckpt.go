@@ -1,0 +1,48 @@
+package xlate
+
+import (
+	"fmt"
+
+	"jmachine/internal/ckpt/wire"
+	"jmachine/internal/word"
+)
+
+// SaveState serializes the translation table: geometry (verified on
+// restore), every way's key/value/valid triple, the per-set LRU state,
+// and the counters.
+func (t *Table) SaveState(e *wire.Encoder) {
+	e.Int(t.sets)
+	e.Int(t.ways)
+	for i := range t.keys {
+		e.U64(uint64(t.keys[i]))
+		e.U64(uint64(t.vals[i]))
+		e.Bool(t.valid[i])
+	}
+	for _, w := range t.lru {
+		e.U8(w)
+	}
+	e.U64(t.hits)
+	e.U64(t.misses)
+	e.U64(t.inserts)
+	e.U64(t.evictions)
+}
+
+// RestoreState rebuilds the table in place.
+func (t *Table) RestoreState(d *wire.Decoder) error {
+	if s, w := d.Int(), d.Int(); s != t.sets || w != t.ways {
+		return fmt.Errorf("xlate: checkpoint geometry %d×%d != configured %d×%d", s, w, t.sets, t.ways)
+	}
+	for i := range t.keys {
+		t.keys[i] = word.Word(d.U64())
+		t.vals[i] = word.Word(d.U64())
+		t.valid[i] = d.Bool()
+	}
+	for i := range t.lru {
+		t.lru[i] = d.U8()
+	}
+	t.hits = d.U64()
+	t.misses = d.U64()
+	t.inserts = d.U64()
+	t.evictions = d.U64()
+	return d.Err()
+}

@@ -65,6 +65,12 @@ cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-ref-1.out
 cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-ref-4.out
 echo "fast-path smoke: Table 4/5 byte-identical across stepping modes"
 
+echo "== checkpoint crash-recovery smoke"
+# SIGKILL a checkpointing jm-chaos run after its first periodic
+# checkpoint, resume in a fresh process, and require the final digest
+# to match an uninterrupted run (docs/CHECKPOINT.md).
+sh scripts/ckpt_smoke.sh
+
 echo "== trace smoke"
 # The observability CLI must produce a loadable timeline that is
 # byte-identical sequential and sharded.
