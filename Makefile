@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check lint tables bench ckpt-smoke
+.PHONY: build test check lint tables bench ckpt-smoke serve-smoke serve-bench
 
 build:
 	go build ./...
@@ -30,3 +30,14 @@ bench:
 # digests against an uninterrupted run. docs/CHECKPOINT.md.
 ckpt-smoke:
 	sh scripts/ckpt_smoke.sh
+
+# Multi-tenant serving smoke: SIGKILL the jm-serve daemon mid-session,
+# restart, require byte-identical recovery + a verified jm-load run.
+# docs/SERVE.md.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Full serving benchmark: 32 sessions, 10k+ verified requests ->
+# BENCH_serve.json.
+serve-bench:
+	sh scripts/serve_bench.sh

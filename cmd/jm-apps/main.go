@@ -39,39 +39,26 @@ func main() {
 	seed := flag.Int64("seed", 11, "workload seed")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
-	ckptPath := flag.String("ckpt", "", "write periodic crash-consistent checkpoints to this file")
-	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
-	resume := flag.Bool("resume", false, "restore the -ckpt file over the fresh machine and continue from it")
+	var cf ckpt.Flags
+	cf.Register(flag.CommandLine, "")
 	flag.Parse()
-	if *resume && *ckptPath == "" {
-		log.Fatal("-resume requires -ckpt")
+	if err := cf.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
-	// setup attaches the checkpoint writer and the parallel engine
+	// setup attaches the checkpoint layer stack and the parallel engine
 	// through each app's Setup hook; stop releases the engine workers
 	// once the run returns. preRun restores (or seeds) the checkpoint
 	// after the app's start-up, right before the run loop.
 	var eng *engine.Engine
-	var cw *ckpt.Checkpointer
-	var savers []ckpt.Saver
+	var layers *ckpt.Layers
 	setup := func(m *machine.Machine, r *rt.Runtime) {
-		savers = []ckpt.Saver{r}
-		if *ckptPath != "" {
-			cw = ckpt.AttachWriter(m, *ckptPath, *ckptEvery, savers...)
-		}
+		layers = cf.Attach(m, r)
 		if *shards > 1 {
 			eng = engine.Attach(m, *shards)
 		}
 	}
-	preRun := func(m *machine.Machine) error {
-		if *ckptPath == "" {
-			return nil
-		}
-		if *resume {
-			return ckpt.RestoreFile(*ckptPath, m, savers...)
-		}
-		return cw.WriteNow()
-	}
+	preRun := func(m *machine.Machine) error { return layers.PreRun() }
 	stop := func() { eng.Stop() }
 
 	var cycles int64

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"jmachine/internal/bench"
+	"jmachine/internal/ckpt"
 )
 
 // goBenchLine is one parsed `go test -bench` result row.
@@ -132,12 +133,12 @@ func main() {
 	label := flag.String("label", "", "history label for this run (e.g. a PR or commit name)")
 	gobench := flag.String("gobench", "", "`go test -bench` output file to merge")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
-	ckptPath := flag.String("ckpt", "", "write periodic fig3-probe checkpoints to this file (suffixed .s<shards> per row)")
-	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
-	resume := flag.Bool("resume", false, "restore each fig3 row's checkpoint and step only the remaining cycles")
+	var cf ckpt.Flags
+	cf.Register(flag.CommandLine,
+		"write periodic fig3-probe checkpoints to this file (suffixed .s<shards> per row)")
 	flag.Parse()
-	if *resume && *ckptPath == "" {
-		log.Fatal("-resume requires -ckpt")
+	if err := cf.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	var counts []int
@@ -169,13 +170,13 @@ func main() {
 	// Figure 3 loaded exchange across shard counts.
 	var seqRate float64
 	for _, k := range counts {
-		path := ""
-		if *ckptPath != "" {
+		row := cf
+		if cf.Path != "" {
 			// One file per shard row: rows are independent runs, and a
 			// resumed campaign must pair each row with its own state.
-			path = fmt.Sprintf("%s.s%d", *ckptPath, k)
+			row = cf.WithPath(fmt.Sprintf("%s.s%d", cf.Path, k))
 		}
-		res, err := bench.EngineProbeCkpt(*nodes, k, *warm, *measure, path, *ckptEvery, *resume)
+		res, err := bench.EngineProbeCkpt(*nodes, k, *warm, *measure, row.Path, row.Every, row.Resume)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -50,12 +50,11 @@ func main() {
 	runs := flag.Int("runs", 1, "repeat count (identical output per run proves determinism)")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
-	ckptPath := flag.String("ckpt", "", "write periodic crash-consistent checkpoints to this file")
-	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
-	resume := flag.Bool("resume", false, "restore the -ckpt file over the fresh machine and continue from it")
+	var cf ckpt.Flags
+	cf.Register(flag.CommandLine, "")
 	flag.Parse()
-	if *resume && *ckptPath == "" {
-		log.Fatal("-resume requires -ckpt")
+	if err := cf.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	camp, err := buildCampaign(*campaignStr, *seed, *nodes, *horizon, *faults)
@@ -71,9 +70,9 @@ func main() {
 		Reliable:   *reliable,
 		Budget:     *budget,
 		Shards:     *shards,
-		Ckpt:       *ckptPath,
-		CkptEvery:  *ckptEvery,
-		Resume:     *resume,
+		Ckpt:       cf.Path,
+		CkptEvery:  cf.Every,
+		Resume:     cf.Resume,
 	}
 
 	fmt.Printf("campaign: %s\n", camp.String())
@@ -160,8 +159,7 @@ type holder struct {
 	inj    *chaos.Injector
 	rel    *rt.Reliable
 	eng    *engine.Engine
-	cw     *ckpt.Checkpointer
-	savers []ckpt.Saver
+	layers *ckpt.Layers
 }
 
 // setup returns the Params.Setup hook applying the resilience switches
@@ -176,34 +174,22 @@ func (h *holder) setup(camp chaos.Campaign, rc bench.ResilienceConfig) func(*mac
 			h.rel = rt.EnableReliable(r, rt.ReliableConfig{})
 		}
 		h.inj = chaos.Attach(m, camp)
-		h.savers = []ckpt.Saver{r}
+		savers := []ckpt.Saver{r}
 		if h.rel != nil {
-			h.savers = append(h.savers, h.rel)
+			savers = append(savers, h.rel)
 		}
-		h.savers = append(h.savers, h.inj)
-		if rc.Ckpt != "" {
-			h.cw = ckpt.AttachWriter(m, rc.Ckpt, rc.CkptEvery, h.savers...)
-		}
+		savers = append(savers, h.inj)
+		h.layers = ckpt.Flags{Path: rc.Ckpt, Every: rc.CkptEvery, Resume: rc.Resume}.Attach(m, savers...)
 		if rc.Shards > 1 {
 			h.eng = engine.Attach(m, rc.Shards)
 		}
 	}
 }
 
-// preRun returns the Params.PreRun hook: on -resume it restores the
-// checkpoint over the freshly built machine; otherwise it writes the
-// period-zero checkpoint so a crash before the first periodic write
-// still leaves a resumable file.
+// preRun returns the Params.PreRun hook: restore-or-seed the
+// checkpoint file (see ckpt.Layers.PreRun).
 func (h *holder) preRun(rc bench.ResilienceConfig) func(*machine.Machine) error {
-	return func(m *machine.Machine) error {
-		if rc.Ckpt == "" {
-			return nil
-		}
-		if rc.Resume {
-			return ckpt.RestoreFile(rc.Ckpt, m, h.savers...)
-		}
-		return h.cw.WriteNow()
-	}
+	return func(m *machine.Machine) error { return h.layers.PreRun() }
 }
 
 // collect folds an application run into a CampaignResult.

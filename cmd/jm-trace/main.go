@@ -42,16 +42,15 @@ func main() {
 	every := flag.Int("every", 64, "sampling period in cycles for counters and snapshots")
 	perLink := flag.Bool("perlink", false, "add per-mesh-link occupancy counter tracks")
 	budget := flag.Int64("budget", 4_000_000, "cycle budget for the micro-benchmarks")
-	ckptPath := flag.String("ckpt", "", "write periodic crash-consistent checkpoints to this file")
-	ckptEvery := flag.Int64("ckpt-every", 65536, "checkpoint period in cycles")
-	resume := flag.Bool("resume", false, "restore the -ckpt file over the fresh machine and continue from it")
+	var cf ckpt.Flags
+	cf.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	if *perfetto == "" && *metrics == "" {
 		log.Fatal("nothing to record: set -perfetto and/or -metrics")
 	}
-	if *resume && *ckptPath == "" {
-		log.Fatal("-resume requires -ckpt")
+	if err := cf.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	o := &obs.Options{
 		PerfettoPath: *perfetto,
@@ -60,7 +59,7 @@ func main() {
 		PerLink:      *perLink,
 	}
 
-	cycles, digest, err := run(*workload, *nodes, *shards, *budget, o, *ckptPath, *ckptEvery, *resume)
+	cycles, digest, err := run(*workload, *nodes, *shards, *budget, o, cf)
 	if err != nil {
 		log.Fatalf("%s: %v", *workload, err)
 	}
@@ -74,15 +73,15 @@ func main() {
 	}
 }
 
-func run(workload string, nodes, shards int, budget int64, o *obs.Options, ckptPath string, ckptEvery int64, resume bool) (int64, uint64, error) {
+func run(workload string, nodes, shards int, budget int64, o *obs.Options, cf ckpt.Flags) (int64, uint64, error) {
 	rc := bench.ResilienceConfig{
 		Nodes:     nodes,
 		Budget:    budget,
 		Shards:    shards,
 		Obs:       o,
-		Ckpt:      ckptPath,
-		CkptEvery: ckptEvery,
-		Resume:    resume,
+		Ckpt:      cf.Path,
+		CkptEvery: cf.Every,
+		Resume:    cf.Resume,
 	}
 	switch workload {
 	case "pingpong":
@@ -128,16 +127,12 @@ func resultOf(res *bench.CampaignResult, err error) (int64, uint64, error) {
 type holder struct {
 	stopObs func() error
 	eng     *engine.Engine
-	cw      *ckpt.Checkpointer
-	savers  []ckpt.Saver
+	layers  *ckpt.Layers
 }
 
 func (h *holder) setup(shards int, o *obs.Options, rc bench.ResilienceConfig) func(*machine.Machine, *rt.Runtime) {
 	return func(m *machine.Machine, r *rt.Runtime) {
-		h.savers = []ckpt.Saver{r}
-		if rc.Ckpt != "" {
-			h.cw = ckpt.AttachWriter(m, rc.Ckpt, rc.CkptEvery, h.savers...)
-		}
+		h.layers = ckpt.Flags{Path: rc.Ckpt, Every: rc.CkptEvery, Resume: rc.Resume}.Attach(m, r)
 		h.stopObs = o.AttachTo(m)
 		if shards > 1 {
 			h.eng = engine.Attach(m, shards)
@@ -145,18 +140,9 @@ func (h *holder) setup(shards int, o *obs.Options, rc bench.ResilienceConfig) fu
 	}
 }
 
-// preRun restores the checkpoint on -resume, or writes the period-zero
-// checkpoint so a crash before the first periodic write is resumable.
+// preRun restore-or-seeds the checkpoint file (see ckpt.Layers.PreRun).
 func (h *holder) preRun(rc bench.ResilienceConfig) func(*machine.Machine) error {
-	return func(m *machine.Machine) error {
-		if rc.Ckpt == "" {
-			return nil
-		}
-		if rc.Resume {
-			return ckpt.RestoreFile(rc.Ckpt, m, h.savers...)
-		}
-		return h.cw.WriteNow()
-	}
+	return func(m *machine.Machine) error { return h.layers.PreRun() }
 }
 
 func (h *holder) finish(m *machine.Machine, cycles int64, runErr error) (int64, uint64, error) {

@@ -117,10 +117,7 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 		savers = append(savers, rel)
 	}
 	savers = append(savers, inj)
-	var cw *ckpt.Checkpointer
-	if rc.Ckpt != "" {
-		cw = ckpt.AttachWriter(m, rc.Ckpt, rc.CkptEvery, savers...)
-	}
+	layers := ckpt.Flags{Path: rc.Ckpt, Every: rc.CkptEvery, Resume: rc.Resume}.Attach(m, savers...)
 	stopObs := rc.Obs.AttachTo(m)
 	var eng *engine.Engine
 	if rc.Shards > 1 {
@@ -130,19 +127,7 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 		eng.Stop()
 		reportObsErr(stopObs())
 	}
-	preRun := func() error {
-		if rc.Ckpt == "" {
-			return nil
-		}
-		if rc.Resume {
-			return ckpt.RestoreFile(rc.Ckpt, m, savers...)
-		}
-		// Write the period-zero checkpoint now — after the workload's
-		// start-up, so a crash before the first periodic write still
-		// leaves a resumable file on the real trajectory.
-		return cw.WriteNow()
-	}
-	return m, rel, inj, stop, preRun, nil
+	return m, rel, inj, stop, layers.PreRun, nil
 }
 
 // collect folds the run outcome into a CampaignResult.

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ServeResult is one load-generation run against a jm-serve daemon:
+// wall-clock service metrics plus the in-simulation latency
+// distribution harvested from the KV mailbox timestamps.
+type ServeResult struct {
+	Sessions  int   `json:"sessions"`
+	Requests  int64 `json:"requests"` // completed KV batches
+	Ops       int64 `json:"ops"`      // individual puts/gets
+	Errors    int64 `json:"errors"`
+	Nodes     int   `json:"nodes_per_session"`
+	Keys      int   `json:"keys_per_session"`
+	BatchSize int   `json:"batch_size"`
+	Conc      int   `json:"client_concurrency"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	ReqPerSec   float64 `json:"requests_per_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+
+	// Request wall-clock latency (client-observed, milliseconds).
+	WallP50Ms float64 `json:"wall_p50_ms"`
+	WallP90Ms float64 `json:"wall_p90_ms"`
+	WallP99Ms float64 `json:"wall_p99_ms"`
+
+	// Per-op latency in machine cycles (inject → reply landed), from
+	// the KV mailbox arrival stamps: host-independent.
+	CycleP50 int64 `json:"cycle_p50"`
+	CycleP90 int64 `json:"cycle_p90"`
+	CycleP99 int64 `json:"cycle_p99"`
+
+	// Verified counts sessions whose final digest matched a standalone
+	// replay of the same op stream; -1 when verification was skipped.
+	Verified int `json:"verified_sessions"`
+}
+
+// ServeHistoryEntry is the one-line summary of a past jm-load run.
+type ServeHistoryEntry struct {
+	Label     string  `json:"label,omitempty"`
+	Sessions  int     `json:"sessions"`
+	Requests  int64   `json:"requests"`
+	ReqPerSec float64 `json:"requests_per_sec"`
+	WallP99Ms float64 `json:"wall_p99_ms"`
+	CycleP99  int64   `json:"cycle_p99"`
+	Verified  int     `json:"verified_sessions"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	Workload   string              `json:"workload"`
+	Label      string              `json:"label,omitempty"`
+	HostCores  int                 `json:"host_cores"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoVersion  string              `json:"go_version"`
+	Notes      []string            `json:"notes"`
+	Result     ServeResult         `json:"result"`
+	History    []ServeHistoryEntry `json:"history,omitempty"`
+}
+
+// Summarize folds a report into its history line.
+func (r *ServeReport) Summarize() ServeHistoryEntry {
+	return ServeHistoryEntry{
+		Label:     r.Label,
+		Sessions:  r.Result.Sessions,
+		Requests:  r.Result.Requests,
+		ReqPerSec: r.Result.ReqPerSec,
+		WallP99Ms: r.Result.WallP99Ms,
+		CycleP99:  r.Result.CycleP99,
+		Verified:  r.Result.Verified,
+	}
+}
+
+// WriteServeReport writes the report to path ("-" for stdout),
+// folding any existing report at that path into the history list —
+// append, never erase, same as BENCH_engine.json.
+func WriteServeReport(rep *ServeReport, path string) error {
+	if path != "-" {
+		if prev, err := os.ReadFile(path); err == nil {
+			var old ServeReport
+			if err := json.Unmarshal(prev, &old); err == nil {
+				rep.History = append(old.History, old.Summarize())
+			} else {
+				fmt.Fprintf(os.Stderr, "warning: %s exists but is not a jm-load report (%v); history starts fresh\n", path, err)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// PercentileF returns the p-th percentile (0 < p <= 100) of xs by the
+// nearest-rank method. xs is sorted in place. Zero-length input yields 0.
+func PercentileF(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	idx := int(float64(len(xs))*p/100+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}
+
+// PercentileI is PercentileF over int64 samples.
+func PercentileI(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	idx := int(float64(len(xs))*p/100+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}

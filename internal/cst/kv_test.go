@@ -1,0 +1,149 @@
+package cst_test
+
+import (
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/cst"
+	"jmachine/internal/engine"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+func setupKV(t *testing.T, nodes, keys int) (*machine.Machine, *asm.Program) {
+	t.Helper()
+	p := cst.BuildKVProgram()
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	for id := range m.Nodes {
+		cst.SetupKVNode(r, m, id, keys)
+	}
+	return m, p
+}
+
+// inject pushes msg into gateway gw's priority-0 queue, stepping the
+// machine until the queue has room.
+func inject(t *testing.T, m *machine.Machine, gw int, msg []word.Word) {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		if m.Inject(gw, 0, msg) {
+			return
+		}
+		m.StepN(16)
+	}
+	t.Fatalf("gateway %d queue never drained", gw)
+}
+
+func TestKVPutGetRoundTrip(t *testing.T) {
+	const nodes, keys = 4, 16
+	m, p := setupKV(t, nodes, keys)
+
+	// Put value 100+k to every key, then get them all back, all through
+	// gateway 0. Replies land in gateway 0's mailbox ring.
+	seq := int32(0)
+	for k := int32(0); k < keys; k++ {
+		inject(t, m, 0, cst.KVPutMsg(p, k, 100+k, seq))
+		seq++
+	}
+	for k := int32(0); k < keys; k++ {
+		inject(t, m, 0, cst.KVGetMsg(p, k, seq))
+		seq++
+	}
+	if err := m.RunWhile(func(m *machine.Machine) bool {
+		return cst.KVMailCursor(m, 0) < seq
+	}, 2_000_000); err != nil {
+		t.Fatalf("replies never arrived: %v (got %d of %d)", err, cst.KVMailCursor(m, 0), seq)
+	}
+
+	got := map[int32]cst.KVReply{}
+	for _, rep := range cst.KVHarvest(m, 0, 0, seq) {
+		got[rep.Seq] = rep
+	}
+	if len(got) != int(seq) {
+		t.Fatalf("harvested %d distinct seqs, want %d", len(got), seq)
+	}
+	for k := int32(0); k < keys; k++ {
+		put, get := got[k], got[keys+k]
+		if put.Value != 100+k || put.Version != 1 {
+			t.Errorf("put key %d: reply value=%d version=%d, want %d/1", k, put.Value, put.Version, 100+k)
+		}
+		if get.Value != 100+k || get.Version != 1 {
+			t.Errorf("get key %d: value=%d version=%d, want %d/1", k, get.Value, get.Version, 100+k)
+		}
+		if get.Cycle <= 0 {
+			t.Errorf("get key %d: arrival cycle %d, want > 0", k, get.Cycle)
+		}
+	}
+}
+
+func TestKVVersionsAdvance(t *testing.T) {
+	m, p := setupKV(t, 2, 4)
+	for i := int32(0); i < 3; i++ {
+		inject(t, m, 1, cst.KVPutMsg(p, 3, 50+i, i))
+	}
+	if err := m.RunWhile(func(m *machine.Machine) bool {
+		return cst.KVMailCursor(m, 1) < 3
+	}, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	reps := cst.KVHarvest(m, 1, 0, 3)
+	max := int32(0)
+	for _, rep := range reps {
+		if rep.Version > max {
+			max = rep.Version
+		}
+	}
+	if max != 3 {
+		t.Errorf("final version %d after 3 puts, want 3", max)
+	}
+}
+
+// TestKVDigestDeterminism drives an identical KV op sequence through
+// the sequential reference loop and the sharded engine: the injection
+// points are cycle-determined, so the final StateDigest must match
+// bit-for-bit. This is the invariant jm-serve's concurrency rests on.
+func TestKVDigestDeterminism(t *testing.T) {
+	const nodes, keys = 8, 32
+	run := func(shards int, fast bool) uint64 {
+		m, p := setupKV(t, nodes, keys)
+		m.SetFastPath(fast)
+		var eng *engine.Engine
+		if shards > 1 {
+			eng = engine.Attach(m, shards)
+			defer eng.Stop()
+		}
+		seq := int32(0)
+		for k := int32(0); k < keys; k++ {
+			gw := int(k) % nodes
+			inject(t, m, gw, cst.KVPutMsg(p, k, 7*k, seq))
+			seq++
+			inject(t, m, gw, cst.KVGetMsg(p, k, seq))
+			seq++
+		}
+		if err := m.RunQuiescent(4_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.StateDigest()
+	}
+	want := run(1, false)
+	for _, tc := range []struct {
+		shards int
+		fast   bool
+	}{{1, true}, {2, true}, {4, false}, {4, true}} {
+		if got := run(tc.shards, tc.fast); got != want {
+			t.Errorf("shards=%d fast=%v digest %016x, want %016x", tc.shards, tc.fast, got, want)
+		}
+	}
+}
+
+// TestKVAsmCheck sweeps the static MDP verifier over the KV service
+// program: every handler must pass ASM001..8.
+func TestKVAsmCheck(t *testing.T) {
+	for _, f := range asm.Check(cst.BuildKVProgram(), rt.CheckAllowances()...) {
+		t.Errorf("%s", f)
+	}
+}

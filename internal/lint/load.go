@@ -83,6 +83,10 @@ func NewLoader(modDir string) (*Loader, error) {
 	// Module resolution is done by this loader, not go/build: keep
 	// go/build in plain directory mode so no go command is invoked.
 	ctxt.GOPATH = ""
+	// Type-check the pure-Go shape of the standard library: cgo files
+	// reference _C_ types that only exist after cgo preprocessing, and
+	// packages with cgo fallbacks (net, os/user) build without them.
+	ctxt.CgoEnabled = false
 	return &Loader{
 		fset:    token.NewFileSet(),
 		modPath: modPath,
@@ -121,6 +125,12 @@ func (l *Loader) dirFor(path string) (string, error) {
 	dir := filepath.Join(l.goroot, "src", filepath.FromSlash(path))
 	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
 		return dir, nil
+	}
+	// Standard-library dependencies vendored into GOROOT (net/http →
+	// golang.org/x/crypto/... and friends) live under src/vendor.
+	vdir := filepath.Join(l.goroot, "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(vdir); err == nil && fi.IsDir() {
+		return vdir, nil
 	}
 	return "", fmt.Errorf("lint: cannot resolve import %q (module %s, offline loader)", path, l.modPath)
 }

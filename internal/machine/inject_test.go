@@ -1,0 +1,104 @@
+package machine_test
+
+import (
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/word"
+)
+
+// buildInjectProgram: a handler that adds its one-word payload into an
+// accumulator at address 64.
+func buildInjectProgram() *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("acc").
+		MoveI(isa.A0, 64).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Add(isa.R0, asm.Mem(isa.A0, 0)).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Suspend()
+	return b.MustAssemble()
+}
+
+func TestInjectDeliversMessage(t *testing.T) {
+	p := buildInjectProgram()
+	m, err := machine.New(machine.GridForNodes(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []word.Word{word.MsgHeader(p.Entry("acc"), 2), word.Int(5)}
+	for i := 0; i < 3; i++ {
+		if !m.Inject(2, 0, msg) {
+			t.Fatalf("inject %d refused with empty queue", i)
+		}
+	}
+	if err := m.RunQuiescent(10_000); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Nodes[2].Mem.Read(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Data() != 15 {
+		t.Errorf("accumulator = %d, want 15", w.Data())
+	}
+}
+
+func TestInjectRejectsBadArgs(t *testing.T) {
+	p := buildInjectProgram()
+	m, err := machine.New(machine.GridForNodes(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []word.Word{word.MsgHeader(p.Entry("acc"), 2), word.Int(1)}
+	for _, tc := range []struct {
+		name      string
+		node, pri int
+		msg       []word.Word
+	}{
+		{"node-low", -1, 0, msg},
+		{"node-high", 2, 0, msg},
+		{"pri", 0, 2, msg},
+		{"empty", 0, 0, nil},
+	} {
+		if m.Inject(tc.node, tc.pri, tc.msg) {
+			t.Errorf("%s: inject accepted, want refusal", tc.name)
+		}
+	}
+}
+
+// TestInjectBackpressure fills a queue until Inject reports no room,
+// then verifies InjectFree agrees and that draining restores capacity.
+func TestInjectBackpressure(t *testing.T) {
+	p := buildInjectProgram()
+	m, err := machine.New(machine.GridForNodes(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []word.Word{word.MsgHeader(p.Entry("acc"), 2), word.Int(1)}
+	n := 0
+	for m.Inject(1, 0, msg) {
+		n++
+		if n > 10_000 {
+			t.Fatal("queue never filled")
+		}
+	}
+	if free := m.InjectFree(1, 0); free >= len(msg) {
+		t.Errorf("InjectFree = %d after refusal, want < %d", free, len(msg))
+	}
+	if err := m.RunQuiescent(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Inject(1, 0, msg) {
+		t.Error("inject still refused after drain")
+	}
+	if err := m.RunQuiescent(100_000); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.Nodes[1].Mem.Read(64)
+	if w.Data() != int32(n+1) {
+		t.Errorf("accumulator = %d, want %d", w.Data(), n+1)
+	}
+}

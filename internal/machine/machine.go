@@ -17,6 +17,7 @@ import (
 	"jmachine/internal/queue"
 	"jmachine/internal/stats"
 	"jmachine/internal/trace"
+	"jmachine/internal/word"
 	"jmachine/internal/xlate"
 )
 
@@ -287,6 +288,43 @@ func (m *Machine) FastPathActive() bool { return m.fast && !m.pinned }
 func (m *Machine) SetWatchdog(window int64) {
 	m.watchdog = window
 	m.sigValid = false
+}
+
+// Inject delivers a complete message — header word first, body after —
+// into node i's priority-pri queue directly from the host, bypassing
+// the mesh. It models the external network interface a service front
+// door would drive and must be called between cycles on the
+// coordinating goroutine (never from inside a hook or while an engine
+// cycle is in flight). The injected words enter the same hardware
+// queue mesh deliveries use, so dispatch, queue back-pressure, and the
+// state digest behave exactly as if the message had arrived by wire.
+// Reports false — and injects nothing — when the queue lacks room for
+// the whole message; the caller should step the machine to drain the
+// queue and retry.
+func (m *Machine) Inject(node, pri int, msg []word.Word) bool {
+	if node < 0 || node >= len(m.Nodes) || pri < 0 || pri > 1 || len(msg) == 0 {
+		return false
+	}
+	q := m.Nodes[node].Queues[pri]
+	if q.Free() < len(msg) {
+		return false
+	}
+	for _, w := range msg {
+		q.Push(w)
+	}
+	// A parked node must notice host-delivered work exactly as it
+	// notices a mesh delivery.
+	m.needWake[node] = true
+	return true
+}
+
+// InjectFree returns how many words of room node i's priority-pri
+// queue currently has for host injection.
+func (m *Machine) InjectFree(node, pri int) int {
+	if node < 0 || node >= len(m.Nodes) || pri < 0 || pri > 1 {
+		return 0
+	}
+	return m.Nodes[node].Queues[pri].Free()
 }
 
 // Step advances the whole machine one cycle: the network moves phits,

@@ -262,6 +262,24 @@ func (r *Recorder) Stats() RecorderStats {
 	return s
 }
 
+// Sync drains everything staged through the current cycle to the
+// configured writers without closing them, so a live service can serve
+// the on-disk timeline mid-run (Perfetto's JSON reader tolerates the
+// missing terminator). Recording continues afterwards. Like Close it
+// must run between cycles on the coordinating goroutine. Callers that
+// buffer the sinks flush their own writers after Sync returns.
+// Nil-safe; a no-op after Close.
+func (r *Recorder) Sync() error {
+	if r == nil || r.closed {
+		if r == nil {
+			return nil
+		}
+		return r.err
+	}
+	r.drain(r.m.Cycle())
+	return r.err
+}
+
 // Close drains any staged events from the final cycle, emits a closing
 // sample and snapshot, terminates the timeline, and detaches the node
 // taps. Safe to call more than once and on a nil Recorder.

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Manager owns the session registry: creation, LRU eviction to disk
+// when more sessions exist than may stay resident, transparent restore
+// on the next touch, crash recovery from the session directory, and
+// checkpoint-all on graceful shutdown.
+//
+// Lock order is Manager.mu before Session.mu, never the reverse; a
+// session op never calls back into the manager. Acquire releases
+// Manager.mu before returning, so sessions step concurrently — the mu
+// only serializes registry changes.
+type Manager struct {
+	dir         string
+	maxResident int
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	clock    int64 // LRU counter: bumped on every touch
+	nextID   int
+}
+
+// DefaultMaxResident bounds in-memory sessions when NewManager is
+// given 0.
+const DefaultMaxResident = 8
+
+// NewManager opens (creating if needed) the session directory and
+// recovers every session checkpointed in it: each subdirectory with a
+// spec.json re-registers as a non-resident session that restores on
+// first touch, so a killed daemon resumes where it stood.
+func NewManager(dir string, maxResident int) (*Manager, error) {
+	if maxResident <= 0 {
+		maxResident = DefaultMaxResident
+	}
+	g := &Manager{dir: dir, maxResident: maxResident, sessions: make(map[string]*Session)}
+	if dir == "" {
+		return g, nil // ephemeral: sessions live and die in memory
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		specPath := filepath.Join(dir, id, "spec.json")
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // not a session directory
+			}
+			return nil, err
+		}
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return nil, fmt.Errorf("recover %s: %w", specPath, err)
+		}
+		s := newSession(id, spec, filepath.Join(dir, id))
+		if _, err := os.Stat(s.ckptPath()); err != nil {
+			return nil, fmt.Errorf("recover %s: no checkpoint: %w", id, err)
+		}
+		g.sessions[id] = s
+		if n, ok := strings.CutPrefix(id, "s"); ok {
+			if v, err := strconv.Atoi(n); err == nil && v >= g.nextID {
+				g.nextID = v + 1
+			}
+		}
+	}
+	return g, nil
+}
+
+// Dir returns the session directory ("" when ephemeral).
+func (g *Manager) Dir() string { return g.dir }
+
+// Create registers and builds a new session. The spec is normalized,
+// persisted, and the session's cycle-zero checkpoint is written before
+// Create returns — from that point on the session survives a crash.
+func (g *Manager) Create(spec Spec) (*Session, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := fmt.Sprintf("s%06d", g.nextID)
+	g.nextID++
+	dir := ""
+	if g.dir != "" {
+		dir = filepath.Join(g.dir, id)
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			return nil, err
+		}
+		data, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "spec.json"), data, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	s := newSession(id, spec, dir)
+	g.clock++
+	s.lastUsed = g.clock
+	g.evictOverflowLocked(s)
+	s.mu.Lock()
+	err = s.start(false)
+	s.mu.Unlock()
+	if err != nil {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	g.sessions[id] = s
+	return s, nil
+}
+
+// ErrNoSession reports an unknown session ID.
+var ErrNoSession = errors.New("no such session")
+
+// Acquire returns session id locked and resident, restoring it from
+// its checkpoint if it was evicted. The caller must invoke the release
+// function when done. Other sessions keep serving concurrently.
+func (g *Manager) Acquire(id string) (*Session, func(), error) {
+	g.mu.Lock()
+	s, ok := g.sessions[id]
+	if !ok {
+		g.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoSession, id)
+	}
+	g.clock++
+	s.lastUsed = g.clock
+	g.mu.Unlock()
+
+	s.mu.Lock()
+	if !s.resident {
+		// Make room, then restore. Taking g.mu while holding s.mu
+		// cannot deadlock: the eviction sweep only ever TryLocks
+		// session mutexes, so no g.mu holder blocks on s.mu.
+		g.mu.Lock()
+		g.evictOverflowLocked(s)
+		g.mu.Unlock()
+		if err := s.start(true); err != nil {
+			s.mu.Unlock()
+			return nil, nil, fmt.Errorf("restore %s: %w", id, err)
+		}
+	}
+	return s, s.mu.Unlock, nil
+}
+
+// evictOverflowLocked checkpoints and tears down least-recently-used
+// resident sessions until admitting `next` keeps the resident count at
+// maxResident. Sessions busy serving a request are skipped (TryLock),
+// so the cap is a target, not a hard ceiling. Caller holds g.mu.
+func (g *Manager) evictOverflowLocked(next *Session) {
+	skip := make(map[*Session]bool)
+	for {
+		resident := 0
+		var victim *Session
+		for _, s := range g.sessions {
+			if s == next || !s.residentHint() {
+				continue
+			}
+			resident++
+			if skip[s] {
+				continue
+			}
+			if victim == nil || s.lastUsed < victim.lastUsed {
+				victim = s
+			}
+		}
+		if resident < g.maxResident || victim == nil {
+			return
+		}
+		if !victim.mu.TryLock() {
+			// Mid-request: leave it alone rather than stall the
+			// registry; try the next-least-recent candidate.
+			skip[victim] = true
+			continue
+		}
+		victim.suspend()
+		victim.mu.Unlock()
+	}
+}
+
+// residentHint reads residency without the session lock — good enough
+// for victim selection (the TryLock re-checks under the lock).
+func (s *Session) residentHint() bool {
+	if !s.mu.TryLock() {
+		return true // busy serving ⇒ resident
+	}
+	r := s.resident
+	s.mu.Unlock()
+	return r
+}
+
+// SessionInfo is one row of List.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	Resident bool   `json:"resident"`
+	Cycle    int64  `json:"cycle"`
+	Requests int64  `json:"requests"`
+	Restores int64  `json:"restores"`
+}
+
+// List reports every registered session, most recently used first.
+func (g *Manager) List() []SessionInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	type row struct {
+		info SessionInfo
+		used int64
+	}
+	rows := make([]row, 0, len(g.sessions))
+	for _, s := range g.sessions { //jm:maporder rows are sorted below
+		rows = append(rows, row{
+			info: SessionInfo{
+				ID:       s.ID,
+				Workload: s.Spec.Workload,
+				Nodes:    s.Spec.Nodes,
+				Resident: s.residentHint(),
+				Cycle:    s.cycle.Load(),
+				Requests: s.requests.Load(),
+				Restores: s.restores.Load(),
+			},
+			used: s.lastUsed,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].used != rows[j].used {
+			return rows[i].used > rows[j].used
+		}
+		return rows[i].info.ID < rows[j].info.ID
+	})
+	out := make([]SessionInfo, len(rows))
+	for i, r := range rows {
+		out[i] = r.info
+	}
+	return out
+}
+
+// Delete tears the session down and removes its directory.
+func (g *Manager) Delete(id string) error {
+	g.mu.Lock()
+	s, ok := g.sessions[id]
+	if ok {
+		delete(g.sessions, id)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSession, id)
+	}
+	s.mu.Lock()
+	s.teardown()
+	s.mu.Unlock()
+	if s.dir != "" {
+		return os.RemoveAll(s.dir)
+	}
+	return nil
+}
+
+// Shutdown checkpoints every resident session and evicts it, leaving
+// the directory ready for the next daemon to recover. Returns the
+// first error but keeps going.
+func (g *Manager) Shutdown() error {
+	g.mu.Lock()
+	all := make([]*Session, 0, len(g.sessions))
+	for _, s := range g.sessions { //jm:maporder suspend order does not matter
+		all = append(all, s)
+	}
+	g.mu.Unlock()
+	var first error
+	for _, s := range all {
+		s.mu.Lock()
+		if err := s.suspend(); err != nil && first == nil {
+			first = err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// Stats summarizes the registry for the statz endpoint.
+type Stats struct {
+	Sessions    int   `json:"sessions"`
+	Resident    int   `json:"resident"`
+	MaxResident int   `json:"max_resident"`
+	Requests    int64 `json:"requests"`
+	Restores    int64 `json:"restores"`
+}
+
+// Stat reports registry-wide counters.
+func (g *Manager) Stat() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{Sessions: len(g.sessions), MaxResident: g.maxResident}
+	for _, s := range g.sessions { //jm:maporder commutative sums
+		if s.residentHint() {
+			st.Resident++
+		}
+		st.Requests += s.requests.Load()
+		st.Restores += s.restores.Load()
+	}
+	return st
+}

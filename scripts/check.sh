@@ -71,6 +71,12 @@ echo "== checkpoint crash-recovery smoke"
 # to match an uninterrupted run (docs/CHECKPOINT.md).
 sh scripts/ckpt_smoke.sh
 
+echo "== serve smoke"
+# Multi-tenant daemon: create a session over HTTP, SIGKILL the daemon,
+# restart on the same state dir, require byte-identical recovery, then
+# a verified jm-load run (docs/SERVE.md).
+sh scripts/serve_smoke.sh
+
 echo "== trace smoke"
 # The observability CLI must produce a loadable timeline that is
 # byte-identical sequential and sharded.

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Full serving benchmark: boot jm-serve, drive 32 concurrent sessions
+# through 10k+ kv requests with jm-load, verify every session's final
+# digest against a standalone replay, and write BENCH_serve.json
+# (append-only history, like BENCH_engine.json). docs/SERVE.md.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:8094}
+LABEL=${LABEL:-}
+OUT=${OUT:-BENCH_serve.json}
+DIR=$(mktemp -d /tmp/jm-serve-bench.XXXXXX)
+PID=""
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o /tmp/jm-serve-bench-bin ./cmd/jm-serve
+go build -o /tmp/jm-load-bench-bin ./cmd/jm-load
+
+/tmp/jm-serve-bench-bin -addr "$ADDR" -dir "$DIR/state" -max-resident 12 > "$DIR/serve.log" 2>&1 &
+PID=$!
+i=0
+until curl -sS -o /dev/null "http://$ADDR/v1/healthz" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 500 ] && { echo "serve bench: daemon did not come up" >&2; exit 1; }
+    sleep 0.02
+done
+
+/tmp/jm-load-bench-bin -addr "$ADDR" -sessions 32 -requests 10048 -batch 4 \
+    -nodes 8 -keys 32 -gateways 4 -conc 8 ${LABEL:+-label "$LABEL"} -out "$OUT"
+
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+echo "serve bench: wrote $OUT"
