@@ -21,6 +21,7 @@ import (
 	"jmachine/internal/apps/tsp"
 	"jmachine/internal/bench"
 	"jmachine/internal/ckpt"
+	"jmachine/internal/compiled"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
@@ -39,6 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 11, "workload seed")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
+	compiledTier := flag.Bool("compiled", false,
+		"execute handlers through the compiled tier (byte-identical to the interpreter)")
 	var cf ckpt.Flags
 	cf.Register(flag.CommandLine, "")
 	flag.Parse()
@@ -53,6 +56,11 @@ func main() {
 	var eng *engine.Engine
 	var layers *ckpt.Layers
 	setup := func(m *machine.Machine, r *rt.Runtime) {
+		if *compiledTier {
+			if err := compiled.Attach(m, rt.CheckAllowances()...); err != nil {
+				log.Fatalf("compiled.Attach: %v", err)
+			}
+		}
 		layers = cf.Attach(m, r)
 		if *shards > 1 {
 			eng = engine.Attach(m, *shards)

@@ -7,7 +7,11 @@
 //     engine's benchmark; and
 //   - the token-ring idle probe (all but a few nodes suspended on cfut
 //     slots), run under the reference loop and the event-horizon fast
-//     path — the active-set scheduler's benchmark.
+//     path — the active-set scheduler's benchmark; and
+//   - the roofline probe (both fig3 shapes, interpreted and compiled),
+//     which classifies each shape as dispatch-bound or memory-bound by
+//     how much of its host time the compiled handler tier removes —
+//     the compiled tier's benchmark.
 //
 // Each run of the same workload must end in a byte-identical machine
 // state, so the file doubles as a large-scale determinism check. Host
@@ -20,7 +24,7 @@
 // Usage:
 //
 //	jm-bench [-nodes 512] [-warm 2000] [-measure 20000]
-//	         [-shards 0,2,4,8] [-idle-tokens 4] [-label name]
+//	         [-shards 0,2,4,8] [-idle-tokens 4] [-roofline] [-label name]
 //	         [-gobench file] [-out BENCH_engine.json]
 package main
 
@@ -64,6 +68,9 @@ type historyEntry struct {
 	IdleFastRate     float64 `json:"idle_fast_cycles_per_sec,omitempty"`
 	FastPathSpeedup  float64 `json:"fastpath_speedup_idle,omitempty"`
 	BestShardSpeedup float64 `json:"best_shard_speedup,omitempty"`
+	// CompiledSpeedup is the roofline probe's compiled/interpreted rate
+	// ratio on the dispatch-bound fig3-compute shape.
+	CompiledSpeedup float64 `json:"compiled_speedup_fig3_compute,omitempty"`
 }
 
 // report is the BENCH_engine.json schema.
@@ -84,10 +91,14 @@ type report struct {
 	Speedup map[string]float64 `json:"speedup_vs_sequential"`
 	// FastPathSpeedup is the idle probe's fast/reference rate ratio on
 	// the sequential loop: the event-horizon win, host-independent.
-	FastPathSpeedup float64        `json:"fastpath_speedup_idle,omitempty"`
-	DigestsMatch    bool           `json:"digests_match"`
-	GoBench         []goBenchLine  `json:"go_bench,omitempty"`
-	History         []historyEntry `json:"history,omitempty"`
+	FastPathSpeedup float64 `json:"fastpath_speedup_idle,omitempty"`
+	// Roofline classifies both fig3 shapes as dispatch- or memory-bound
+	// by the compiled tier's speedup; its digests_match covers the
+	// compiled-vs-interpreted pairs.
+	Roofline     *bench.RooflineResult `json:"roofline,omitempty"`
+	DigestsMatch bool                  `json:"digests_match"`
+	GoBench      []goBenchLine         `json:"go_bench,omitempty"`
+	History      []historyEntry        `json:"history,omitempty"`
 }
 
 // summarize folds a report into its history line.
@@ -121,6 +132,9 @@ func (r *report) summarize() historyEntry {
 			h.BestShardSpeedup = s
 		}
 	}
+	if r.Roofline != nil {
+		h.CompiledSpeedup = r.Roofline.Speedup["fig3-compute"]
+	}
 	return h
 }
 
@@ -130,6 +144,8 @@ func main() {
 	measure := flag.Int64("measure", 20000, "measured cycles")
 	shardList := flag.String("shards", "0,2,4,8", "comma-separated shard counts (0 = sequential)")
 	idleTokens := flag.Int("idle-tokens", 4, "tokens circulating in the idle probe ring")
+	compiledFlag := flag.Bool("compiled", false, "install the compiled handler tier for the fig3 probe rows")
+	roofline := flag.Bool("roofline", true, "run the compiled-tier roofline probe (both fig3 shapes, both tiers)")
 	label := flag.String("label", "", "history label for this run (e.g. a PR or commit name)")
 	gobench := flag.String("gobench", "", "`go test -bench` output file to merge")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
@@ -161,10 +177,17 @@ func main() {
 			"state digests within each workload must be equal (byte-identical simulation)",
 			"speedup_vs_sequential (fig3, sharded engine) requires >= 4 hardware threads; on fewer cores the rendezvous overhead dominates",
 			"fastpath_speedup_idle (token ring, event-horizon scheduler vs reference loop) is host-independent: it comes from not stepping parked nodes",
+			"roofline classifies each fig3 shape by the compiled tier's speedup: dispatch-bound when removing instruction dispatch pays, memory-bound when host time lives in routers/queues/charge machinery the tier leaves to the interpreter",
 			"history carries one summary line per past run of this file",
 		},
 		Speedup:      map[string]float64{},
 		DigestsMatch: true,
+	}
+	if cores := runtime.NumCPU(); maxShards(counts) > cores {
+		note := fmt.Sprintf("WARNING: host has %d cores but -shards requests up to %d; sharded rows oversubscribe the host and their speedups understate the engine",
+			cores, maxShards(counts))
+		fmt.Fprintln(os.Stderr, note)
+		rep.Notes = append(rep.Notes, note)
 	}
 
 	// Figure 3 loaded exchange across shard counts.
@@ -176,7 +199,7 @@ func main() {
 			// resumed campaign must pair each row with its own state.
 			row = cf.WithPath(fmt.Sprintf("%s.s%d", cf.Path, k))
 		}
-		res, err := bench.EngineProbeCkpt(*nodes, k, *warm, *measure, row.Path, row.Every, row.Resume)
+		res, err := bench.EngineProbeCkpt(*nodes, k, *warm, *measure, row.Path, row.Every, row.Resume, *compiledFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -235,6 +258,23 @@ func main() {
 		rep.FastPathSpeedup = idleFast / idleRef
 		fmt.Fprintf(os.Stderr, "fast-path speedup on the idle ring: %.1fx\n", rep.FastPathSpeedup)
 	}
+
+	// Compiled-tier roofline: both fig3 shapes at both tiers, classified
+	// by how much host time closure dispatch + fusion removes.
+	if *roofline {
+		res, err := bench.Roofline(*nodes, *warm, *measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Roofline = res
+		for _, s := range []string{"fig3-compute", "fig3-exchange"} {
+			fmt.Fprintf(os.Stderr, "roofline %s: compiled speedup %.2fx (%s)\n",
+				s, res.Speedup[s], res.Bound[s])
+		}
+		if !res.DigestsMatch {
+			rep.DigestsMatch = false
+		}
+	}
 	if !rep.DigestsMatch {
 		log.Fatal("state digests diverged across runs of the same workload — determinism violation")
 	}
@@ -273,6 +313,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// maxShards returns the largest requested shard count.
+func maxShards(counts []int) int {
+	max := 0
+	for _, k := range counts {
+		if k > max {
+			max = k
+		}
+	}
+	return max
 }
 
 // parseGoBench extracts "BenchmarkX-N  iters  ns/op" rows from a

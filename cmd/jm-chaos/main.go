@@ -27,6 +27,7 @@ import (
 	"jmachine/internal/bench"
 	"jmachine/internal/chaos"
 	"jmachine/internal/ckpt"
+	"jmachine/internal/compiled"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
@@ -50,6 +51,8 @@ func main() {
 	runs := flag.Int("runs", 1, "repeat count (identical output per run proves determinism)")
 	shards := flag.Int("shards", engine.DefaultShards(),
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
+	compiledTier := flag.Bool("compiled", false,
+		"execute handlers through the compiled tier (results are byte-identical)")
 	var cf ckpt.Flags
 	cf.Register(flag.CommandLine, "")
 	flag.Parse()
@@ -70,6 +73,7 @@ func main() {
 		Reliable:   *reliable,
 		Budget:     *budget,
 		Shards:     *shards,
+		Compiled:   *compiledTier,
 		Ckpt:       cf.Path,
 		CkptEvery:  cf.Every,
 		Resume:     cf.Resume,
@@ -166,6 +170,11 @@ type holder struct {
 // and the campaign to an application-built machine.
 func (h *holder) setup(camp chaos.Campaign, rc bench.ResilienceConfig) func(*machine.Machine, *rt.Runtime) {
 	return func(m *machine.Machine, r *rt.Runtime) {
+		if rc.Compiled {
+			if err := compiled.Attach(m, rt.CheckAllowances()...); err != nil {
+				log.Fatalf("compiled.Attach: %v", err)
+			}
+		}
 		m.Net.SetChecksum(rc.Checksum)
 		m.Net.SetReturnToSender(rc.RTS)
 		m.Net.SetMaxReturns(rc.MaxReturns)

@@ -30,9 +30,12 @@ func main() {
 		"parallel-engine shards per machine (0 or 1 = sequential reference; results are byte-identical)")
 	reference := flag.Bool("reference", false,
 		"disable the event-horizon fast path (every-node-every-cycle stepping; results are byte-identical)")
+	compiledTier := flag.Bool("compiled", false,
+		"execute handlers through the compiled tier (results are byte-identical)")
 	flag.Parse()
 
-	o := bench.Options{Quick: *quick, PaperScale: *paper, Verbose: *verbose, Shards: *shards, Reference: *reference}
+	o := bench.Options{Quick: *quick, PaperScale: *paper, Verbose: *verbose, Shards: *shards,
+		Reference: *reference, Compiled: *compiledTier}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true

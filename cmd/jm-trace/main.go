@@ -25,6 +25,7 @@ import (
 	"jmachine/internal/bench"
 	"jmachine/internal/chaos"
 	"jmachine/internal/ckpt"
+	"jmachine/internal/compiled"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/obs"
@@ -42,6 +43,8 @@ func main() {
 	every := flag.Int("every", 64, "sampling period in cycles for counters and snapshots")
 	perLink := flag.Bool("perlink", false, "add per-mesh-link occupancy counter tracks")
 	budget := flag.Int64("budget", 4_000_000, "cycle budget for the micro-benchmarks")
+	compiledTier := flag.Bool("compiled", false,
+		"execute handlers through the compiled tier (results are byte-identical)")
 	var cf ckpt.Flags
 	cf.Register(flag.CommandLine, "")
 	flag.Parse()
@@ -59,7 +62,7 @@ func main() {
 		PerLink:      *perLink,
 	}
 
-	cycles, digest, err := run(*workload, *nodes, *shards, *budget, o, cf)
+	cycles, digest, err := run(*workload, *nodes, *shards, *budget, *compiledTier, o, cf)
 	if err != nil {
 		log.Fatalf("%s: %v", *workload, err)
 	}
@@ -73,11 +76,12 @@ func main() {
 	}
 }
 
-func run(workload string, nodes, shards int, budget int64, o *obs.Options, cf ckpt.Flags) (int64, uint64, error) {
+func run(workload string, nodes, shards int, budget int64, compiledTier bool, o *obs.Options, cf ckpt.Flags) (int64, uint64, error) {
 	rc := bench.ResilienceConfig{
 		Nodes:     nodes,
 		Budget:    budget,
 		Shards:    shards,
+		Compiled:  compiledTier,
 		Obs:       o,
 		Ckpt:      cf.Path,
 		CkptEvery: cf.Every,
@@ -132,6 +136,11 @@ type holder struct {
 
 func (h *holder) setup(shards int, o *obs.Options, rc bench.ResilienceConfig) func(*machine.Machine, *rt.Runtime) {
 	return func(m *machine.Machine, r *rt.Runtime) {
+		if rc.Compiled {
+			if err := compiled.Attach(m, rt.CheckAllowances()...); err != nil {
+				log.Fatalf("compiled.Attach: %v", err)
+			}
+		}
 		h.layers = ckpt.Flags{Path: rc.Ckpt, Every: rc.CkptEvery, Resume: rc.Resume}.Attach(m, r)
 		h.stopObs = o.AttachTo(m)
 		if shards > 1 {

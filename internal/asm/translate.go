@@ -1,0 +1,154 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"jmachine/internal/isa"
+)
+
+// This file is the front end of the compiled execution tier
+// (internal/compiled, docs/COMPILED.md). The static verifier already
+// recovers everything a translator needs — handler entry points from
+// the MoveHdr idiom, a CFG with successor edges and in-degrees — so
+// Translate re-runs those passes and repackages the result as basic
+// blocks, gated on a clean Check: a program the verifier rejects is
+// never handed to the closure emitter.
+
+// Block is one straight-line run of instructions: control enters only
+// at Start and leaves only after End-1 (to Succs, or to the dispatcher
+// when the last instruction ends the thread).
+type Block struct {
+	Start int32   // first instruction index
+	End   int32   // one past the last instruction index
+	Succs []int32 // successor block Start addresses, ascending
+}
+
+// Translation is the basic-block view of an assembled program.
+type Translation struct {
+	Prog   *Program
+	Blocks []Block
+	// BlockAt maps an instruction index to the index of its containing
+	// block in Blocks.
+	BlockAt []int32
+	// Entries are the handler entry addresses the translation was
+	// rooted at: recovered MoveHdr headers plus labels nothing branches
+	// or falls through to (host-dispatched handlers), ascending.
+	Entries []int32
+	// Reachable marks the instructions some entry can reach. The
+	// emitter compiles only reachable code; anything else stays on the
+	// interpreter, which is where undefined behaviour belongs.
+	Reachable []bool
+}
+
+// ErrFindings is returned by Translate when the program fails the
+// static verifier; the findings that gated it are attached.
+type ErrFindings struct {
+	Findings []Finding
+}
+
+func (e *ErrFindings) Error() string {
+	return fmt.Sprintf("asm: translate: program fails static verification (%d findings, first: %s)",
+		len(e.Findings), e.Findings[0])
+}
+
+// Translate verifies p and recovers its basic-block structure. The
+// allowances are the same suppressions Check accepts; a program with
+// any remaining finding is rejected, so the compiled tier only ever
+// sees code the verifier passed.
+func Translate(p *Program, allow ...Allowance) (*Translation, error) {
+	if fs := Check(p, allow...); len(fs) > 0 {
+		return nil, &ErrFindings{Findings: fs}
+	}
+	c := &checker{p: p, labelAt: labelIndex(p)}
+	c.recoverHeaders()
+	c.buildCFG()
+
+	n := len(p.Instrs)
+	tr := &Translation{Prog: p}
+	if n == 0 {
+		return tr, nil
+	}
+
+	// Entry points: recovered headers, plus labels with no intra-program
+	// predecessor (dispatched by host-built headers), mirroring the
+	// seeding of the checker's dataflow.
+	entrySet := make(map[int32]bool, len(c.entries))
+	for addr := range c.entries {
+		entrySet[addr] = true
+	}
+	for _, addr := range p.Labels {
+		if int(addr) < n && c.preds[addr] == 0 && !c.entries[addr] {
+			entrySet[addr] = true
+		}
+	}
+	if len(entrySet) == 0 {
+		entrySet[0] = true
+	}
+	for addr := range entrySet {
+		tr.Entries = append(tr.Entries, addr)
+	}
+	sort.Slice(tr.Entries, func(i, j int) bool { return tr.Entries[i] < tr.Entries[j] })
+
+	// Reachability from the entries over the checker's edges.
+	tr.Reachable = make([]bool, n)
+	work := append([]int32(nil), tr.Entries...)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if tr.Reachable[i] {
+			continue
+		}
+		tr.Reachable[i] = true
+		for _, s := range c.succs[i] {
+			if !tr.Reachable[s] {
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Block boundaries: entries, labels, branch targets, and the
+	// instruction after any control transfer — the same leader set the
+	// verifier's block scan uses, plus the entry roots.
+	leader := make([]bool, n)
+	leader[0] = true
+	for addr := range entrySet {
+		leader[addr] = true
+	}
+	for _, addr := range p.Labels {
+		if int(addr) < n {
+			leader[addr] = true
+		}
+	}
+	for i, in := range p.Instrs {
+		for _, s := range c.succs[i] {
+			if s != int32(i+1) {
+				leader[s] = true
+			}
+		}
+		ends := in.Op.IsBranch() || in.Op == isa.SUSPEND || in.Op == isa.HALT
+		if ends && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	tr.BlockAt = make([]int32, n)
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && !leader[end] {
+			end++
+		}
+		b := Block{Start: int32(start), End: int32(end)}
+		for _, s := range c.succs[end-1] {
+			b.Succs = append(b.Succs, s)
+		}
+		sort.Slice(b.Succs, func(i, j int) bool { return b.Succs[i] < b.Succs[j] })
+		idx := int32(len(tr.Blocks))
+		tr.Blocks = append(tr.Blocks, b)
+		for i := start; i < end; i++ {
+			tr.BlockAt[i] = idx
+		}
+		start = end
+	}
+	return tr, nil
+}

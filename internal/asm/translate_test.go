@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"errors"
+	"testing"
+
+	"jmachine/internal/isa"
+)
+
+// translate is Translate with a test-fatal on unexpected rejection.
+func translate(t *testing.T, b *Builder, allow ...Allowance) *Translation {
+	t.Helper()
+	p := assemble(t, b)
+	tr, err := Translate(p, allow...)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	return tr
+}
+
+// checkInvariants asserts the structural contract every Translation
+// promises the closure emitter: blocks partition the instruction
+// space, BlockAt is consistent, successors and entries land on block
+// starts, and the reachable set is closed under successor edges.
+func checkInvariants(t *testing.T, tr *Translation) {
+	t.Helper()
+	n := len(tr.Prog.Instrs)
+	starts := make(map[int32]bool, len(tr.Blocks))
+	next := int32(0)
+	for bi, b := range tr.Blocks {
+		if b.Start != next || b.End <= b.Start {
+			t.Fatalf("block %d spans [%d,%d), want start %d", bi, b.Start, b.End, next)
+		}
+		next = b.End
+		starts[b.Start] = true
+		for i := b.Start; i < b.End; i++ {
+			if tr.BlockAt[i] != int32(bi) {
+				t.Errorf("BlockAt[%d] = %d, want %d", i, tr.BlockAt[i], bi)
+			}
+		}
+	}
+	if next != int32(n) {
+		t.Fatalf("blocks cover [0,%d), want [0,%d)", next, n)
+	}
+	for bi, b := range tr.Blocks {
+		for _, s := range b.Succs {
+			if !starts[s] {
+				t.Errorf("block %d successor %d is not a block start", bi, s)
+			}
+		}
+	}
+	for i, e := range tr.Entries {
+		if !starts[e] {
+			t.Errorf("entry %d is not a block start", e)
+		}
+		if i > 0 && tr.Entries[i-1] >= e {
+			t.Errorf("entries not ascending: %v", tr.Entries)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Reachable[i] {
+			continue
+		}
+		for _, s := range succsOf(tr, int32(i)) {
+			if !tr.Reachable[s] {
+				t.Errorf("reachable %d has unreachable successor %d", i, s)
+			}
+		}
+	}
+}
+
+// succsOf returns instruction i's outgoing edges as the translation
+// sees them: block-internal fall-through, or the block's successor set
+// for the final instruction.
+func succsOf(tr *Translation, i int32) []int32 {
+	b := tr.Blocks[tr.BlockAt[i]]
+	if i < b.End-1 {
+		return []int32{i + 1}
+	}
+	return b.Succs
+}
+
+func blockOf(t *testing.T, tr *Translation, start int32) Block {
+	t.Helper()
+	for _, b := range tr.Blocks {
+		if b.Start == start {
+			return b
+		}
+	}
+	t.Fatalf("no block starts at %d (blocks: %+v)", start, tr.Blocks)
+	return Block{}
+}
+
+func eqSlice(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTranslateSelfLoop: a two-instruction loop body whose branch
+// targets its own block start must list itself among its successors,
+// and a one-instruction branch-to-self must form a minimal self-loop
+// block.
+func TestTranslateSelfLoop(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").MoveI(isa.R0, 5)
+	b.Label("loop").
+		Sub(isa.R0, Imm(1)).
+		Bt(isa.R0, "loop").
+		Halt()
+	tr := translate(t, b)
+	checkInvariants(t, tr)
+	loop := blockOf(t, tr, 1)
+	if loop.End != 3 {
+		t.Errorf("loop block spans [%d,%d), want [1,3)", loop.Start, loop.End)
+	}
+	if !eqSlice(loop.Succs, []int32{1, 3}) {
+		t.Errorf("loop succs = %v, want [1 3]", loop.Succs)
+	}
+
+	b2 := NewBuilder()
+	b2.Label("main").MoveI(isa.R0, 1)
+	b2.Label("spin").Bt(isa.R0, "spin").Halt()
+	tr2 := translate(t, b2)
+	checkInvariants(t, tr2)
+	spin := blockOf(t, tr2, 1)
+	if spin.End != 2 || !eqSlice(spin.Succs, []int32{1, 2}) {
+		t.Errorf("spin block [%d,%d) succs %v, want [1,2) [1 2]", spin.Start, spin.End, spin.Succs)
+	}
+}
+
+// TestTranslateBranchToEntry: a backward branch to address 0 gives the
+// entry block an intra-program predecessor, so the label no longer
+// qualifies as a zero-pred root — the fallback must still root the
+// translation at 0 and keep the whole loop reachable.
+func TestTranslateBranchToEntry(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, 1).
+		Sub(isa.R0, Imm(1)).
+		Bt(isa.R0, "main").
+		Halt()
+	tr := translate(t, b)
+	checkInvariants(t, tr)
+	if !eqSlice(tr.Entries, []int32{0}) {
+		t.Errorf("entries = %v, want [0]", tr.Entries)
+	}
+	for i := range tr.Prog.Instrs {
+		if !tr.Reachable[i] {
+			t.Errorf("instruction %d unreachable", i)
+		}
+	}
+}
+
+// TestTranslateRecursiveHandler: a MoveHdr-recovered handler whose body
+// branches back to its own entry — the entry is both a header root and
+// a branch target, and must appear exactly once in Entries.
+func TestTranslateRecursiveHandler(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").
+		MoveHdr(isa.R3, "h", 1).
+		MoveI(isa.R0, 0).
+		SendMsg(R(isa.R0), R(isa.R3)).
+		Halt()
+	b.Label("h").
+		MoveI(isa.R0, 2).
+		Sub(isa.R0, Imm(1)).
+		Bt(isa.R0, "h").
+		Suspend()
+	tr := translate(t, b)
+	checkInvariants(t, tr)
+	h := tr.Prog.Entry("h")
+	if !eqSlice(tr.Entries, []int32{0, h}) {
+		t.Errorf("entries = %v, want [0 %d]", tr.Entries, h)
+	}
+	if !tr.Reachable[h] {
+		t.Error("handler entry unreachable")
+	}
+	// The branch back into the handler makes h's entry block a branch
+	// target too: the body block must carry the edge.
+	body := blockOf(t, tr, h)
+	found := false
+	for _, s := range body.Succs {
+		if s == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("handler body succs %v missing back edge to %d", body.Succs, h)
+	}
+}
+
+// TestTranslateFallThroughOnly: a labelled region reached only by
+// falling off the previous block is NOT an entry (it has a
+// predecessor) but must be reachable, in its own block, with the
+// fall-through edge recorded.
+func TestTranslateFallThroughOnly(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").MoveI(isa.R0, 1)
+	b.Label("tail").
+		Add(isa.R0, Imm(1)).
+		Halt()
+	tr := translate(t, b)
+	checkInvariants(t, tr)
+	if !eqSlice(tr.Entries, []int32{0}) {
+		t.Errorf("entries = %v, want [0]", tr.Entries)
+	}
+	tail := tr.Prog.Entry("tail")
+	if !tr.Reachable[tail] {
+		t.Error("fall-through label unreachable")
+	}
+	main := blockOf(t, tr, 0)
+	if main.End != tail || !eqSlice(main.Succs, []int32{tail}) {
+		t.Errorf("main block [%d,%d) succs %v, want fall-through to %d",
+			main.Start, main.End, main.Succs, tail)
+	}
+}
+
+// TestTranslateOrphanLabelIsEntry: a label nothing references is a
+// host-dispatched thread root (machine tests StartBackground at such
+// labels) and must be rooted as an entry.
+func TestTranslateOrphanLabelIsEntry(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").MoveI(isa.R0, 1).Halt()
+	b.Label("aux").MoveI(isa.R1, 2).Halt()
+	tr := translate(t, b)
+	checkInvariants(t, tr)
+	aux := tr.Prog.Entry("aux")
+	if !eqSlice(tr.Entries, []int32{0, aux}) {
+		t.Errorf("entries = %v, want [0 %d]", tr.Entries, aux)
+	}
+	if !tr.Reachable[aux] || !tr.Reachable[aux+1] {
+		t.Error("orphan-label thread unreachable")
+	}
+}
+
+// TestTranslateGatesOnFindings: a program the verifier rejects never
+// reaches block recovery; the findings ride along on the error, and
+// the matching allowance reopens the gate.
+func TestTranslateGatesOnFindings(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").
+		Add(isa.R0, Imm(1)). // read before def: ASM001
+		Halt()
+	p := assemble(t, b)
+	_, err := Translate(p)
+	if err == nil {
+		t.Fatal("verifier-rejected program translated")
+	}
+	var ef *ErrFindings
+	if !errors.As(err, &ef) {
+		t.Fatalf("error type %T, want *ErrFindings", err)
+	}
+	if len(ef.Findings) == 0 || ef.Findings[0].Code != "ASM001" {
+		t.Fatalf("findings = %v", ef.Findings)
+	}
+	tr, err := Translate(p, Allowance{Code: "ASM001", Label: "main", Rationale: "test gate"})
+	if err != nil {
+		t.Fatalf("allowance did not reopen the gate: %v", err)
+	}
+	checkInvariants(t, tr)
+}
+
+// TestTranslateEmptyProgram: the degenerate empty image translates to
+// an empty (but non-nil) Translation.
+func TestTranslateEmptyProgram(t *testing.T) {
+	p := assemble(t, NewBuilder())
+	tr, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks) != 0 || len(tr.Entries) != 0 || len(tr.Reachable) != 0 {
+		t.Errorf("empty program produced %+v", tr)
+	}
+}

@@ -54,6 +54,12 @@ type Options struct {
 	// equivalence suite). Experiments that build several machines get
 	// numbered output files (trace.json, trace.json.2, …).
 	Obs *obs.Options
+	// Compiled installs the compiled handler tier (internal/compiled,
+	// docs/COMPILED.md) on every machine the experiment steps. Like
+	// Shards and Reference it is purely a wall-clock knob: the compiled
+	// tier's equivalence suite proves digests and observation traces
+	// byte-identical with it on or off.
+	Compiled bool
 }
 
 func (o Options) progress(format string, args ...any) {

@@ -10,6 +10,7 @@ import (
 	"jmachine/internal/asm"
 	"jmachine/internal/chaos"
 	"jmachine/internal/ckpt"
+	"jmachine/internal/compiled"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/network"
@@ -36,6 +37,9 @@ type ResilienceConfig struct {
 	// reference loop. Results are byte-identical either way; the flag
 	// exists so the equivalence suite can prove it.
 	Reference bool
+	// Compiled installs the compiled handler tier (internal/compiled).
+	// Byte-identical results either way, like Shards and Reference.
+	Compiled bool
 	// Obs, when non-nil, streams a Perfetto timeline and metric
 	// snapshots from the campaign machine (see internal/obs). Purely a
 	// tap: the StateDigest in the result is unchanged by it.
@@ -105,6 +109,11 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 	}
 	if rc.Reference {
 		m.SetFastPath(false)
+	}
+	if rc.Compiled {
+		if err := compiled.Attach(m, rt.CheckAllowances()...); err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
 	}
 	r := rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
 	var rel *rt.Reliable

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"jmachine/internal/compiled"
 	"jmachine/internal/engine"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
@@ -23,6 +24,7 @@ func (o Options) attachEngine(m *machine.Machine) func() {
 	if o.Reference {
 		m.SetFastPath(false)
 	}
+	o.attachCompiled(m)
 	stopObs := o.Obs.AttachTo(m)
 	if o.Shards <= 1 {
 		return func() { reportObsErr(stopObs()) }
@@ -40,7 +42,7 @@ func (o Options) attachEngine(m *machine.Machine) func() {
 // nil, leaving the app's Params exactly as a sequential caller would
 // build them.
 func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
-	if o.Shards <= 1 && o.Obs == nil && !o.Reference {
+	if o.Shards <= 1 && o.Obs == nil && !o.Reference && !o.Compiled {
 		return nil, func() {}
 	}
 	var eng *engine.Engine
@@ -49,6 +51,7 @@ func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
 		if o.Reference {
 			m.SetFastPath(false)
 		}
+		o.attachCompiled(m)
 		stopObs = o.Obs.AttachTo(m)
 		if o.Shards > 1 {
 			eng = engine.Attach(m, o.Shards)
@@ -59,6 +62,21 @@ func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
 			eng.Stop()
 		}
 		reportObsErr(stopObs())
+	}
+}
+
+// attachCompiled installs the compiled handler tier when Options
+// requests it. Every workload this package runs passes the static
+// verifier (TestAsmCheckWorkloads enforces it), so a translation
+// failure here is a programming error and panics loudly rather than
+// silently falling back to the interpreter — a fallback would turn the
+// compiled-tier equivalence smoke into a tautology.
+func (o Options) attachCompiled(m *machine.Machine) {
+	if !o.Compiled {
+		return
+	}
+	if err := compiled.Attach(m, rt.CheckAllowances()...); err != nil {
+		panic(fmt.Sprintf("bench: compiled tier: %v", err))
 	}
 }
 

@@ -42,6 +42,21 @@ func benchIdleStep(b *testing.B, nodes, shards int, reference bool) {
 	m.StepN(int64(b.N))
 }
 
+// benchCompiledStep measures the per-cycle cost of the roofline probe's
+// send-free fig3-compute shape — the dispatch-bound calibration loop —
+// under the interpreter and the compiled handler tier. On the compiled
+// side the no-send certificate lets fusion windows span the whole StepN
+// horizon (docs/COMPILED.md).
+func benchCompiledStep(b *testing.B, nodes int, comp bool) {
+	m, err := rooflineMachine(false, nodes, comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.StepN(2000) // warm: every node is deep in the calibration loop
+	b.ResetTimer()
+	m.StepN(int64(b.N))
+}
+
 func BenchmarkEngine(b *testing.B) {
 	for _, nodes := range []int{64, 512} {
 		for _, shards := range []int{0, 2, 4, 8} {
@@ -63,6 +78,17 @@ func BenchmarkEngine(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			benchIdleStep(b, 512, mode.shards, mode.reference)
+		})
+	}
+	for _, tier := range []struct {
+		name string
+		comp bool
+	}{
+		{"compute-n512/interpreted", false},
+		{"compute-n512/compiled", true},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			benchCompiledStep(b, 512, tier.comp)
 		})
 	}
 }

@@ -37,6 +37,24 @@ const (
 // halts after haltAfter iterations so the loop's deterministic cost can
 // be measured exactly (haltAfter=0 runs forever).
 func buildFig3Program(words int, withSends bool, haltAfter int32) *asm.Program {
+	b := fig3Builder(words, withSends, haltAfter)
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+// buildFig3Standalone is the base case alone: the calibration loop with
+// no echo/ack handlers and no runtime library, so the assembled image
+// contains no SEND instruction at all. The compiled tier's no-send
+// certificate therefore holds, which is exactly what the roofline
+// probe's dispatch-bound shape measures (fusion windows bounded only by
+// the run loop's horizon, not the quiet rule's delivery lookahead).
+func buildFig3Standalone(haltAfter int32) *asm.Program {
+	return fig3Builder(8, false, haltAfter).MustAssemble()
+}
+
+// fig3Builder emits the loop (and, for the loaded variant, its message
+// handlers) into a fresh builder.
+func fig3Builder(words int, withSends bool, haltAfter int32) *asm.Builder {
 	b := asm.NewBuilder()
 	app := int32(rt.AppBase)
 
@@ -87,6 +105,11 @@ func buildFig3Program(words int, withSends bool, haltAfter int32) *asm.Program {
 	b.Lt(isa.R1, asm.Imm(haltAfter)).
 		Bt(isa.R1, "loop").
 		Halt()
+	if !withSends {
+		// The base case never invokes the handlers; omitting them keeps
+		// the standalone image send-free.
+		return b
+	}
 
 	// fig3.echo: [hdr, sender, pads...] — return an L-word ack at
 	// priority 1.
@@ -106,9 +129,7 @@ func buildFig3Program(words int, withSends bool, haltAfter int32) *asm.Program {
 		MoveI(isa.R0, 1).
 		St(isa.R0, asm.Mem(isa.A0, fig3OffFlag)).
 		Suspend()
-
-	rt.BuildLib(b)
-	return b.MustAssemble()
+	return b
 }
 
 // fig3Point is one measured load point.

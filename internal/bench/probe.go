@@ -21,8 +21,9 @@ import (
 // EngineProbeResult is one (machine size, shard count) measurement.
 type EngineProbeResult struct {
 	Nodes        int     `json:"nodes"`
-	Shards       int     `json:"shards"` // 0 = sequential reference
-	Cycles       int64   `json:"cycles"` // measured cycles (after warm-up)
+	Shards       int     `json:"shards"`             // 0 = sequential reference
+	Compiled     bool    `json:"compiled,omitempty"` // compiled handler tier installed
+	Cycles       int64   `json:"cycles"`             // measured cycles (after warm-up)
 	WallSeconds  float64 `json:"wall_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	Digest       uint64  `json:"state_digest"` // machine state at the end
@@ -33,7 +34,7 @@ type EngineProbeResult struct {
 // the same (nodes, warm, measure) and different shard counts end in
 // byte-identical machine states, so their digests must match.
 func EngineProbe(nodes, shards int, warm, measure int64) (EngineProbeResult, error) {
-	return EngineProbeCkpt(nodes, shards, warm, measure, "", 0, false)
+	return EngineProbeCkpt(nodes, shards, warm, measure, "", 0, false, false)
 }
 
 // EngineProbeCkpt is EngineProbe with an optional checkpoint file:
@@ -43,8 +44,10 @@ func EngineProbe(nodes, shards int, warm, measure int64) (EngineProbeResult, err
 // are synchronization points, so splitting the run across processes is
 // digest-neutral: a resumed probe ends in the byte-identical machine
 // state an uninterrupted one reaches. The reported rate covers the
-// measured cycles this process actually stepped.
-func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, every int64, resume bool) (EngineProbeResult, error) {
+// measured cycles this process actually stepped. compiled installs the
+// compiled handler tier (Options.Compiled) — the digest contract is
+// unchanged, so compiled and interpreted runs must also match.
+func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, every int64, resume bool, compiled bool) (EngineProbeResult, error) {
 	const words = 8
 	const idleIters = 16
 	p := buildFig3Program(words, true, 1<<30)
@@ -57,7 +60,7 @@ func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, ev
 	if ckptPath != "" {
 		cw = ckpt.AttachWriter(m, ckptPath, every, r)
 	}
-	defer (Options{Shards: shards}).attachEngine(m)()
+	defer (Options{Shards: shards, Compiled: compiled}).attachEngine(m)()
 	rnd := rand.New(rand.NewSource(3))
 	period := 4*idleIters + 120
 	for _, n := range m.Nodes {
@@ -100,6 +103,7 @@ func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, ev
 	return EngineProbeResult{
 		Nodes:        nodes,
 		Shards:       shards,
+		Compiled:     compiled,
 		Cycles:       measured,
 		WallSeconds:  wall,
 		CyclesPerSec: rate,

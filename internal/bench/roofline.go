@@ -1,0 +1,197 @@
+package bench
+
+// Roofline-style stepping probe for the compiled handler tier, built
+// on the Figure 3 workload itself: the fig3 compute loop (the paper's
+// base-case calibration shape, no messages) and the fig3 loaded
+// exchange run interpreted and compiled, and the compiled/interpreted
+// rate ratio classifies each shape. Closure dispatch and fusion only
+// help cycles that retire instructions, so the compute shape — a
+// send-free image on which fusion windows span the whole horizon — is
+// where the tier's speedup shows ("dispatch-bound"), while the loaded
+// exchange spends most host time stepping routers, delivery queues,
+// and memory-system charge machinery the compiled tier deliberately
+// never touches ("memory-bound"): its ratio stays near 1 no matter how
+// fast handler code gets. Digest equality between each pair of runs
+// re-proves the equivalence contract at benchmark scale.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/compiled"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// RooflineRow is one (shape, tier) measurement.
+type RooflineRow struct {
+	Shape         string  `json:"shape"`
+	Compiled      bool    `json:"compiled"`
+	Nodes         int     `json:"nodes"`
+	Cycles        int64   `json:"cycles"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+	InstrPerCycle float64 `json:"instr_per_cycle"` // boundary density per node-cycle
+	FusedInstrs   int64   `json:"fused_instrs"`    // compiled tier only
+	Digest        uint64  `json:"state_digest"`
+}
+
+// RooflineResult is the full probe: rows plus the per-shape
+// compiled/interpreted ratio and classification.
+type RooflineResult struct {
+	Rows []RooflineRow `json:"rows"`
+	// Speedup maps shape to compiled rate / interpreted rate.
+	Speedup map[string]float64 `json:"compiled_speedup"`
+	// Bound maps shape to its classification. The compiled tier removes
+	// exactly one cost — per-instruction dispatch — and leaves the
+	// memory-system machinery (routers moving phits, delivery queues,
+	// charge accounting) untouched, so the tier's own speedup is the
+	// measurement: a shape it accelerates by >= rooflineDispatchBound
+	// was "dispatch-bound", and one it cannot accelerate spends its
+	// host time in the machinery and is "memory-bound". Instruction
+	// density (InstrPerCycle) is reported alongside as context but is
+	// not the classifier — the loaded exchange retires plenty of
+	// spin-loop instructions while its wall clock goes to the mesh.
+	Bound        map[string]string `json:"bound"`
+	DigestsMatch bool              `json:"digests_match"`
+}
+
+// rooflineDispatchBound is the classification threshold: removing
+// dispatch must buy at least this ratio for dispatch to have been the
+// binding cost.
+const rooflineDispatchBound = 1.5
+
+// rooflineMachine builds one fig3 machine. The compute shape is the
+// paper's base-case calibration loop assembled standalone — no message
+// handlers, no runtime library, hence a send-free image on which the
+// compiled tier's no-send certificate holds — with a small idle count
+// so the loop stays boundary-dense. The exchange shape is EngineProbe's
+// loaded configuration with the full runtime.
+func rooflineMachine(sends bool, nodes int, comp bool) (*machine.Machine, error) {
+	const words = 8
+	const idleIters = 16
+	var p *asm.Program
+	if sends {
+		p = buildFig3Program(words, true, 1<<30)
+	} else {
+		p = buildFig3Standalone(1 << 30)
+	}
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		return nil, err
+	}
+	if sends {
+		rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	}
+	if comp {
+		var allow []asm.Allowance
+		if sends {
+			allow = rt.CheckAllowances()
+		}
+		if err := compiled.Attach(m, allow...); err != nil {
+			return nil, err
+		}
+	}
+	rnd := rand.New(rand.NewSource(3))
+	period := 4*idleIters + 120
+	for _, n := range m.Nodes {
+		n.Mem.Write(rt.AppBase+fig3OffMask, word.Int(fig3TableSize-1))
+		n.Mem.Write(rt.AppBase+fig3OffIdle, word.Int(int32(idleIters)))
+		n.Mem.Write(rt.AppBase+fig3OffSkew, word.Int(int32(rnd.Intn(period/2+1))))
+		for i := 0; i < fig3TableSize; i++ {
+			n.Mem.Write(fig3TableBase+int32(i), m.Net.NodeWord(rnd.Intn(m.NumNodes())))
+		}
+	}
+	if sends {
+		rt.StartAll(m, p, "main")
+	} else {
+		entry := p.Entry("main")
+		for _, n := range m.Nodes {
+			n.StartBackground(entry)
+		}
+	}
+	return m, nil
+}
+
+// rooflineShape runs one shape at both tiers.
+func rooflineShape(shape string, sends bool, nodes int, warm, measure int64) ([]RooflineRow, error) {
+	var rows []RooflineRow
+	for _, comp := range []bool{false, true} {
+		m, err := rooflineMachine(sends, nodes, comp)
+		if err != nil {
+			return nil, err
+		}
+		m.StepN(warm)
+		instrs0 := int64(0)
+		for _, n := range m.Nodes {
+			instrs0 += int64(n.Stats.Instrs)
+		}
+		start := time.Now() //jm:wallclock host-rate probe: wall time is reported, never fed back into the simulation
+		m.StepN(measure)
+		wall := time.Since(start).Seconds() //jm:wallclock host-rate probe
+		if err := m.FatalErr(); err != nil {
+			return nil, fmt.Errorf("roofline %s (compiled=%v): %w", shape, comp, err)
+		}
+		instrs := int64(0)
+		for _, n := range m.Nodes {
+			instrs += int64(n.Stats.Instrs)
+		}
+		rate := 0.0
+		if wall > 0 {
+			rate = float64(measure) / wall
+		}
+		rows = append(rows, RooflineRow{
+			Shape:         shape,
+			Compiled:      comp,
+			Nodes:         nodes,
+			Cycles:        measure,
+			WallSeconds:   wall,
+			CyclesPerSec:  rate,
+			InstrPerCycle: float64(instrs-instrs0) / float64(measure*int64(nodes)),
+			FusedInstrs:   m.FusedInstructions(),
+			Digest:        m.StateDigest(),
+		})
+	}
+	return rows, nil
+}
+
+// Roofline runs both fig3 shapes at both tiers and folds the
+// classification. The interpreted and compiled run of a shape must end
+// in byte-identical machine states.
+func Roofline(nodes int, warm, measure int64) (*RooflineResult, error) {
+	res := &RooflineResult{
+		Speedup:      map[string]float64{},
+		Bound:        map[string]string{},
+		DigestsMatch: true,
+	}
+	shapes := []struct {
+		name  string
+		sends bool
+	}{
+		{"fig3-compute", false},
+		{"fig3-exchange", true},
+	}
+	for _, s := range shapes {
+		rows, err := rooflineShape(s.name, s.sends, nodes, warm, measure)
+		if err != nil {
+			return nil, err
+		}
+		itp, cpl := rows[0], rows[1]
+		if itp.Digest != cpl.Digest {
+			res.DigestsMatch = false
+		}
+		if itp.CyclesPerSec > 0 {
+			res.Speedup[s.name] = cpl.CyclesPerSec / itp.CyclesPerSec
+		}
+		if res.Speedup[s.name] >= rooflineDispatchBound {
+			res.Bound[s.name] = "dispatch-bound"
+		} else {
+			res.Bound[s.name] = "memory-bound"
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}

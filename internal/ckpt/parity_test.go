@@ -62,15 +62,17 @@ var paritySpecs = map[string]paritySpec{
 			"lastSig", "lastMove", "sigValid",
 			"parked", "wakeAt", "needWake", "caughtUpTo"},
 		derived: []string{
-			"Cfg",      // construction input; dims verified on restore
-			"Stats",    // view over the per-node stats.Node accumulators, serialized via each mdp.Node
-			"cycleFns", // attached hooks; re-attached by the restoring process
-			"stepper",  // engine attachment; re-attached
-			"watchdog", // config window (SetWatchdog), not run state
-			"fast",     // stepping-mode switch (SetFastPath), digest-neutral
-			"pinned",   // derived from the registered hooks' horizons
-			"nParked",  // recomputed from parked on restore
-			"horizons", // attached hook horizons; re-attached
+			"Cfg",        // construction input; dims verified on restore
+			"Stats",      // view over the per-node stats.Node accumulators, serialized via each mdp.Node
+			"cycleFns",   // attached hooks; re-attached by the restoring process
+			"stepper",    // engine attachment; re-attached
+			"watchdog",   // config window (SetWatchdog), not run state
+			"fast",       // stepping-mode switch (SetFastPath), digest-neutral
+			"pinned",     // derived from the registered hooks' horizons
+			"nParked",    // recomputed from parked on restore
+			"horizons",   // attached hook horizons; re-attached
+			"compiledOn", // compiled-tier attachment flag; re-attached (compiled.Attach)
+			"fuse",       // fusion fence, republished by every StepN; dead between runs
 		},
 	},
 	"jmachine/internal/machine.progressSig": {
@@ -131,6 +133,9 @@ var paritySpecs = map[string]paritySpec{
 			"Watch",                 // observer tap, deliberately outside StateDigest
 			"softBase", "softWords", // derived from Cfg.SoftQueue in NewNode
 			"faultFn", "syncHook", // attached system software / scheduler hooks
+			"compiled", "fuse", // compiled-tier attachments; re-attached (compiled.Attach)
+			"fuseSegs", "fuseHead", // fused charge plan; drained before every snapshot fence
+			"fusedInstrs", // fusion diagnostic counter, outside StateDigest
 		},
 	},
 	"jmachine/internal/mdp.Context": {

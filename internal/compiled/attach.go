@@ -1,0 +1,26 @@
+package compiled
+
+import (
+	"fmt"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/machine"
+)
+
+// Attach compiles the program every node of m runs and installs the
+// result as the machine's compiled tier. The allowances are forwarded
+// to the static-verifier gate. Attaching never changes results — the
+// equivalence suite proves digests and traces byte-identical with the
+// tier on or off — so callers treat it exactly like the parallel
+// engine: a wall-clock knob.
+func Attach(m *machine.Machine, allow ...asm.Allowance) error {
+	if m.NumNodes() == 0 {
+		return fmt.Errorf("compiled: machine has no nodes")
+	}
+	cp, err := Compile(m.Node(0).Prog, allow...)
+	if err != nil {
+		return err
+	}
+	m.SetCompiled(cp)
+	return nil
+}

@@ -1,0 +1,581 @@
+package compiled_test
+
+// Bail-out boundary tests: one case per reason the compiled tier hands
+// a boundary back to the interpreter — faults (presence, divide,
+// translation miss), SUSPEND, an open SEND, dispatch, freeze/kill, and
+// checkpoint capture at a SnapshotCycle. Each case drives an
+// interpreter machine and a compiled machine through the event twice:
+// cycle-by-cycle with Step (fusion pinned off — the per-boundary
+// contract, digests compared at EVERY cycle including the event
+// cycle itself) and in StepN batches (fusion active, digests compared
+// at each batch end — the only cycles at which a fused window has
+// provably collapsed to the reference representation). The file ends
+// with the vacuity guards: tests proving fusion actually engages under
+// both admission rules, so the equivalence suite is not silently
+// passing on the never-fused path.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/ckpt"
+	"jmachine/internal/compiled"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/word"
+)
+
+// buildPair constructs the interpreter reference and the
+// compiled-tier machine from the same config and program, applying
+// setup (memory seeding, thread starts, hooks, injections) to both.
+func buildPair(t *testing.T, cfg machine.Config, p *asm.Program, setup func(*machine.Machine), allow ...asm.Allowance) (itp, cpl *machine.Machine) {
+	t.Helper()
+	itp = machine.MustNew(cfg, p)
+	cpl = machine.MustNew(cfg, p)
+	if err := compiled.Attach(cpl, allow...); err != nil {
+		t.Fatalf("compiled.Attach: %v", err)
+	}
+	if setup != nil {
+		setup(itp)
+		setup(cpl)
+	}
+	return itp, cpl
+}
+
+// compare fails the test when the two machines disagree on cycle,
+// state digest, or surfaced fatal error.
+func compare(t *testing.T, itp, cpl *machine.Machine, when string) {
+	t.Helper()
+	if ic, cc := itp.Cycle(), cpl.Cycle(); ic != cc {
+		t.Fatalf("%s: cycle %d (interpreter) != %d (compiled)", when, ic, cc)
+	}
+	if id, cd := itp.StateDigest(), cpl.StateDigest(); id != cd {
+		t.Fatalf("%s (cycle %d): digest %#x (interpreter) != %#x (compiled)",
+			when, itp.Cycle(), id, cd)
+	}
+	ie, ce := itp.FatalErr(), cpl.FatalErr()
+	switch {
+	case (ie == nil) != (ce == nil):
+		t.Fatalf("%s: fatal mismatch: interpreter %v, compiled %v", when, ie, ce)
+	case ie != nil && ie.Error() != ce.Error():
+		t.Fatalf("%s: fatal text mismatch: %q != %q", when, ie, ce)
+	}
+}
+
+// stepLock advances both machines one public Step at a time. Step pins
+// the fusion limit to the next cycle, so the compiled machine is exact
+// per boundary and the digests must agree at every single cycle —
+// before, during, and after the bail event.
+func stepLock(t *testing.T, itp, cpl *machine.Machine, cycles int64) {
+	t.Helper()
+	for i := int64(0); i < cycles; i++ {
+		itp.Step()
+		cpl.Step()
+		compare(t, itp, cpl, "stepLock")
+	}
+}
+
+// batchLock advances both machines in StepN batches of varied sizes.
+// Inside a batch the compiled machine may run ahead within fused
+// windows; every StepN return is a legal observation point, so the
+// digests must agree there.
+func batchLock(t *testing.T, itp, cpl *machine.Machine, total int64) {
+	t.Helper()
+	sizes := []int64{1, 3, 8, 64}
+	for done, i := int64(0), 0; done < total; i++ {
+		n := sizes[i%len(sizes)]
+		if done+n > total {
+			n = total - done
+		}
+		itp.StepN(n)
+		cpl.StepN(n)
+		done += n
+		compare(t, itp, cpl, "batchLock")
+	}
+}
+
+type bailCase struct {
+	name      string
+	cfg       machine.Config
+	prog      func() *asm.Program
+	setup     func(*machine.Machine)
+	cycles    int64
+	wantFatal bool
+	// allow suppresses verifier findings a case provokes deliberately
+	// (the gate itself is tested by TestAttachGatesOnVerifier).
+	allow []asm.Allowance
+}
+
+// faultSchedule is a deterministic freeze/unfreeze/kill timeline
+// attached identically to both machines, mirroring what the chaos
+// injector does during campaigns.
+type faultSchedule struct {
+	m                      *machine.Machine
+	freeze, unfreeze, kill int64
+	next                   int
+}
+
+func (f *faultSchedule) events() []int64 { return []int64{f.freeze, f.unfreeze, f.kill} }
+
+func (f *faultSchedule) tick(cycle int64) {
+	ev := f.events()
+	for f.next < len(ev) && ev[f.next] <= cycle {
+		switch f.next {
+		case 0:
+			f.m.Nodes[0].SetFrozen(true)
+		case 1:
+			f.m.Nodes[0].SetFrozen(false)
+		case 2:
+			f.m.Nodes[0].Kill()
+		}
+		f.next++
+	}
+}
+
+func (f *faultSchedule) horizon(now int64) int64 {
+	ev := f.events()
+	if f.next < len(ev) {
+		return ev[f.next]
+	}
+	return machine.NoEvent
+}
+
+// countdownProg busy-loops a register down from n — enough straight
+// line and branching to keep a node executing across fault events.
+func countdownProg(n int32) *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("main").MoveI(isa.R0, n)
+	b.Label("loop").
+		Sub(isa.R0, asm.Imm(1)).
+		Bt(isa.R0, "loop").
+		Halt()
+	return b.MustAssemble()
+}
+
+// accProg is the inject-handler workload: add the payload word into an
+// accumulator at address 64, then suspend.
+func accProg() *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("acc").
+		MoveI(isa.A0, 64).
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Add(isa.R0, asm.Mem(isa.A0, 0)).
+		St(isa.R0, asm.Mem(isa.A0, 0)).
+		Suspend()
+	return b.MustAssemble()
+}
+
+func bailCases() []bailCase {
+	return []bailCase{
+		{
+			// A consuming load hits a cfut with no fault handler: the
+			// closure must bail without touching the register, then the
+			// interpreter raises the (fatal) presence fault.
+			name: "fault-presence",
+			cfg:  machine.Grid(1, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.A0, 64).
+					Move(isa.R0, asm.Mem(isa.A0, 0)).
+					Halt()
+				return b.MustAssemble()
+			},
+			setup: func(m *machine.Machine) {
+				m.Nodes[0].Mem.FillCfut(64, 1)
+				m.Nodes[0].StartBackground(0)
+			},
+			cycles:    40,
+			wantFatal: true,
+		},
+		{
+			// Divide by zero: the closure reads both operands, sees the
+			// zero, and bails before writing anything.
+			name: "fault-div-zero",
+			cfg:  machine.Grid(1, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.R0, 7).
+					MoveI(isa.R1, 0).
+					Div(isa.R0, asm.R(isa.R1)).
+					Halt()
+				return b.MustAssemble()
+			},
+			setup:     func(m *machine.Machine) { m.Nodes[0].StartBackground(0) },
+			cycles:    40,
+			wantFatal: true,
+		},
+		{
+			// XLATE with no binding: the compiled tier probes first
+			// (pure), bails on the miss, and the interpreter's Lookup
+			// takes the single miss count and raises the fault.
+			name: "fault-xlate-miss",
+			cfg:  machine.Grid(1, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.R0, 5).
+					Xlate(isa.R1, asm.R(isa.R0)).
+					Halt()
+				return b.MustAssemble()
+			},
+			setup:     func(m *machine.Machine) { m.Nodes[0].StartBackground(0) },
+			cycles:    40,
+			wantFatal: true,
+		},
+		{
+			// SUSPEND ends each handler activation; with three queued
+			// messages the node suspends and redispatches repeatedly.
+			name:  "suspend-dispatch",
+			cfg:   machine.GridForNodes(4),
+			prog:  accProg,
+			setup: injectMessages(0, 3),
+			// Long enough to drain all three activations and go idle.
+			cycles: 120,
+		},
+		{
+			// Priority-1 arrivals preempt the running priority-0
+			// handler: dispatch and level switching stay interpreted
+			// while the handler bodies run compiled.
+			name: "dispatch-priorities",
+			cfg:  machine.GridForNodes(4),
+			prog: accProg,
+			setup: func(m *machine.Machine) {
+				p := accProg()
+				hdr := word.MsgHeader(p.Entry("acc"), 2)
+				for i := 0; i < 2; i++ {
+					if !m.Inject(1, 0, []word.Word{hdr, word.Int(5)}) {
+						panic("inject refused")
+					}
+					if !m.Inject(1, 1, []word.Word{hdr, word.Int(9)}) {
+						panic("inject refused")
+					}
+				}
+			},
+			cycles: 160,
+		},
+		{
+			// An open SEND sequence: every SEND-family instruction
+			// bails, the message crosses the mesh (network no longer
+			// quiet), and the sink node dispatches and suspends.
+			name: "open-send",
+			cfg:  machine.Grid(2, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.A0, 64).
+					Move(isa.R1, asm.Mem(isa.A0, 0)).
+					MoveHdr(isa.R2, "sink", 2).
+					MoveI(isa.R3, 9).
+					SendMsg(asm.R(isa.R1), asm.R(isa.R2), asm.R(isa.R3)).
+					MoveI(isa.R0, 21).
+					Add(isa.R0, asm.Imm(21)).
+					Halt()
+				b.Label("sink").
+					Move(isa.R0, asm.Mem(isa.A3, 1)).
+					Suspend()
+				return b.MustAssemble()
+			},
+			setup: func(m *machine.Machine) {
+				if err := m.Nodes[0].Mem.Write(64, m.Net.NodeWord(1)); err != nil {
+					panic(err)
+				}
+				m.Nodes[0].StartBackground(0)
+			},
+			cycles: 120,
+		},
+		{
+			// Special-register reads (NNR, QLEN, PRI, ZERO, CYC), a
+			// discarded special write, the shifter's negative and
+			// overlong distances, an IP-tagged address register, and the
+			// presence-tag family over a fut — ending on the consuming
+			// fut read, which faults.
+			name: "specials-shifts-fut",
+			cfg:  machine.Grid(1, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.R0, 3).
+					Move(isa.R1, asm.R(isa.NNR)).
+					Move(isa.R2, asm.R(isa.QLEN)).
+					Add(isa.R0, asm.R(isa.PRI)).
+					Add(isa.R0, asm.R(isa.ZERO)).
+					Move(isa.R2, asm.R(isa.CYC)).
+					Move(isa.CYC, asm.R(isa.R0)).
+					MoveI(isa.A2, 64).
+					Wtag(isa.A2, asm.Imm(int32(word.TagIP))).
+					Move(isa.R2, asm.Mem(isa.A2, 1)).
+					MoveI(isa.R0, -6).
+					Lsh(isa.R0, asm.Imm(3)).
+					Lsh(isa.R0, asm.Imm(-2)).
+					Lsh(isa.R0, asm.Imm(40)).
+					MoveI(isa.R0, -64).
+					Ash(isa.R0, asm.Imm(-3)).
+					Ash(isa.R0, asm.Imm(2)).
+					Ash(isa.R0, asm.Imm(-35)).
+					MoveI(isa.R1, 9).
+					Wtag(isa.R1, asm.Imm(int32(word.TagFut))).
+					Rtag(isa.R2, asm.R(isa.R1)).
+					Iscf(isa.R2, asm.R(isa.R1)).
+					Move(isa.R2, asm.R(isa.R1)). // non-consuming: a fut copies legally
+					Add(isa.R0, asm.R(isa.R1)).  // consuming: faults on the fut
+					Halt()
+				return b.MustAssemble()
+			},
+			setup:     func(m *machine.Machine) { m.Nodes[0].StartBackground(0) },
+			cycles:    60,
+			wantFatal: true,
+			allow: []asm.Allowance{{
+				Code: "ASM003", Label: "main",
+				Rationale: "deliberate guaranteed presence fault exercising the consuming-read bail",
+			}},
+		},
+		{
+			// An address shifted past the memory size: the closure's
+			// bounds check bails, the interpreter raises the fault.
+			name: "fault-mem-bounds",
+			cfg:  machine.Grid(1, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.A0, 9000).
+					Lsh(isa.A0, asm.Imm(4)).
+					Move(isa.R0, asm.Mem(isa.A0, 0)).
+					Halt()
+				return b.MustAssemble()
+			},
+			setup:     func(m *machine.Machine) { m.Nodes[0].StartBackground(0) },
+			cycles:    40,
+			wantFatal: true,
+		},
+		{
+			// RGN writes are the one special-register destination that
+			// bails (the interpreter owns statistics-region switching);
+			// the cycles between the two writes attribute differently
+			// and the digests must still agree.
+			name: "region-write",
+			cfg:  machine.Grid(1, 1, 1),
+			prog: func() *asm.Program {
+				b := asm.NewBuilder()
+				b.Label("main").
+					MoveI(isa.R0, 1).
+					Move(isa.RGN, asm.Imm(1)).
+					Add(isa.R0, asm.Imm(2)).
+					Mul(isa.R0, asm.Imm(3)).
+					Move(isa.RGN, asm.Imm(0)).
+					Add(isa.R0, asm.Imm(4)).
+					Halt()
+				return b.MustAssemble()
+			},
+			setup:  func(m *machine.Machine) { m.Nodes[0].StartBackground(0) },
+			cycles: 30,
+		},
+		{
+			// Freeze, thaw, then kill node 0 mid-loop from a cycle hook
+			// with a declared horizon — fusion stays legal between
+			// events, and the externally-driven mutations land on
+			// identical cycles in both machines.
+			name: "freeze-kill",
+			cfg:  machine.Grid(2, 1, 1),
+			prog: func() *asm.Program { return countdownProg(300) },
+			setup: func(m *machine.Machine) {
+				m.Nodes[0].StartBackground(0)
+				f := &faultSchedule{m: m, freeze: 40, unfreeze: 80, kill: 120}
+				m.AddCycleHook(f.tick, f.horizon) //jm:horizon next scheduled fault event bounds tick's next effect
+			},
+			cycles: 200,
+		},
+	}
+}
+
+// injectMessages returns a setup injecting n accumulator messages into
+// the given node at priority 0 and starting nothing else.
+func injectMessages(node, n int) func(*machine.Machine) {
+	return func(m *machine.Machine) {
+		p := accProg()
+		msg := []word.Word{word.MsgHeader(p.Entry("acc"), 2), word.Int(5)}
+		for i := 0; i < n; i++ {
+			if !m.Inject(node, 0, msg) {
+				panic("inject refused")
+			}
+		}
+	}
+}
+
+func TestBailBoundaries(t *testing.T) {
+	for _, tc := range bailCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prog()
+			t.Run("per-cycle", func(t *testing.T) {
+				itp, cpl := buildPair(t, tc.cfg, p, tc.setup, tc.allow...)
+				stepLock(t, itp, cpl, tc.cycles)
+				if (itp.FatalErr() != nil) != tc.wantFatal {
+					t.Errorf("wantFatal=%v, got %v", tc.wantFatal, itp.FatalErr())
+				}
+			})
+			t.Run("fused-batches", func(t *testing.T) {
+				itp, cpl := buildPair(t, tc.cfg, p, tc.setup, tc.allow...)
+				batchLock(t, itp, cpl, tc.cycles)
+				if (itp.FatalErr() != nil) != tc.wantFatal {
+					t.Errorf("wantFatal=%v, got %v", tc.wantFatal, itp.FatalErr())
+				}
+			})
+		})
+	}
+}
+
+// TestBailResumeCycleExact pins the interpreter-resume contract to
+// absolute cycle numbers: the compiled machine must reach quiescence
+// (every suspend, dispatch, and send retired) on exactly the cycle the
+// reference interpreter does.
+func TestBailResumeCycleExact(t *testing.T) {
+	p := accProg()
+	itp, cpl := buildPair(t, machine.GridForNodes(4), p, injectMessages(2, 3))
+	if err := itp.RunQuiescent(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpl.RunQuiescent(10_000); err != nil {
+		t.Fatal(err)
+	}
+	compare(t, itp, cpl, "quiescent")
+	w, err := cpl.Nodes[2].Mem.Read(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Data() != 15 {
+		t.Errorf("accumulator = %d, want 15", w.Data())
+	}
+}
+
+// TestBailCheckpointCapture runs both machines with the periodic
+// checkpoint writer attached (the SnapshotCycle boundary the issue
+// names): captures must happen on identical cycles and produce
+// byte-identical checkpoint files, proving fused windows always
+// collapse before the writer's hook observes the machine.
+func TestBailCheckpointCapture(t *testing.T) {
+	dir := t.TempDir()
+	p := accProg()
+	paths := map[*machine.Machine]string{}
+	var writers []*ckpt.Checkpointer
+	itp, cpl := buildPair(t, machine.GridForNodes(4), p, injectMessages(1, 3))
+	for i, m := range []*machine.Machine{itp, cpl} {
+		path := filepath.Join(dir, []string{"itp.ckpt", "cpl.ckpt"}[i])
+		paths[m] = path
+		writers = append(writers, ckpt.AttachWriter(m, path, 32))
+	}
+	itp.StepN(200)
+	cpl.StepN(200)
+	compare(t, itp, cpl, "after run")
+	if w0, w1 := writers[0].Writes(), writers[1].Writes(); w0 != w1 || w0 == 0 {
+		t.Fatalf("checkpoint writes: interpreter %d, compiled %d", w0, w1)
+	}
+	for _, w := range writers {
+		if w.Err() != nil {
+			t.Fatal(w.Err())
+		}
+	}
+	a, err := os.ReadFile(paths[itp])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[cpl])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("checkpoint files differ: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// straightlineProg: one register initialization followed by adds —
+// a pure straight-line block for the fusion-engagement guards.
+func straightlineProg(adds int) *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("main").MoveI(isa.R0, 0)
+	for i := 0; i < adds; i++ {
+		b.Add(isa.R0, asm.Imm(1))
+	}
+	b.Halt()
+	return b.MustAssemble()
+}
+
+// TestFusionEngagesQuiet proves the quiet rule actually fuses: a
+// background thread on an idle network, driven through StepN (the run
+// loops' path — the public Step pins fusion off), must retire several
+// instructions as fused window members, while the digest still matches
+// the interpreter at the StepN boundary.
+func TestFusionEngagesQuiet(t *testing.T) {
+	p := straightlineProg(24)
+	itp, cpl := buildPair(t, machine.Grid(1, 1, 1), p, func(m *machine.Machine) {
+		m.Nodes[0].StartBackground(0)
+	})
+	itp.StepN(40)
+	cpl.StepN(40)
+	compare(t, itp, cpl, "after StepN")
+	if got := cpl.FusedInstructions(); got < 8 {
+		t.Errorf("quiet-rule fusion retired %d instructions, want >= 8 — the equivalence suite would be vacuous", got)
+	}
+	if itp.FusedInstructions() != 0 {
+		t.Errorf("interpreter machine reports fused instructions")
+	}
+}
+
+// TestFusionEngagesP1 proves the P1 rule fuses deeply: a priority-1
+// handler owns the scheduler at inner boundaries, so its straight-line
+// body may fuse to the run cap rather than the 4-cycle quiet window.
+func TestFusionEngagesP1(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("work").Move(isa.R0, asm.Mem(isa.A3, 1))
+	for i := 0; i < 14; i++ {
+		b.Add(isa.R0, asm.Imm(1))
+	}
+	b.Suspend()
+	p := b.MustAssemble()
+	itp, cpl := buildPair(t, machine.Grid(1, 1, 1), p, func(m *machine.Machine) {
+		msg := []word.Word{word.MsgHeader(p.Entry("work"), 2), word.Int(1)}
+		if !m.Inject(0, 1, msg) {
+			t.Fatal("inject refused")
+		}
+	})
+	itp.StepN(100)
+	cpl.StepN(100)
+	compare(t, itp, cpl, "after StepN")
+	if got := cpl.FusedInstructions(); got < 10 {
+		t.Errorf("P1-rule fusion retired %d instructions, want >= 10", got)
+	}
+}
+
+// TestAttachGatesOnVerifier: Attach must refuse a program the static
+// verifier rejects — the machine then stays interpreter-only.
+func TestAttachGatesOnVerifier(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main").
+		Add(isa.R0, asm.Imm(1)). // read before def: ASM001
+		Halt()
+	m := machine.MustNew(machine.Grid(1, 1, 1), b.MustAssemble())
+	if err := compiled.Attach(m); err == nil {
+		t.Fatal("verifier-rejected program attached")
+	}
+	if m.CompiledActive() {
+		t.Error("compiled tier active after failed Attach")
+	}
+}
+
+// TestStepNeverFuses documents the pinned-limit contract: the public
+// single-cycle Step grants no fusion window, so compiled execution
+// stays exact per boundary (what stepLock relies on).
+func TestStepNeverFuses(t *testing.T) {
+	p := straightlineProg(24)
+	_, cpl := buildPair(t, machine.Grid(1, 1, 1), p, func(m *machine.Machine) {
+		m.Nodes[0].StartBackground(0)
+	})
+	for i := 0; i < 40; i++ {
+		cpl.Step()
+	}
+	if got := cpl.FusedInstructions(); got != 0 {
+		t.Errorf("Step fused %d instructions, want 0", got)
+	}
+}

@@ -1,0 +1,130 @@
+package compiled
+
+// White-box tests for the pure translation helpers: the arithmetic,
+// comparison, shift, presence, and operand-admissibility functions the
+// closures are built from. These mirror the interpreter's semantics
+// directly (same edge cases as mdp's exec switch), so a drift here is a
+// semantic bug even before the differential suite catches it at the
+// machine level.
+
+import (
+	"testing"
+
+	"jmachine/internal/isa"
+	"jmachine/internal/mdp"
+	"jmachine/internal/word"
+)
+
+func TestPresenceOK(t *testing.T) {
+	for _, tc := range []struct {
+		w         word.Word
+		consuming bool
+		want      bool
+	}{
+		{word.Int(7), true, true},
+		{word.Int(7), false, true},
+		{word.Cfut(1), true, false},
+		{word.Cfut(1), false, false},
+		{word.Fut(1), true, false},
+		{word.Fut(1), false, true}, // copies move futures legally
+		{word.IP(42), true, true},
+	} {
+		if got := presenceOK(tc.w, tc.consuming); got != tc.want {
+			t.Errorf("presenceOK(%v, consuming=%v) = %v, want %v", tc.w, tc.consuming, got, tc.want)
+		}
+	}
+}
+
+func TestALUEval(t *testing.T) {
+	tm0 := mdp.DefaultTiming()
+	tm := &tm0
+	for _, tc := range []struct {
+		op       isa.Op
+		x, y     int32
+		v, extra int32
+		ok       bool
+	}{
+		{isa.ADD, 3, 4, 7, 0, true},
+		{isa.SUB, 3, 4, -1, 0, true},
+		{isa.MUL, 3, 4, 12, tm.Mul, true},
+		{isa.DIV, 12, 4, 3, tm.DivMod, true},
+		{isa.DIV, 12, 0, 0, 0, false},
+		{isa.MOD, 14, 4, 2, tm.DivMod, true},
+		{isa.MOD, 14, 0, 0, 0, false},
+		{isa.AND, 0b1100, 0b1010, 0b1000, 0, true},
+		{isa.OR, 0b1100, 0b1010, 0b1110, 0, true},
+		{isa.XOR, 0b1100, 0b1010, 0b0110, 0, true},
+		{isa.LSH, 1, 4, 16, 0, true},
+		{isa.LSH, 16, -4, 1, 0, true},
+		{isa.ASH, -16, -2, -4, 0, true},
+	} {
+		v, extra, ok := aluEval(tc.op, tc.x, tc.y, tm)
+		if v != tc.v || extra != tc.extra || ok != tc.ok {
+			t.Errorf("aluEval(%v, %d, %d) = (%d, %d, %v), want (%d, %d, %v)",
+				tc.op, tc.x, tc.y, v, extra, ok, tc.v, tc.extra, tc.ok)
+		}
+	}
+}
+
+func TestCmpEval(t *testing.T) {
+	for _, tc := range []struct {
+		op   isa.Op
+		x, y int32
+		want bool
+	}{
+		{isa.EQ, 3, 3, true},
+		{isa.EQ, 3, 4, false},
+		{isa.NE, 3, 4, true},
+		{isa.LT, 3, 4, true},
+		{isa.LT, 4, 4, false},
+		{isa.LE, 4, 4, true},
+		{isa.GT, 5, 4, true},
+		{isa.GE, 4, 4, true},
+		{isa.GE, 3, 4, false},
+	} {
+		if got := cmpEval(tc.op, tc.x, tc.y); got != tc.want {
+			t.Errorf("cmpEval(%v, %d, %d) = %v, want %v", tc.op, tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		fn          func(x, by int32) int32
+		x, by, want int32
+	}{
+		{"L pos", shiftL, 1, 4, 16},
+		{"L neg", shiftL, -1, 1, -2},
+		{"L right", shiftL, 16, -4, 1},
+		{"L logical right", shiftL, -1, -28, 15},
+		{"L over", shiftL, 99, 32, 0},
+		{"L under", shiftL, 99, -32, 0},
+		{"A pos", shiftA, -3, 2, -12},
+		{"A right", shiftA, -16, -2, -4}, // arithmetic: sign extends
+		{"A over", shiftA, 99, 32, 0},
+		{"A under neg", shiftA, -99, -32, -1},
+		{"A under pos", shiftA, 99, -32, 0},
+	} {
+		if got := tc.fn(tc.x, tc.by); got != tc.want {
+			t.Errorf("shift %s: (%d, %d) = %d, want %d", tc.name, tc.x, tc.by, got, tc.want)
+		}
+	}
+}
+
+func TestMemOperandOK(t *testing.T) {
+	for _, tc := range []struct {
+		b    isa.Operand
+		want bool
+	}{
+		{isa.Operand{Mode: isa.ModeImm, Imm: 3}, true}, // non-memory: vacuously fine
+		{isa.Operand{Mode: isa.ModeMem, Reg: isa.A0, Imm: 1}, true},
+		{isa.Operand{Mode: isa.ModeMem, Reg: isa.NNR}, false},
+		{isa.Operand{Mode: isa.ModeMemReg, Reg: isa.A0, Idx: isa.R1}, true},
+		{isa.Operand{Mode: isa.ModeMemReg, Reg: isa.A0, Idx: isa.QLEN}, false},
+	} {
+		if got := memOperandOK(tc.b); got != tc.want {
+			t.Errorf("memOperandOK(%+v) = %v, want %v", tc.b, got, tc.want)
+		}
+	}
+}

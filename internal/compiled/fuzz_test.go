@@ -1,0 +1,209 @@
+package compiled_test
+
+// FuzzCompiledVsInterpreter: differential fuzzing of the compiled tier
+// against the interpreter oracle. Fuzz bytes drive a generator that
+// emits handler programs from the same instruction vocabulary the
+// runtime library and the six workloads use; programs that pass the
+// static verifier (the same asm.Check gate Compile enforces) then run
+// on an interpreter machine and a compiled machine in lockstep — once
+// per-cycle with fusion pinned off and once in fused StepN batches —
+// failing on any digest, cycle, or fault divergence. Seeds come from
+// handcrafted selector streams covering every generator production and
+// from the opcode streams of the real corpus: the rt library and the
+// application kernels.
+
+import (
+	"errors"
+	"testing"
+
+	"jmachine/internal/apps/lcs"
+	"jmachine/internal/apps/nqueens"
+	"jmachine/internal/apps/radix"
+	"jmachine/internal/apps/tsp"
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+	"jmachine/internal/machine"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// genRegs is the register set the generator mutates. A0 (scratch base)
+// and A1 (destination node word) are set once in the prologue and
+// never clobbered, so memory and send productions always have valid
+// operands — keeping generated programs inside the Check-clean domain
+// by construction.
+var genRegs = [...]isa.Reg{isa.R0, isa.R1, isa.R2}
+
+// genTags are the tags the WTAG production may write. TagMsg is
+// excluded: a header word built outside the MoveHdr idiom is exactly
+// what the verifier's ASM002 exists to reject. Cfut and Fut stay in —
+// a later consuming read faults, which is a bail path worth fuzzing.
+var genTags = [...]word.Tag{word.TagInt, word.TagIP, word.TagCfut, word.TagFut}
+
+// genProdCount is the number of generator productions (fuzz selector
+// modulus).
+const genProdCount = 25
+
+// genProg turns fuzz bytes into a handler program: a fixed prologue
+// defining every register the productions read, up to 60 generated
+// instructions (two bytes each: production selector and argument), a
+// store-and-halt epilogue at "end" (the forward-branch target), and a
+// "sink" message handler so send productions have a receiver.
+func genProg(data []byte) *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("main").
+		MoveI(isa.R0, 1).
+		MoveI(isa.R1, 2).
+		MoveI(isa.R2, 3).
+		MoveI(isa.A0, 64).
+		MoveI(isa.A1, 100).
+		Move(isa.A1, asm.Mem(isa.A1, 0)) // node word seeded by the rig
+	for i := 0; i+1 < len(data) && i < 120; i += 2 {
+		op, arg := data[i], data[i+1]
+		sel := int(op) % genProdCount
+		rk := genRegs[int(op/genProdCount)%len(genRegs)]
+		rj := genRegs[int(arg)%len(genRegs)]
+		v := int32(arg % 16)
+		switch sel {
+		case 0:
+			b.Nop()
+		case 1:
+			b.MoveI(rk, v)
+		case 2:
+			b.Add(rk, asm.Imm(v))
+		case 3:
+			b.Sub(rk, asm.R(rj))
+		case 4:
+			b.Mul(rk, asm.Imm(v))
+		case 5:
+			b.Div(rk, asm.Imm(v+1)) // nonzero; MOD below covers ÷0
+		case 6:
+			b.Mod(rk, asm.R(rj)) // rj may hold zero: deterministic fault
+		case 7:
+			b.Xor(rk, asm.R(rj))
+		case 8:
+			b.Lsh(rk, asm.Imm(v%8))
+		case 9:
+			b.Ash(rk, asm.Imm(-(v % 8)))
+		case 10:
+			b.Eq(rk, asm.R(rj))
+		case 11:
+			b.Lt(rk, asm.Imm(v))
+		case 12:
+			b.Not(rk)
+		case 13:
+			b.Neg(rk)
+		case 14:
+			b.Move(rk, asm.Mem(isa.A0, v%8))
+		case 15:
+			b.St(rk, asm.Mem(isa.A0, v%8))
+		case 16:
+			b.Rtag(rk, asm.R(rj))
+		case 17:
+			b.Iscf(rk, asm.R(rj))
+		case 18:
+			b.Wtag(rk, asm.Imm(int32(genTags[v%4])))
+		case 19:
+			b.Enter(rk, asm.R(rj))
+		case 20:
+			b.Xlate(rk, asm.R(rj)) // misses fault deterministically
+		case 21:
+			b.Probe(rk, asm.R(rj))
+		case 22:
+			b.Bt(rk, "end")
+		case 23:
+			b.Bf(rk, "end")
+		case 24:
+			b.MoveHdr(isa.R3, "sink", 2).
+				SendMsg(asm.R(isa.A1), asm.R(isa.R3), asm.R(rk))
+		}
+	}
+	b.Label("end").
+		St(isa.R0, asm.Mem(isa.A0, 1)).
+		St(isa.R1, asm.Mem(isa.A0, 2)).
+		St(isa.R2, asm.Mem(isa.A0, 3)).
+		Halt()
+	b.Label("sink").
+		Move(isa.R0, asm.Mem(isa.A3, 1)).
+		Suspend()
+	return b.MustAssemble()
+}
+
+// fuzzDiff is the differential body: generate, gate on the verifier,
+// and run both lockstep regimes. Inputs the verifier rejects are
+// outside the compiled tier's domain (Compile refuses them too) and
+// skip rather than fail.
+func fuzzDiff(t *testing.T, data []byte) {
+	p := genProg(data)
+	if _, err := asm.Translate(p); err != nil {
+		var ef *asm.ErrFindings
+		if errors.As(err, &ef) {
+			t.Skip("generated program outside the Check-clean domain")
+		}
+		t.Fatal(err)
+	}
+	setup := func(m *machine.Machine) {
+		if err := m.Nodes[0].Mem.Write(100, m.Net.NodeWord(1)); err != nil {
+			panic(err)
+		}
+		m.Nodes[0].StartBackground(p.Entry("main"))
+	}
+	// Per-cycle stepping with fusion pinned off, digests compared on a
+	// stride: any cycle is a legal observation point in this regime, and
+	// the stride buys fuzz throughput (the per-cycle gold check lives in
+	// TestBailBoundaries).
+	itp, cpl := buildPair(t, machine.Grid(2, 1, 1), p, setup)
+	for i := 0; i < 320; i++ {
+		itp.Step()
+		cpl.Step()
+		if i%16 == 15 {
+			compare(t, itp, cpl, "fuzz stepLock")
+		}
+	}
+	compare(t, itp, cpl, "fuzz stepLock end")
+	itp2, cpl2 := buildPair(t, machine.Grid(2, 1, 1), p, setup)
+	batchLock(t, itp2, cpl2, 320)
+}
+
+// opcodeSeed projects a real program onto the generator's input
+// alphabet: each instruction contributes its opcode and A-register
+// bytes, so the seed inherits the corpus program's instruction mix.
+func opcodeSeed(p *asm.Program) []byte {
+	var out []byte
+	for _, in := range p.Instrs {
+		out = append(out, byte(in.Op), byte(in.A))
+	}
+	return out
+}
+
+// rtLibProgram assembles just the runtime library (plus a trivial
+// main), the other half of the issue's seeding corpus.
+func rtLibProgram() *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("main").Halt()
+	rt.BuildLib(b)
+	return b.MustAssemble()
+}
+
+func FuzzCompiledVsInterpreter(f *testing.F) {
+	// Every production, in order, with varied arguments.
+	var all []byte
+	for sel := 0; sel < genProdCount; sel++ {
+		all = append(all, byte(sel), byte(sel*7+3))
+	}
+	f.Add(all)
+	f.Add([]byte{})
+	f.Add([]byte{24, 0, 24, 1, 0, 0, 24, 2}) // send-heavy
+	f.Add([]byte{6, 0, 20, 1, 18, 2, 15, 3}) // fault-heavy: mod, xlate, wtag
+	// Corpus seeds: the rt library and the application kernels.
+	for _, p := range []*asm.Program{
+		rtLibProgram(),
+		lcs.BuildProgram(),
+		radix.BuildProgram(),
+		nqueens.BuildProgram(),
+		tsp.BuildProgram(),
+	} {
+		f.Add(opcodeSeed(p))
+	}
+	f.Fuzz(fuzzDiff)
+}

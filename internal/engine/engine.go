@@ -120,6 +120,13 @@ func (e *Engine) StepCycle(m *machine.Machine) {
 	}
 	e.sr.Begin()
 	e.skipNet = m.FastPathActive() && m.Net.Quiet()
+	if e.skipNet {
+		// The mesh is provably empty and its phases are elided, so the
+		// quiet certification for the compiled tier's fusion rule is
+		// made here, before the workers are released (the release send
+		// publishes it).
+		m.PublishNetQuiet()
+	}
 	n := e.sr.Shards()
 	for w := 1; w < n; w++ {
 		e.start[w] <- struct{}{}
@@ -169,9 +176,13 @@ func (e *Engine) runShard(s int) {
 		// Phase 2: step this slab's routers, staging boundary crossings.
 		e.sr.StepShard(s)
 		e.bar.wait()
-		// Phase 3: one goroutine lands staged phits and replays hooks.
+		// Phase 3: one goroutine lands staged phits and replays hooks,
+		// then certifies (or not) network quiescence for the compiled
+		// tier — the same deterministic point the sequential loop uses,
+		// published to the other shards by the phase barrier.
 		if s == 0 {
 			e.sr.Commit()
+			e.m.PublishNetQuiet()
 		}
 		e.bar.wait()
 	}

@@ -123,6 +123,15 @@ type Machine struct {
 	nParked    atomic.Int64 // |parked|; atomic: shards park their own slabs concurrently
 	caughtUpTo int64        // cycle through which lagging nodes must catch up (cycle-1 while stepping)
 	horizons   []func(now int64) int64
+
+	// Compiled tier (docs/COMPILED.md). fuse is the fusion control
+	// block every node reads through a pointer: the coordinator writes
+	// the window limit before the processor phase of each cycle and
+	// certifies network quiescence at the network/processor phase
+	// boundary, both at points the engine's rendezvous orders before
+	// any shard worker reads them.
+	compiledOn bool
+	fuse       mdp.FuseCtl
 }
 
 // NoEvent is the "no wake scheduled" horizon value (re-exported from
@@ -282,6 +291,82 @@ func (m *Machine) SetFastPath(on bool) {
 // internal/engine consults it before eliding empty network phases.
 func (m *Machine) FastPathActive() bool { return m.fast && !m.pinned }
 
+// SetCompiled installs (or, with nil, removes) a compiled program tier
+// on every node: at each instruction boundary the node runs the
+// translated closure for its current IP instead of the interpreter,
+// bailing back to it for scheduler-visible operations (see
+// internal/compiled and docs/COMPILED.md). The machine grants fusion
+// windows bounded by the run loops' caps and every hook's event
+// horizon; a pinned machine (AddCycleFn) stays single-instruction,
+// which is still exact. State, statistics, digests, and traces remain
+// byte-identical to interpreted runs in every mode.
+func (m *Machine) SetCompiled(cp *mdp.CompiledProgram) {
+	m.compiledOn = cp != nil
+	m.fuse = mdp.FuseCtl{Limit: 0, QuietCycle: -1}
+	for _, n := range m.Nodes {
+		if cp == nil {
+			n.SetCompiled(nil, nil)
+		} else {
+			n.SetCompiled(cp, &m.fuse)
+		}
+	}
+}
+
+// CompiledActive reports whether the compiled tier is installed.
+func (m *Machine) CompiledActive() bool { return m.compiledOn }
+
+// FusedInstructions sums the per-node count of instructions executed
+// as fused (non-boundary) members of compiled windows. Diagnostic
+// only — it depends on host-side scheduling and is excluded from
+// digests and checkpoints — but it lets benchmarks report fusion depth
+// and lets the equivalence suite prove fusion actually engaged.
+func (m *Machine) FusedInstructions() int64 {
+	var total int64
+	for _, n := range m.Nodes {
+		total += n.FusedInstructions()
+	}
+	return total
+}
+
+// publishFuseLimit grants the upcoming cycles' fusion window: fused
+// instruction boundaries may extend to min(limit, every hook horizon
+// minus one). A pinned machine's hooks may observe state on any cycle,
+// so the window degenerates to the next cycle (single-instruction
+// compiled execution, exact per boundary).
+func (m *Machine) publishFuseLimit(limit int64) {
+	if !m.compiledOn {
+		return
+	}
+	if m.pinned {
+		m.fuse.Limit = m.cycle + 1
+		return
+	}
+	for _, h := range m.horizons {
+		if hz := h(m.cycle); hz-1 < limit {
+			limit = hz - 1
+		}
+	}
+	m.fuse.Limit = limit
+}
+
+// PublishNetQuiet certifies, for the cycle being stepped, that the
+// network held no phits or outbox messages at the network/processor
+// phase boundary — the quiet fusion rule's precondition. The
+// sequential loop calls it between the network and processor phases;
+// the engine calls it from the coordinator (empty-mesh cycles) or from
+// shard 0 inside the commit phase, so every worker observes the same
+// deterministic certification.
+func (m *Machine) PublishNetQuiet() {
+	if !m.compiledOn {
+		return
+	}
+	if m.Net.Quiet() {
+		m.fuse.QuietCycle = m.cycle
+	} else {
+		m.fuse.QuietCycle = -1
+	}
+}
+
 // SetWatchdog arms (or, with 0, disarms) the progress watchdog after
 // construction — used when the machine was built by an application's
 // Run helper rather than directly from a Config.
@@ -335,6 +420,9 @@ func (m *Machine) InjectFree(node, pri int) int {
 // StepN and the run loops — re-synchronizes before returning instead.)
 func (m *Machine) Step() {
 	m.unparkAll()
+	if m.compiledOn {
+		m.fuse.Limit = m.cycle + 1 // single-instruction boundaries only
+	}
 	m.stepOnce()
 }
 
@@ -357,6 +445,7 @@ func (m *Machine) stepOnce() {
 	} else {
 		m.Net.Step()
 	}
+	m.PublishNetQuiet()
 	m.StepNodeRange(0, len(m.Nodes))
 	m.caughtUpTo = m.cycle
 }
@@ -372,26 +461,34 @@ func (m *Machine) stepOnce() {
 // atomic).
 func (m *Machine) StepNodeRange(lo, hi int) {
 	fast := m.FastPathActive()
+	cycle := m.cycle
+	// Park/unpark deltas batch into one atomic update per call — the
+	// shared counter is only read between processor phases (advance,
+	// syncAll, unparkAll), never while a slab is mid-step.
+	parkDelta := int64(0)
 	for i := lo; i < hi; i++ {
-		n := m.Nodes[i]
 		if m.parked[i] {
-			if !m.needWake[i] && m.cycle < m.wakeAt[i] {
+			if !m.needWake[i] && cycle < m.wakeAt[i] {
 				continue
 			}
-			n.SkipTo(m.cycle - 1)
+			m.Nodes[i].SkipTo(cycle - 1)
 			m.parked[i] = false
 			m.needWake[i] = false
-			m.nParked.Add(-1)
+			parkDelta--
 		}
+		n := m.Nodes[i]
 		n.Step()
 		if fast {
-			if ne := n.NextEvent(); ne > m.cycle+1 {
+			if ne := n.NextEvent(); ne > cycle+1 {
 				m.parked[i] = true
 				m.wakeAt[i] = ne
 				m.needWake[i] = false
-				m.nParked.Add(1)
+				parkDelta++
 			}
 		}
+	}
+	if parkDelta != 0 {
+		m.nParked.Add(parkDelta)
 	}
 }
 
@@ -414,6 +511,7 @@ func (m *Machine) advance(limit int64) {
 			}
 		}
 	}
+	m.publishFuseLimit(limit)
 	m.stepOnce()
 }
 

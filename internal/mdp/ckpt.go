@@ -112,6 +112,12 @@ func (n *Node) RestoreState(d *wire.Decoder) error {
 		n.fatal = errors.New(d.String())
 	}
 	n.cycle = d.I64()
+	// A checkpoint is always captured at a cycle where any fused
+	// window's charge plan has collapsed to the scalar (stall,
+	// stallCat) pair serialized above, so the plan itself is never on
+	// the wire; clear any live remnant in the node being overwritten.
+	n.fuseSegs = n.fuseSegs[:0]
+	n.fuseHead = 0
 	if nnr := word.Word(d.U64()); nnr != n.nnr {
 		return fmt.Errorf("mdp: checkpoint node address %x != configured %x (topology mismatch)", nnr, n.nnr)
 	}

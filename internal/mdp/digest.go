@@ -26,6 +26,9 @@ func (n *Node) StateDigest(h uint64) uint64 {
 	}
 	h = mix(h, uint64(n.cur)|uint64(uint32(n.stall))<<32)
 	h = mix(h, uint64(n.stallCat)|uint64(n.region)<<8)
+	if len(n.fuseSegs) > 0 {
+		h = n.fuseDigest(h)
+	}
 	for l := range n.building {
 		for v := 0; v < 2; v++ {
 			h = mix(h, uint64(len(n.building[l][v]))|uint64(n.pendingLen[l][v])<<32)

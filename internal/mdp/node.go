@@ -87,6 +87,19 @@ type Node struct {
 	faultFn   FaultFn
 	cycle     int64
 	nnr       word.Word
+
+	// Compiled execution tier (see compiled.go): translated closures
+	// per code address, the machine's shared fusion control block, and
+	// the segmented charge plan of an in-progress fused window.
+	compiled *CompiledProgram
+	fuse     *FuseCtl
+	fuseSegs []fuseSeg
+	fuseHead int
+	// fusedInstrs counts instructions executed as fused (non-boundary)
+	// members of a compiled window. Diagnostic only: not digest-folded
+	// and not checkpointed, because fusion depth is a host-side artifact
+	// (run-loop cap, hook horizons) that equivalence must not depend on.
+	fusedInstrs int64
 	// syncHook, when non-nil, runs before any externally-driven state
 	// mutation (freeze, kill, fail, background start) so a scheduler
 	// that let the node's clock lag behind the machine can charge the
@@ -201,7 +214,11 @@ func (n *Node) SkipTo(target int64) {
 			s = d
 		}
 		n.stall -= int32(s)
-		n.Stats.AddN(n.stallCat, s)
+		if len(n.fuseSegs) > 0 {
+			n.fuseSkip(s)
+		} else {
+			n.Stats.AddN(n.stallCat, s)
+		}
 		d -= s
 	}
 	if d > 0 {
@@ -338,6 +355,9 @@ func (n *Node) Step() {
 	if n.stall > 0 {
 		n.stall--
 		n.Stats.Add(n.stallCat)
+		if len(n.fuseSegs) > 0 {
+			n.fuseTick()
+		}
 		return
 	}
 	// Software overflow handling runs at instruction boundaries, ahead
@@ -484,6 +504,9 @@ func (n *Node) chargeFirst(cost int32, cat stats.Cat) {
 // execOne executes the instruction at the current context's IP,
 // performing fault service if needed, and charges its cycles.
 func (n *Node) execOne() {
+	if n.compiled != nil && n.runCompiled() {
+		return
+	}
 	ctx := &n.ctx[n.cur]
 	if ctx.IP < 0 || int(ctx.IP) >= len(n.Prog.Instrs) {
 		n.haltFatal(fmt.Errorf("mdp: node %d IP %d outside program", n.ID, ctx.IP))

@@ -122,6 +122,16 @@ func (n *Node) CountInstr() {
 	}
 }
 
+// CountInstrN attributes k retired instructions at once. Valid only
+// when the thread class cannot have changed across them (the compiled
+// tier's fusion loop: dispatch and suspend both end a window).
+func (n *Node) CountInstrN(k uint64) {
+	n.Instrs += k
+	if n.cur != nil {
+		n.cur.Instrs += k
+	}
+}
+
 // Handler returns the accumulated stats for a thread class, or nil.
 func (n *Node) Handler(ip int32) *HandlerStats { return n.byHandler[ip] }
 

@@ -2,11 +2,13 @@
 # Engine benchmark harness: the testing.B suite (ns per machine cycle
 # at two machine sizes, several shard counts, and both stepping modes
 # on the idle ring) plus the 512-node probes — the Figure 3 loaded
-# exchange across shard counts and the token-ring idle workload under
-# the reference loop and the event-horizon fast path — folded into
-# BENCH_engine.json by jm-bench. The probes also re-check the
-# determinism contract: final state digests within each workload must
-# be equal, whatever the shard count or stepping mode.
+# exchange across shard counts, the token-ring idle workload under
+# the reference loop and the event-horizon fast path, and the
+# compiled-tier roofline (both fig3 shapes, interpreted and compiled,
+# classified dispatch- vs memory-bound) — folded into BENCH_engine.json
+# by jm-bench. The probes also re-check the determinism contract:
+# final state digests within each workload must be equal, whatever the
+# shard count, stepping mode, or execution tier.
 #
 # The recorded engine speedup depends on the host: it needs >= 4
 # hardware threads to beat the sequential loop (the committed JSON

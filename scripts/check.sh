@@ -41,6 +41,19 @@ go test -cover ./... | tee /tmp/jm-cover.out
 echo "-- coverage summary"
 awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:") printf "%7s  %s\n", $(i+1), $2 }' \
     /tmp/jm-cover.out | sort -r
+echo "-- coverage floors (translation layer >= 80%)"
+# internal/asm recovers handler CFGs and internal/compiled turns them
+# into closures; both are the compiled tier's trusted base, so their
+# statement coverage is floored rather than merely reported.
+awk '$1 == "ok" && ($2 == "jmachine/internal/asm" || $2 == "jmachine/internal/compiled") {
+        for (i = 1; i <= NF; i++) if ($i == "coverage:") {
+            v = $(i+1); sub(/%/, "", v); found++
+            printf "%7.1f%%  %s\n", v, $2
+            if (v + 0 < 80) { printf "FAIL: %s below the 80%% floor\n", $2; bad = 1 }
+        }
+    }
+    END { if (found < 2) { print "FAIL: coverage rows for internal/asm + internal/compiled missing"; exit 1 }
+          exit bad }' /tmp/jm-cover.out
 
 echo "== chaos smoke"
 go build -o /tmp/jm-chaos-check ./cmd/jm-chaos
@@ -64,6 +77,19 @@ cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-fast-4.out
 cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-ref-1.out
 cmp /tmp/jm-tables-fast-1.out /tmp/jm-tables-ref-4.out
 echo "fast-path smoke: Table 4/5 byte-identical across stepping modes"
+
+echo "== compiled-tier equivalence smoke"
+# The compiled handler tier at the CLI surface: all six workloads
+# (pingpong, barrier, lcs, radix, nqueens, tsp) under the seeded chaos
+# campaign must print byte-identical results with the tier on, at
+# shards 1 and 4, as the interpreter run above produced. The package
+# suites (internal/compiled) prove the same per-cycle and per-window;
+# this proves the shipped binaries agree end to end.
+/tmp/jm-chaos-check $SMOKE -compiled -shards 1 > /tmp/jm-chaos-compiled-1.out
+/tmp/jm-chaos-check $SMOKE -compiled -shards 4 > /tmp/jm-chaos-compiled-4.out
+cmp /tmp/jm-chaos-check-1.out /tmp/jm-chaos-compiled-1.out
+cmp /tmp/jm-chaos-check-1.out /tmp/jm-chaos-compiled-4.out
+echo "compiled smoke: six workloads byte-identical to the interpreter at shards 1 and 4"
 
 echo "== checkpoint crash-recovery smoke"
 # SIGKILL a checkpointing jm-chaos run after its first periodic
