@@ -11,7 +11,11 @@
 //   - the roofline probe (both fig3 shapes, interpreted and compiled),
 //     which classifies each shape as dispatch-bound or memory-bound by
 //     how much of its host time the compiled handler tier removes —
-//     the compiled tier's benchmark.
+//     the compiled tier's benchmark; and
+//   - the rendezvous probe (token ring and pingpong under the
+//     per-cycle and epoch-batched engine protocols) plus the
+//     mesh-scaling probe (token rings at 2K–16K nodes) — the epoch
+//     engine's benchmarks. Rendezvous counts are host-independent.
 //
 // Each run of the same workload must end in a byte-identical machine
 // state, so the file doubles as a large-scale determinism check. Host
@@ -24,7 +28,9 @@
 // Usage:
 //
 //	jm-bench [-nodes 512] [-warm 2000] [-measure 20000]
-//	         [-shards 0,2,4,8] [-idle-tokens 4] [-roofline] [-label name]
+//	         [-shards 0,2,4,8] [-force-shards] [-idle-tokens 4]
+//	         [-roofline] [-mesh 2048,4096,16384] [-mesh-cycles 2000]
+//	         [-mesh-smoke] [-label name]
 //	         [-gobench file] [-out BENCH_engine.json]
 package main
 
@@ -71,6 +77,14 @@ type historyEntry struct {
 	// CompiledSpeedup is the roofline probe's compiled/interpreted rate
 	// ratio on the dispatch-bound fig3-compute shape.
 	CompiledSpeedup float64 `json:"compiled_speedup_fig3_compute,omitempty"`
+	// Rendezvous reductions (per-cycle count / epoch count) from the
+	// rendezvous probe — host-independent, so history entries are
+	// comparable across machines.
+	IdleRendezvousReduction float64 `json:"idle_rendezvous_reduction,omitempty"`
+	PingRendezvousReduction float64 `json:"ping_rendezvous_reduction,omitempty"`
+	// MeshBytesPerNode is the largest mesh row's heap footprint.
+	MeshNodes        int   `json:"mesh_nodes,omitempty"`
+	MeshBytesPerNode int64 `json:"mesh_heap_bytes_per_node,omitempty"`
 }
 
 // report is the BENCH_engine.json schema.
@@ -95,10 +109,15 @@ type report struct {
 	// Roofline classifies both fig3 shapes as dispatch- or memory-bound
 	// by the compiled tier's speedup; its digests_match covers the
 	// compiled-vs-interpreted pairs.
-	Roofline     *bench.RooflineResult `json:"roofline,omitempty"`
-	DigestsMatch bool                  `json:"digests_match"`
-	GoBench      []goBenchLine         `json:"go_bench,omitempty"`
-	History      []historyEntry        `json:"history,omitempty"`
+	Roofline *bench.RooflineResult `json:"roofline,omitempty"`
+	// Rendezvous compares the per-cycle and epoch-batched engine
+	// protocols (equal digests enforced, counts host-independent).
+	Rendezvous []bench.RendezvousResult `json:"rendezvous_probe,omitempty"`
+	// MeshScaling is the large-mesh token-ring sweep.
+	MeshScaling  []bench.MeshScalingResult `json:"mesh_scaling,omitempty"`
+	DigestsMatch bool                      `json:"digests_match"`
+	GoBench      []goBenchLine             `json:"go_bench,omitempty"`
+	History      []historyEntry            `json:"history,omitempty"`
 }
 
 // summarize folds a report into its history line.
@@ -135,6 +154,20 @@ func (r *report) summarize() historyEntry {
 	if r.Roofline != nil {
 		h.CompiledSpeedup = r.Roofline.Speedup["fig3-compute"]
 	}
+	for _, rv := range r.Rendezvous {
+		switch rv.Workload {
+		case "idle-ring":
+			h.IdleRendezvousReduction = rv.Reduction
+		case "pingpong":
+			h.PingRendezvousReduction = rv.Reduction
+		}
+	}
+	for _, ms := range r.MeshScaling {
+		if ms.Nodes > h.MeshNodes {
+			h.MeshNodes = ms.Nodes
+			h.MeshBytesPerNode = ms.HeapBytesPerNode
+		}
+	}
 	return h
 }
 
@@ -146,6 +179,13 @@ func main() {
 	idleTokens := flag.Int("idle-tokens", 4, "tokens circulating in the idle probe ring")
 	compiledFlag := flag.Bool("compiled", false, "install the compiled handler tier for the fig3 probe rows")
 	roofline := flag.Bool("roofline", true, "run the compiled-tier roofline probe (both fig3 shapes, both tiers)")
+	forceShards := flag.Bool("force-shards", false, "keep shard counts above the host's core count (skipped by default: oversubscribed rows measure scheduler thrash, not the engine)")
+	rendezvous := flag.Bool("rendezvous", true, "run the rendezvous-reduction probe (per-cycle vs epoch protocol; deterministic)")
+	meshList := flag.String("mesh", "2048,4096,16384", "comma-separated mesh sizes for the scaling probe (empty = off)")
+	meshCycles := flag.Int64("mesh-cycles", 2000, "cycles per mesh-scaling row")
+	meshShards := flag.Int("mesh-shards", 4, "shard count for the mesh-scaling rows")
+	meshCheckMax := flag.Int("mesh-check-max", 4096, "digest-check mesh rows up to this size against a sequential reference run")
+	meshSmoke := flag.Bool("mesh-smoke", false, "CI smoke: run only the rendezvous probe and one digest-checked 4096-node mesh row, print, and exit")
 	label := flag.String("label", "", "history label for this run (e.g. a PR or commit name)")
 	gobench := flag.String("gobench", "", "`go test -bench` output file to merge")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
@@ -157,11 +197,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *meshSmoke {
+		runMeshSmoke(*meshCycles)
+		return
+	}
+
 	var counts []int
 	for _, f := range strings.Split(*shardList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			log.Fatalf("bad -shards entry %q: %v", f, err)
+		}
+		if n > runtime.NumCPU() && !*forceShards {
+			fmt.Fprintf(os.Stderr, "skipping shards=%d: host has %d cores (use -force-shards to keep oversubscribed rows)\n",
+				n, runtime.NumCPU())
+			continue
 		}
 		counts = append(counts, n)
 	}
@@ -275,6 +325,37 @@ func main() {
 			rep.DigestsMatch = false
 		}
 	}
+	// Rendezvous-reduction probe: per-cycle vs epoch protocol on the
+	// token ring and the pingpong, digests compared inside the probe.
+	if *rendezvous {
+		rv, err := bench.RendezvousProbe(64, 4, *idleTokens, 20000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Rendezvous = rv
+		for _, r := range rv {
+			fmt.Fprintf(os.Stderr, "rendezvous %s: per-cycle %d, epoch %d (%.0fx reduction)\n",
+				r.Workload, r.PerCycle, r.Epoch, r.Reduction)
+		}
+	}
+
+	// Mesh-scaling sweep: large token rings under the epoch engine.
+	if *meshList != "" {
+		for _, f := range strings.Split(*meshList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("bad -mesh entry %q: %v", f, err)
+			}
+			res, err := bench.MeshScalingProbe(n, *meshShards, *idleTokens, *meshCycles, n <= *meshCheckMax)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.MeshScaling = append(rep.MeshScaling, res)
+			fmt.Fprintf(os.Stderr, "mesh probe nodes=%d shards=%d: %.0f cycles/sec, %d B/node heap, %d rendezvous (checked=%v)\n",
+				res.Nodes, res.Shards, res.CyclesPerSec, res.HeapBytesPerNode, res.Rendezvous, res.Checked)
+		}
+	}
+
 	if !rep.DigestsMatch {
 		log.Fatal("state digests diverged across runs of the same workload — determinism violation")
 	}
@@ -313,6 +394,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// runMeshSmoke is the CI entry point: the deterministic rendezvous
+// probe (which fails on any per-cycle/epoch digest mismatch or a
+// reduction below the committed 10x floor) and one digest-checked
+// 4096-node mesh row. No file is written.
+func runMeshSmoke(cycles int64) {
+	rv, err := bench.RendezvousProbe(64, 4, 4, 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rv {
+		if r.Epoch != 0 && r.Reduction < 10 {
+			log.Fatalf("rendezvous %s: reduction %.1fx below the 10x floor (per-cycle %d, epoch %d)",
+				r.Workload, r.Reduction, r.PerCycle, r.Epoch)
+		}
+		fmt.Printf("rendezvous %s: per-cycle %d, epoch %d ok\n", r.Workload, r.PerCycle, r.Epoch)
+	}
+	res, err := bench.MeshScalingProbe(4096, 4, 4, cycles, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh 4096: digest %#x checked vs reference, %d B/node heap, %d rendezvous\n",
+		res.Digest, res.HeapBytesPerNode, res.Rendezvous)
 }
 
 // maxShards returns the largest requested shard count.

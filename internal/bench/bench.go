@@ -60,6 +60,17 @@ type Options struct {
 	// tier's equivalence suite proves digests and observation traces
 	// byte-identical with it on or off.
 	Compiled bool
+	// PerCycle forces the parallel engine's per-cycle rendezvous
+	// protocol (every cycle releases the worker fleet), disabling epoch
+	// batching. Digest-neutral like the other engine knobs; exists so
+	// the rendezvous probes can measure the batching win and the
+	// equivalence suites can pin the older protocol.
+	PerCycle bool
+	// ParallelWork overrides the engine's inline/parallel work
+	// threshold (engine.Config.ParallelWork); 0 keeps the default.
+	// ParallelWork = 1 engages the worker fleet for any multi-shard
+	// activity, which the tests use to force the parallel path.
+	ParallelWork int
 }
 
 func (o Options) progress(format string, args ...any) {

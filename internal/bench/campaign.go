@@ -40,6 +40,12 @@ type ResilienceConfig struct {
 	// Compiled installs the compiled handler tier (internal/compiled).
 	// Byte-identical results either way, like Shards and Reference.
 	Compiled bool
+	// PerCycle forces the engine's per-cycle rendezvous protocol
+	// (epoch batching off); ParallelWork overrides the inline/parallel
+	// work threshold (0 = engine default). Both are digest-neutral
+	// wall-clock knobs, mirrored from bench.Options.
+	PerCycle     bool
+	ParallelWork int
 	// Obs, when non-nil, streams a Perfetto timeline and metric
 	// snapshots from the campaign machine (see internal/obs). Purely a
 	// tap: the StateDigest in the result is unchanged by it.
@@ -130,7 +136,8 @@ func prepare(camp chaos.Campaign, rc ResilienceConfig, p *asm.Program) (*machine
 	stopObs := rc.Obs.AttachTo(m)
 	var eng *engine.Engine
 	if rc.Shards > 1 {
-		eng = engine.Attach(m, rc.Shards)
+		eng = engine.AttachCfg(m, rc.Shards,
+			engine.Config{PerCycle: rc.PerCycle, ParallelWork: rc.ParallelWork})
 	}
 	stop := func() {
 		eng.Stop()

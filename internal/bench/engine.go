@@ -21,19 +21,31 @@ import (
 // the stop so worker goroutines are released — and trace files drained
 // and closed — when the run returns.
 func (o Options) attachEngine(m *machine.Machine) func() {
+	_, stop := o.attachEngineRv(m)
+	return stop
+}
+
+// attachEngineRv is attachEngine exposing the engine handle, for
+// probes that read the rendezvous counter before stopping. The handle
+// is nil when o.Shards <= 1.
+func (o Options) attachEngineRv(m *machine.Machine) (*engine.Engine, func()) {
 	if o.Reference {
 		m.SetFastPath(false)
 	}
 	o.attachCompiled(m)
 	stopObs := o.Obs.AttachTo(m)
 	if o.Shards <= 1 {
-		return func() { reportObsErr(stopObs()) }
+		return nil, func() { reportObsErr(stopObs()) }
 	}
-	eng := engine.Attach(m, o.Shards)
-	return func() {
+	eng := engine.AttachCfg(m, o.Shards, o.engineCfg())
+	return eng, func() {
 		eng.Stop()
 		reportObsErr(stopObs())
 	}
+}
+
+func (o Options) engineCfg() engine.Config {
+	return engine.Config{PerCycle: o.PerCycle, ParallelWork: o.ParallelWork}
 }
 
 // engineHook returns an application Setup hook attaching the recorder
@@ -54,7 +66,7 @@ func (o Options) engineHook() (func(*machine.Machine, *rt.Runtime), func()) {
 		o.attachCompiled(m)
 		stopObs = o.Obs.AttachTo(m)
 		if o.Shards > 1 {
-			eng = engine.Attach(m, o.Shards)
+			eng = engine.AttachCfg(m, o.Shards, o.engineCfg())
 		}
 	}
 	return setup, func() {

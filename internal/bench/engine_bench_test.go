@@ -32,7 +32,7 @@ func benchStep(b *testing.B, nodes, shards int) {
 // on a cfut slot. This is the shape the event-horizon fast path is
 // for, so it is benchmarked under both stepping modes.
 func benchIdleStep(b *testing.B, nodes, shards int, reference bool) {
-	m, stop, err := newIdleRing(nodes, shards, reference, 4)
+	m, _, stop, err := newIdleRing(Options{Shards: shards, Reference: reference}, nodes, 4)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"jmachine/internal/asm"
+	"jmachine/internal/engine"
 	"jmachine/internal/isa"
 	"jmachine/internal/machine"
 	"jmachine/internal/rt"
@@ -60,28 +61,25 @@ func buildIdleRingProgram() *asm.Program {
 
 // newIdleRing builds and seeds a token-ring machine. The returned stop
 // function releases the engine workers (no-op when sequential).
-func newIdleRing(nodes, shards int, reference bool, tokens int) (*machine.Machine, func(), error) {
+func newIdleRing(o Options, nodes, tokens int) (*machine.Machine, *engine.Engine, func(), error) {
 	if tokens < 1 {
 		tokens = 1
 	}
 	p := buildIdleRingProgram()
 	m, err := machine.New(machine.GridForNodes(nodes), p)
 	if err != nil {
-		return nil, nil, err
-	}
-	if reference {
-		m.SetFastPath(false)
+		return nil, nil, nil, err
 	}
 	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
-	stop := (Options{Shards: shards}).attachEngine(m)
+	eng, stop := o.attachEngineRv(m)
 	for i, n := range m.Nodes {
 		if err := n.Mem.FillCfut(rt.AppBase+idleOffSlot, 1); err != nil {
 			stop()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := n.Mem.Write(rt.AppBase+idleOffNext, m.Net.NodeWord((i+1)%nodes)); err != nil {
 			stop()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	rt.StartAll(m, p, "main")
@@ -90,7 +88,7 @@ func newIdleRing(nodes, shards int, reference bool, tokens int) (*machine.Machin
 		seed.Queues[0].Push(word.MsgHeader(p.Entry("pass"), 2))
 		seed.Queues[0].Push(word.Int(1))
 	}
-	return m, stop, nil
+	return m, eng, stop, nil
 }
 
 // IdleProbe runs the token ring for measure cycles after warm warm-up
@@ -99,7 +97,7 @@ func newIdleRing(nodes, shards int, reference bool, tokens int) (*machine.Machin
 // idle). Runs with the same (nodes, tokens, warm, measure) must end in
 // byte-identical machine states whatever the mode or shard count.
 func IdleProbe(nodes, shards int, reference bool, tokens int, warm, measure int64) (EngineProbeResult, error) {
-	m, stop, err := newIdleRing(nodes, shards, reference, tokens)
+	m, eng, stop, err := newIdleRing(Options{Shards: shards, Reference: reference}, nodes, tokens)
 	if err != nil {
 		return EngineProbeResult{}, err
 	}
@@ -126,5 +124,6 @@ func IdleProbe(nodes, shards int, reference bool, tokens int, warm, measure int6
 		WallSeconds:  wall,
 		CyclesPerSec: float64(measure) / wall,
 		Digest:       m.StateDigest(),
+		Rendezvous:   eng.Rendezvous(),
 	}, nil
 }

@@ -27,6 +27,13 @@ type EngineProbeResult struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	Digest       uint64  `json:"state_digest"` // machine state at the end
+	// Rendezvous counts worker-fleet engagements over the whole run
+	// (warm-up included). Unlike the wall-clock fields it is a pure
+	// function of the simulated state and the engine configuration —
+	// host-independent, so it is comparable across machines and
+	// regressions in epoch batching show up as exact count changes.
+	// Zero when sequential.
+	Rendezvous int64 `json:"rendezvous"`
 }
 
 // EngineProbe steps the loaded-exchange workload for measure cycles
@@ -60,7 +67,8 @@ func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, ev
 	if ckptPath != "" {
 		cw = ckpt.AttachWriter(m, ckptPath, every, r)
 	}
-	defer (Options{Shards: shards, Compiled: compiled}).attachEngine(m)()
+	eng, stopEng := (Options{Shards: shards, Compiled: compiled}).attachEngineRv(m)
+	defer stopEng()
 	rnd := rand.New(rand.NewSource(3))
 	period := 4*idleIters + 120
 	for _, n := range m.Nodes {
@@ -108,5 +116,6 @@ func EngineProbeCkpt(nodes, shards int, warm, measure int64, ckptPath string, ev
 		WallSeconds:  wall,
 		CyclesPerSec: rate,
 		Digest:       m.StateDigest(),
+		Rendezvous:   eng.Rendezvous(),
 	}, nil
 }

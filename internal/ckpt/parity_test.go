@@ -62,6 +62,7 @@ var paritySpecs = map[string]paritySpec{
 			"lastSig", "lastMove", "sigValid",
 			"parked", "wakeAt", "needWake", "caughtUpTo"},
 		derived: []string{
+			"wakeSeq",    // engine cache-invalidation generation; restore bumps it, exact value unobservable
 			"Cfg",        // construction input; dims verified on restore
 			"Stats",      // view over the per-node stats.Node accumulators, serialized via each mdp.Node
 			"cycleFns",   // attached hooks; re-attached by the restoring process
@@ -85,6 +86,7 @@ var paritySpecs = map[string]paritySpec{
 			"nbr",                                                                 // topology, rebuilt by New
 			"midX",                                                                // topology
 			"wakeFn", "injectFns", "deliverFns", "dropFns", "stallFn", "filterFn", // attached hooks
+			"loadFn", // engine activity-ledger callback; re-attached (NewShardRun), ledger rescanned on restore
 		},
 	},
 	"jmachine/internal/network.router": {
@@ -145,14 +147,14 @@ var paritySpecs = map[string]paritySpec{
 		serialized: []string{"addr", "words"},
 	},
 	"jmachine/internal/queue.Queue": {
-		serialized: []string{"buf", "limit", "used", "arriving", "expecting",
+		serialized: []string{"buf", "capWords", "limit", "used", "arriving", "expecting",
 			"msgs", "maxUsed", "delivered", "rejected"},
 		derived: []string{
 			"head", // ring rotation is unobservable; restore rebases to 0
 		},
 	},
 	"jmachine/internal/mem.Memory": {
-		serialized: []string{"words", "imemWords"},
+		serialized: []string{"pages", "size", "imemWords"},
 	},
 	"jmachine/internal/xlate.Table": {
 		serialized: []string{"sets", "ways", "keys", "vals", "valid", "lru",
@@ -167,7 +169,7 @@ var paritySpecs = map[string]paritySpec{
 		serialized: []string{"Invocations", "Instrs", "MsgWords"},
 	},
 	"jmachine/internal/trace.Buffer": {
-		serialized: []string{"events", "count", "dropped"},
+		serialized: []string{"events", "capEvents", "count", "dropped"},
 		derived: []string{
 			"next", // ring rotation is unobservable; restore rebases oldest-first
 		},

@@ -1,0 +1,79 @@
+package engine
+
+// White-box tests for the sense-reversing spin barrier: the abandon
+// path is the engine's only defence against a panicking shard wedging
+// the other workers, so it gets direct coverage here in addition to
+// the end-to-end panic test in epoch_test.go.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSpinBarrierRounds drives several goroutines through repeated
+// waits: every round must release all parties exactly once.
+func TestSpinBarrierRounds(t *testing.T) {
+	const n, rounds = 4, 50
+	var b spinBarrier
+	b.init(n)
+	var passed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.wait()
+				passed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := passed.Load(); got != n*rounds {
+		t.Fatalf("passed %d waits, want %d", got, n*rounds)
+	}
+}
+
+// TestSpinBarrierAbandon blocks n-1 waiters, abandons the barrier from
+// the party that would have completed it, and requires every waiter —
+// current and future — to return instead of spinning forever.
+func TestSpinBarrierAbandon(t *testing.T) {
+	const n = 4
+	var b spinBarrier
+	b.init(n)
+	released := make(chan struct{}, n)
+	for w := 0; w < n-1; w++ {
+		go func() {
+			b.wait()
+			released <- struct{}{}
+		}()
+	}
+	// Give the waiters time to block: none may pass before abandon.
+	select {
+	case <-released:
+		t.Fatal("a waiter passed an incomplete barrier")
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.abandon()
+	for w := 0; w < n-1; w++ {
+		select {
+		case <-released:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter still blocked after abandon")
+		}
+	}
+	// A dead barrier must never block again (workers unwind through
+	// their remaining phase waits after a shard panics).
+	done := make(chan struct{})
+	go func() {
+		b.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait blocked on an abandoned barrier")
+	}
+}

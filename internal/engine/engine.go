@@ -9,8 +9,19 @@
 // and cross-shard hook events at a per-cycle rendezvous, and the
 // result is byte-identical to the sequential reference loop: same
 // cycle counts, same statistics, same watchdog and chaos behaviour.
-// See docs/ENGINE.md for the determinism argument and the phase
-// protocol.
+//
+// Cycles are epoch-batched: the engine tracks per-shard activity — the
+// network's phit/outbox load ledger (ShardRun.Load), live node counts
+// and parked wake times from the event-horizon scheduler — and while
+// the machine's work is localized or small, the coordinator steps just
+// the active slabs inline through the same staged phase protocol,
+// touching no barrier at all. The worker fleet (one rendezvous per
+// cycle) is engaged only when at least two shards are active and the
+// total work clears Config.ParallelWork. An epoch is a maximal run of
+// barrier-free inline cycles; on mostly-idle meshes (a token ring, a
+// pingpong pair) epochs span the whole run and the rendezvous count
+// drops to ~0. See docs/ENGINE.md for the determinism argument and
+// the phase protocol.
 //
 // Usage:
 //
@@ -32,13 +43,36 @@ import (
 // GOMAXPROCS, the number of OS threads Go will actually run.
 func DefaultShards() int { return runtime.GOMAXPROCS(0) }
 
+// DefaultParallelWork is the work estimate (live nodes + buffered
+// phits + queued outbox messages) above which a multi-shard cycle is
+// worth a worker rendezvous. Below it the coordinator steps the active
+// slabs inline: a three-barrier rendezvous costs on the order of a few
+// dozen node steps, so tiny cycles are cheaper single-threaded.
+const DefaultParallelWork = 64
+
+// Config tunes the engine's scheduling policy. The zero value selects
+// epoch batching with the default threshold. Every knob is a pure
+// function of simulated state, so digests and statistics are identical
+// across settings — only wall-clock time and the rendezvous count move.
+type Config struct {
+	// PerCycle forces the legacy protocol: every cycle engages the
+	// worker fleet, barriers included. The probes use it to measure the
+	// rendezvous reduction; it is also the clearest setting under the
+	// race detector.
+	PerCycle bool
+	// ParallelWork overrides DefaultParallelWork (0 keeps the default).
+	// Tests set it to 1 to force the parallel path on small meshes.
+	ParallelWork int
+}
+
 // Engine steps a machine with one goroutine per shard. The goroutine
 // calling Machine.Step acts as shard 0's worker and coordinates the
 // per-cycle phases; shards 1..n-1 run on persistent workers that park
 // between cycles.
 type Engine struct {
-	m  *machine.Machine
-	sr *network.ShardRun
+	m   *machine.Machine
+	sr  *network.ShardRun
+	cfg Config
 
 	start   []chan struct{} // per-worker cycle release, workers 1..n-1
 	done    chan struct{}   // one token per finished worker per cycle
@@ -54,27 +88,57 @@ type Engine struct {
 	// pure overhead. Shares the machine's event-horizon gate so a
 	// reference-mode machine keeps the full phase protocol.
 	skipNet bool
+
+	// Per-shard activity cache for epoch batching. live and minWake
+	// come from the node-phase sweep (StepNodeRangeInfo) of whichever
+	// cycle last stepped the shard — each worker writes only its own
+	// slot, ordered before the coordinator's read by the done-channel
+	// drain. seq is the machine WakeSeq generation the cache reflects;
+	// when the machine reports out-of-band changes (host injection,
+	// chaos, restore) the cache is rebuilt from NodeActivity and the
+	// network ledger is rescanned.
+	live     []int
+	minWake  []int64
+	isActive []bool
+	active   []int // scratch: this cycle's active shard ids
+	seq      uint64
+	scanned  bool
+
+	// rendezvous counts the cycles that engaged the worker fleet. It is
+	// a pure function of simulated state, shard count, and Config —
+	// never of host speed or core count — so probe runs can compare it
+	// across machines.
+	rendezvous int64
 }
 
 // Attach partitions m across shards goroutines and installs the
-// parallel stepper. shards <= 0 selects DefaultShards(); the count is
-// clamped to the node count. With an effective count of 1 no stepper
-// is installed and the machine keeps its sequential loop — the
-// returned Engine is then a no-op whose Stop still works, so callers
-// need no special casing.
+// parallel stepper with the default (epoch-batched) policy. shards <= 0
+// selects DefaultShards(); the count is clamped to the node count. With
+// an effective count of 1 no stepper is installed and the machine keeps
+// its sequential loop — the returned Engine is then a no-op whose Stop
+// still works, so callers need no special casing.
 func Attach(m *machine.Machine, shards int) *Engine {
+	return AttachCfg(m, shards, Config{})
+}
+
+// AttachCfg is Attach with an explicit scheduling policy.
+func AttachCfg(m *machine.Machine, shards int, cfg Config) *Engine {
 	if shards <= 0 {
 		shards = DefaultShards()
 	}
 	if shards > m.NumNodes() {
 		shards = m.NumNodes()
 	}
+	if cfg.ParallelWork <= 0 {
+		cfg.ParallelWork = DefaultParallelWork
+	}
 	if shards <= 1 {
-		return &Engine{m: m}
+		return &Engine{m: m, cfg: cfg}
 	}
 	e := &Engine{
 		m:      m,
 		sr:     network.NewShardRun(m.Net, shards),
+		cfg:    cfg,
 		done:   make(chan struct{}, shards),
 		quit:   make(chan struct{}),
 		panics: make([]atomic.Value, shards),
@@ -82,6 +146,10 @@ func Attach(m *machine.Machine, shards int) *Engine {
 	n := e.sr.Shards()
 	e.bar.init(n)
 	e.start = make([]chan struct{}, n)
+	e.live = make([]int, n)
+	e.minWake = make([]int64, n)
+	e.isActive = make([]bool, n)
+	e.active = make([]int, 0, n)
 	for w := 1; w < n; w++ {
 		e.start[w] = make(chan struct{}, 1)
 		go e.worker(w)
@@ -98,6 +166,20 @@ func (e *Engine) Shards() int {
 	return e.sr.Shards()
 }
 
+// Rendezvous returns how many cycles have engaged the worker-fleet
+// barrier protocol since Attach. Under the epoch policy inline cycles
+// cost none; under PerCycle every cycle counts one. The value depends
+// only on simulated state, the shard count, and Config — never on host
+// speed or core count — so it is comparable across machines and is the
+// probe suite's measure of synchronization cost. Nil-safe; a
+// sequential engine reports 0.
+func (e *Engine) Rendezvous() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.rendezvous
+}
+
 // Stop restores the machine's sequential stepper and releases the
 // worker goroutines. Safe to call once the run loops have returned;
 // idempotent and nil-safe (a sequential run may never have built an
@@ -108,6 +190,7 @@ func (e *Engine) Stop() {
 	}
 	e.stopped = true
 	e.m.SetStepper(nil)
+	e.sr.Close()
 	close(e.quit)
 }
 
@@ -118,6 +201,88 @@ func (e *Engine) StepCycle(m *machine.Machine) {
 	if e.sr == nil {
 		panic("engine: StepCycle on a stopped or sequential engine")
 	}
+	if e.cfg.PerCycle {
+		e.stepParallel(m)
+		return
+	}
+	if !e.scanned || m.WakeSeq() != e.seq {
+		e.rescan(m)
+	}
+	// Classify shard activity for this cycle. A shard is active iff its
+	// network ledger shows buffered phits or queued outbox messages, or
+	// its slab has live (unparked or wake-pending) nodes, or a parked
+	// node's wake cycle has come due. An inactive shard's network phase
+	// and node phase are both no-ops, so skipping it is exact.
+	cyc := m.Cycle()
+	n := e.sr.Shards()
+	e.active = e.active[:0]
+	work := int64(0)
+	for s := 0; s < n; s++ {
+		on := e.sr.Load(s) > 0 || e.live[s] > 0 || e.minWake[s] <= cyc
+		e.isActive[s] = on
+		if on {
+			e.active = append(e.active, s)
+			work += int64(e.live[s]) + e.sr.Load(s)
+		}
+	}
+	if len(e.active) >= 2 && work >= int64(e.cfg.ParallelWork) {
+		e.stepParallel(m)
+		return
+	}
+	e.stepInline(m)
+}
+
+// stepInline advances one cycle on the coordinator alone: the same
+// staged phases as the parallel protocol (snapshot, step, commit,
+// quiet certification, node phase), serialized over just the active
+// shards, with zero barriers. Every shard's boundary buffers are still
+// snapshotted — an active shard's staged push into an idle neighbour
+// reads that buffer's frozen occupancy — but only active slabs step,
+// which is exact: an idle slab's routers all hit the empty fast path
+// and its parked nodes are all before their wake cycles.
+func (e *Engine) stepInline(m *machine.Machine) {
+	e.sr.Begin()
+	seq0 := m.WakeSeq()
+	if m.FastPathActive() && m.Net.Quiet() {
+		m.PublishNetQuiet()
+	} else {
+		n := e.sr.Shards()
+		for s := 0; s < n; s++ {
+			e.sr.Snapshot(s)
+		}
+		for _, s := range e.active {
+			e.sr.StepShard(s)
+		}
+		e.sr.Commit()
+		m.PublishNetQuiet()
+	}
+	for _, s := range e.active {
+		lo, hi := e.sr.NodeRange(s)
+		e.live[s], e.minWake[s] = m.StepNodeRangeInfo(lo, hi)
+	}
+	if m.WakeSeq() != seq0 {
+		// A commit-phase hook (a reliable-delivery failure action, say)
+		// unparked nodes out of band. Any shard that thereby became
+		// live must still step its node phase this cycle, exactly as
+		// the reference sweep would.
+		for s := 0; s < len(e.isActive); s++ {
+			if e.isActive[s] {
+				continue
+			}
+			lo, hi := e.sr.NodeRange(s)
+			if live, _ := m.NodeActivity(lo, hi); live > 0 {
+				e.live[s], e.minWake[s] = m.StepNodeRangeInfo(lo, hi)
+			}
+		}
+	}
+	e.seq = m.WakeSeq()
+}
+
+// stepParallel advances one cycle with the full worker fleet — one
+// rendezvous. Used for every cycle under Config.PerCycle and for
+// high-work multi-shard cycles under the epoch policy.
+func (e *Engine) stepParallel(m *machine.Machine) {
+	e.rendezvous++
 	e.sr.Begin()
 	e.skipNet = m.FastPathActive() && m.Net.Quiet()
 	if e.skipNet {
@@ -140,6 +305,22 @@ func (e *Engine) StepCycle(m *machine.Machine) {
 			panic(p)
 		}
 	}
+	e.seq = m.WakeSeq()
+}
+
+// rescan rebuilds the activity cache from scratch: the network ledger
+// from router occupancy and outbox queues, the node summaries from the
+// park table. Runs at the first stepped cycle and whenever the machine
+// reports out-of-band activity changes (WakeSeq moved: host injection,
+// chaos actions, checkpoint restore, bulk unpark).
+func (e *Engine) rescan(m *machine.Machine) {
+	e.sr.RescanLoad()
+	for s := 0; s < e.sr.Shards(); s++ {
+		lo, hi := e.sr.NodeRange(s)
+		e.live[s], e.minWake[s] = m.NodeActivity(lo, hi)
+	}
+	e.seq = m.WakeSeq()
+	e.scanned = true
 }
 
 // worker parks between cycles and steps one shard per release.
@@ -186,9 +367,10 @@ func (e *Engine) runShard(s int) {
 		}
 		e.bar.wait()
 	}
-	// Phase 4: step this slab's processors (active-set aware).
+	// Phase 4: step this slab's processors (active-set aware), keeping
+	// the shard's activity summary current for the epoch scheduler.
 	lo, hi := e.sr.NodeRange(s)
-	e.m.StepNodeRange(lo, hi)
+	e.live[s], e.minWake[s] = e.m.StepNodeRangeInfo(lo, hi)
 }
 
 // spinBarrier is a sense-reversing barrier over atomics: cheap on

@@ -141,6 +141,7 @@ func (m *Machine) RestoreState(d *wire.Decoder) error {
 		}
 	}
 	m.nParked.Store(nParked)
+	m.wakeSeq++ // engine activity caches are stale for the restored state
 	if err := d.Err(); err != nil {
 		return err
 	}

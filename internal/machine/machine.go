@@ -124,6 +124,14 @@ type Machine struct {
 	caughtUpTo int64        // cycle through which lagging nodes must catch up (cycle-1 while stepping)
 	horizons   []func(now int64) int64
 
+	// wakeSeq is a generation counter bumped whenever node activity
+	// changes outside the stepping sweep itself — host injection, the
+	// per-node sync hook (chaos freeze/thaw/kill, reliable-delivery
+	// failures, background starts), unparkAll, checkpoint restore. The
+	// parallel engine caches per-shard activity summaries and rescans
+	// them whenever this generation moves.
+	wakeSeq uint64
+
 	// Compiled tier (docs/COMPILED.md). fuse is the fusion control
 	// block every node reads through a pointer: the coordinator writes
 	// the window limit before the processor phase of each cycle and
@@ -199,6 +207,7 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 				m.parked[i] = false
 				m.needWake[i] = false
 				m.nParked.Add(-1)
+				m.wakeSeq++
 			}
 		})
 	}
@@ -400,6 +409,7 @@ func (m *Machine) Inject(node, pri int, msg []word.Word) bool {
 	// A parked node must notice host-delivered work exactly as it
 	// notices a mesh delivery.
 	m.needWake[node] = true
+	m.wakeSeq++
 	return true
 }
 
@@ -459,9 +469,17 @@ func (m *Machine) stepOnce() {
 // it for its own slab, so the bookkeeping for index i is only ever
 // touched by i's owning goroutine (nParked, the one shared counter, is
 // atomic).
-func (m *Machine) StepNodeRange(lo, hi int) {
+func (m *Machine) StepNodeRange(lo, hi int) { m.StepNodeRangeInfo(lo, hi) }
+
+// StepNodeRangeInfo is StepNodeRange returning an activity summary for
+// the range, computed in the same sweep: live is the number of nodes
+// left unparked, minWake the earliest wake cycle among the parked ones
+// (NoEvent when none is scheduled). The parallel engine caches these
+// per shard to decide which slabs the next cycle can skip.
+func (m *Machine) StepNodeRangeInfo(lo, hi int) (live int, minWake int64) {
 	fast := m.FastPathActive()
 	cycle := m.cycle
+	minWake = NoEvent
 	// Park/unpark deltas batch into one atomic update per call — the
 	// shared counter is only read between processor phases (advance,
 	// syncAll, unparkAll), never while a slab is mid-step.
@@ -469,6 +487,9 @@ func (m *Machine) StepNodeRange(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		if m.parked[i] {
 			if !m.needWake[i] && cycle < m.wakeAt[i] {
+				if m.wakeAt[i] < minWake {
+					minWake = m.wakeAt[i]
+				}
 				continue
 			}
 			m.Nodes[i].SkipTo(cycle - 1)
@@ -484,13 +505,41 @@ func (m *Machine) StepNodeRange(lo, hi int) {
 				m.wakeAt[i] = ne
 				m.needWake[i] = false
 				parkDelta++
+				if ne < minWake {
+					minWake = ne
+				}
+				continue
 			}
 		}
+		live++
 	}
 	if parkDelta != 0 {
 		m.nParked.Add(parkDelta)
 	}
+	return live, minWake
 }
+
+// NodeActivity summarizes nodes [lo, hi) without stepping anything:
+// live counts unparked nodes plus parked ones with a pending external
+// wake, minWake is the earliest scheduled wake among the rest (NoEvent
+// when none). Used by the engine to rebuild its per-shard activity
+// cache after an out-of-band change (WakeSeq moved).
+func (m *Machine) NodeActivity(lo, hi int) (live int, minWake int64) {
+	minWake = NoEvent
+	for i := lo; i < hi; i++ {
+		if !m.parked[i] || m.needWake[i] {
+			live++
+			continue
+		}
+		if m.wakeAt[i] < minWake {
+			minWake = m.wakeAt[i]
+		}
+	}
+	return live, minWake
+}
+
+// WakeSeq returns the out-of-band activity generation (see wakeSeq).
+func (m *Machine) WakeSeq() uint64 { return m.wakeSeq }
 
 // advance moves the machine forward at least one cycle, but never past
 // limit. When every node is parked and the network is empty — nothing
@@ -571,6 +620,7 @@ func (m *Machine) unparkAll() {
 		}
 	}
 	m.nParked.Store(0)
+	m.wakeSeq++
 }
 
 // StateDigest folds the machine's complete dynamic state — cycle

@@ -7,47 +7,75 @@ import (
 	"jmachine/internal/word"
 )
 
+// runEnd returns the first address after at whose word differs from v,
+// fast-forwarding across whole unmaterialized pages when v is zero so
+// the encoder stays O(materialized words) on sparse images.
+func (m *Memory) runEnd(at int, v word.Word) int {
+	j := at + 1
+	for j < m.size {
+		pg := m.pages[j>>pageShift]
+		if pg == nil {
+			if v != 0 {
+				return j
+			}
+			j = (j>>pageShift + 1) << pageShift
+			continue
+		}
+		if pg[j&pageMask] != v {
+			return j
+		}
+		j++
+	}
+	return m.size
+}
+
 // SaveState serializes the memory image run-length encoded: node
 // memories are dominated by long runs of identical words (untouched
 // zeroed DRAM, cfut-filled frames), so a (count, word) stream is far
-// smaller than the raw image while staying byte-exact.
+// smaller than the raw image while staying byte-exact. Runs are maximal
+// over the logical image, so the encoding is independent of page
+// materialization — a lazily zero page and an explicit one serialize
+// identically.
 func (m *Memory) SaveState(e *wire.Encoder) {
-	e.Int(len(m.words))
+	e.Int(m.size)
 	e.Int(m.imemWords)
 	i := 0
-	for i < len(m.words) {
-		j := i + 1
-		for j < len(m.words) && m.words[j] == m.words[i] {
-			j++
-		}
+	for i < m.size {
+		v := m.get(i)
+		j := m.runEnd(i, v)
 		e.U32(uint32(j - i))
-		e.U64(uint64(m.words[i]))
+		e.U64(uint64(v))
 		i = j
 	}
 }
 
-// RestoreState rebuilds the memory image in place (the node and its
-// segment descriptors alias the backing array). The configured
-// geometry must match the checkpoint exactly.
+// RestoreState rebuilds the memory image from the checkpoint, dropping
+// every materialized page first so zero runs restore to lazy pages. The
+// configured geometry must match the checkpoint exactly.
 func (m *Memory) RestoreState(d *wire.Decoder) error {
-	if n := d.Int(); n != len(m.words) {
-		return fmt.Errorf("mem: checkpoint size %d words != configured %d", n, len(m.words))
+	if n := d.Int(); n != m.size {
+		return fmt.Errorf("mem: checkpoint size %d words != configured %d", n, m.size)
 	}
 	if iw := d.Int(); iw != m.imemWords {
 		return fmt.Errorf("mem: checkpoint imem %d words != configured %d", iw, m.imemWords)
 	}
+	for i := range m.pages {
+		m.pages[i] = nil
+	}
 	at := 0
-	for at < len(m.words) {
+	for at < m.size {
 		run := int(d.U32())
 		w := word.Word(d.U64())
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if run <= 0 || at+run > len(m.words) {
+		if run <= 0 || at+run > m.size {
 			return fmt.Errorf("mem: checkpoint run of %d words overflows image at %d", run, at)
 		}
-		for i := 0; i < run; i++ {
-			m.words[at+i] = w
+		if w != 0 {
+			for i := 0; i < run; i++ {
+				m.set(at+i, w)
+			}
 		}
 		at += run
 	}

@@ -12,6 +12,13 @@
 // checked against the descriptor. System code may also use raw integer
 // addresses (unchecked), which is how the tuned assembly applications
 // address large arrays.
+//
+// The backing store is paged and lazily materialized: a nil page reads as
+// integer zero, and pages are only allocated on the first non-zero write.
+// Programs execute from the assembled image held machine-wide, so a node
+// that only touches a few hundred data words costs a few pages rather
+// than the full 70K-word image — the difference between a 16K-node mesh
+// fitting in memory or not.
 package mem
 
 import (
@@ -27,6 +34,14 @@ import (
 const (
 	DefaultImemWords = 4096
 	DefaultEmemWords = 65536
+)
+
+// Page geometry. 1K words (8 KiB) per page keeps the page table at 68
+// pointers for the default 70K-word node while amortizing allocation.
+const (
+	pageShift = 10
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
 )
 
 // Config sizes a node memory.
@@ -51,21 +66,25 @@ var ErrBounds = errors.New("mem: address out of bounds")
 
 // Memory is one node's storage.
 type Memory struct {
-	words     []word.Word
+	pages     [][]word.Word // fixed page table; a nil page reads as word.Int(0)
+	size      int           // addressable words
 	imemWords int
 }
 
-// New allocates a node memory. All words start as integer zero.
+// New allocates a node memory. All words start as integer zero; no page
+// is materialized until written.
 func New(cfg Config) *Memory {
 	cfg = cfg.withDefaults()
+	size := cfg.ImemWords + cfg.EmemWords
 	return &Memory{
-		words:     make([]word.Word, cfg.ImemWords+cfg.EmemWords),
+		pages:     make([][]word.Word, (size+pageWords-1)/pageWords),
+		size:      size,
 		imemWords: cfg.ImemWords,
 	}
 }
 
 // Size returns the total number of addressable words.
-func (m *Memory) Size() int { return len(m.words) }
+func (m *Memory) Size() int { return m.size }
 
 // ImemWords returns the size of internal memory; external memory begins
 // at this address.
@@ -79,40 +98,83 @@ func (m *Memory) IsInternal(addr int32) bool {
 
 // Read returns the word at addr.
 func (m *Memory) Read(addr int32) (word.Word, error) {
-	if addr < 0 || int(addr) >= len(m.words) {
+	if addr < 0 || int(addr) >= m.size {
 		return 0, ErrBounds
 	}
-	return m.words[addr], nil
+	pg := m.pages[addr>>pageShift]
+	if pg == nil {
+		return 0, nil
+	}
+	return pg[addr&pageMask], nil
 }
 
-// Write stores w at addr, replacing both data and tag.
+// Write stores w at addr, replacing both data and tag. Writing integer
+// zero to an unmaterialized page is a no-op — the page stays lazy.
 func (m *Memory) Write(addr int32, w word.Word) error {
-	if addr < 0 || int(addr) >= len(m.words) {
+	if addr < 0 || int(addr) >= m.size {
 		return ErrBounds
 	}
-	m.words[addr] = w
+	m.set(int(addr), w)
 	return nil
+}
+
+// set stores w at a bounds-checked word index, materializing the page
+// only for non-zero words.
+func (m *Memory) set(addr int, w word.Word) {
+	pg := m.pages[addr>>pageShift]
+	if pg == nil {
+		if w == 0 {
+			return
+		}
+		pg = make([]word.Word, pageWords)
+		m.pages[addr>>pageShift] = pg
+	}
+	pg[addr&pageMask] = w
+}
+
+// get returns the word at a bounds-checked word index.
+func (m *Memory) get(addr int) word.Word {
+	pg := m.pages[addr>>pageShift]
+	if pg == nil {
+		return 0
+	}
+	return pg[addr&pageMask]
 }
 
 // Load copies ws into memory starting at addr (host/loader operation,
 // free of simulated cost).
 func (m *Memory) Load(addr int32, ws []word.Word) error {
-	if addr < 0 || int(addr)+len(ws) > len(m.words) {
-		return fmt.Errorf("%w: load [%d,%d) into %d words", ErrBounds, addr, int(addr)+len(ws), len(m.words))
+	if addr < 0 || int(addr)+len(ws) > m.size {
+		return fmt.Errorf("%w: load [%d,%d) into %d words", ErrBounds, addr, int(addr)+len(ws), m.size)
 	}
-	copy(m.words[addr:], ws)
+	for i, w := range ws {
+		m.set(int(addr)+i, w)
+	}
 	return nil
 }
 
 // FillCfut marks n words starting at addr as awaiting values.
 func (m *Memory) FillCfut(addr int32, n int) error {
-	if addr < 0 || int(addr)+n > len(m.words) {
+	if addr < 0 || int(addr)+n > m.size {
 		return ErrBounds
 	}
 	for i := 0; i < n; i++ {
-		m.words[int(addr)+i] = word.Cfut(0)
+		m.set(int(addr)+i, word.Cfut(0))
 	}
 	return nil
+}
+
+// HeapBytes estimates the heap footprint of this memory's backing store:
+// the page table plus every materialized page. Used by the mesh-scaling
+// probe's bytes/node report.
+func (m *Memory) HeapBytes() int64 {
+	b := int64(len(m.pages)) * 8
+	for _, pg := range m.pages {
+		if pg != nil {
+			b += pageWords * 8
+		}
+	}
+	return b
 }
 
 // Segment descriptors.

@@ -152,6 +152,13 @@ type Network struct {
 	// own router (node i and router i always share a shard).
 	wakeFn func(node int)
 
+	// loadFn, when non-nil, is told that a message was injected at node
+	// id's outbox, so the parallel engine's per-shard activity ledger
+	// can charge the node's shard. Called from the goroutine stepping
+	// the injecting node (node i and outbox i always share a shard) or
+	// from the coordinator between cycles (host injection).
+	loadFn func(node int)
+
 	// Fault-injection and delivery hooks (see Add*/Set* below). All are
 	// optional; the hot paths pay only a nil/len check.
 	injectFns  []func(node int, m *Message, cycle int64)
@@ -268,6 +275,9 @@ func (n *Network) Inject(node int, m *Message, delay int32) {
 	ob.msgs = append(ob.msgs, m)
 	ob.words += len(m.Words)
 	n.actMsgs.Add(1)
+	if n.loadFn != nil {
+		n.loadFn(node)
+	}
 }
 
 // AddInjectFn registers an observer called for every message handed to
@@ -425,6 +435,10 @@ type stepCtx struct {
 	// own counter in sequential mode, a shard-local accumulator folded
 	// at commit in parallel mode.
 	dPhits *int64
+	// dMsgs, when non-nil, receives the pass's outbox message-count
+	// delta (feed completions and return/retransmit requeues) for the
+	// per-shard activity ledger; nil in sequential mode.
+	dMsgs *int64
 }
 
 // Step advances the network one cycle: injection feeds, phit movement,
@@ -678,6 +692,9 @@ func (n *Network) absorbPhit(ri int, r *router, v, q int, b *buf, cyc int64, ctx
 	ob.msgs = append(ob.msgs, m)
 	ob.words += len(m.Words)
 	n.actMsgs.Add(1)
+	if ctx.dMsgs != nil {
+		*ctx.dMsgs++
+	}
 }
 
 // feedInjection streams the node's next outgoing phit at priority v into
@@ -711,5 +728,8 @@ func (n *Network) feedInjection(ri int, r *router, ob *outbox, v int, cyc int64,
 		ob.words -= len(m.Words)
 		ob.phitIdx = 0
 		n.actMsgs.Add(-1)
+		if ctx.dMsgs != nil {
+			*ctx.dMsgs--
+		}
 	}
 }

@@ -13,7 +13,7 @@ import (
 // capacity is written only to be verified on restore — it is
 // configuration, rebuilt by the restoring process.
 func (q *Queue) SaveState(e *wire.Encoder) {
-	e.Int(len(q.buf))
+	e.Int(q.capWords)
 	e.Int(q.limit)
 	e.Int(q.used)
 	e.Int(q.arriving)
@@ -23,7 +23,7 @@ func (q *Queue) SaveState(e *wire.Encoder) {
 	e.U64(q.delivered)
 	e.U64(q.rejected)
 	for i := 0; i < q.used; i++ {
-		e.U64(uint64(q.buf[(q.head+i)%len(q.buf)]))
+		e.U64(uint64(q.buf[(q.head+i)%q.capWords]))
 	}
 }
 
@@ -33,12 +33,12 @@ func (q *Queue) SaveState(e *wire.Encoder) {
 // unobservable. The backing array is written in place (the network and
 // the node share this queue by pointer).
 func (q *Queue) RestoreState(d *wire.Decoder) error {
-	if hc := d.Int(); hc != len(q.buf) {
-		return fmt.Errorf("queue: checkpoint capacity %d != configured %d", hc, len(q.buf))
+	if hc := d.Int(); hc != q.capWords {
+		return fmt.Errorf("queue: checkpoint capacity %d != configured %d", hc, q.capWords)
 	}
 	q.limit = d.Int()
 	used := d.Int()
-	if used < 0 || used > len(q.buf) {
+	if used < 0 || used > q.capWords {
 		return fmt.Errorf("queue: checkpoint used %d out of range", used)
 	}
 	q.arriving = d.Int()
@@ -49,11 +49,18 @@ func (q *Queue) RestoreState(d *wire.Decoder) error {
 	q.rejected = d.U64()
 	q.head = 0
 	q.used = used
-	for i := 0; i < used; i++ {
-		q.buf[i] = word.Word(d.U64())
-	}
-	for i := used; i < len(q.buf); i++ {
-		q.buf[i] = 0
+	if used == 0 {
+		q.buf = nil // restore an idle queue to its lazy state
+	} else {
+		if q.buf == nil {
+			q.buf = make([]word.Word, q.capWords)
+		}
+		for i := 0; i < used; i++ {
+			q.buf[i] = word.Word(d.U64())
+		}
+		for i := used; i < q.capWords; i++ {
+			q.buf[i] = 0
+		}
 	}
 	if q.msgs < 0 || q.arriving < 0 || q.expecting < 0 || q.maxUsed < 0 {
 		return fmt.Errorf("queue: negative checkpoint counters")

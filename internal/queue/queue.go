@@ -21,11 +21,17 @@ import "jmachine/internal/word"
 const DefaultCapWords = 512
 
 // Queue is one hardware message queue.
+//
+// The backing ring is lazily allocated on the first word pushed (or on
+// restore of a non-empty checkpoint): on large meshes most nodes never
+// receive a message on one of the two priorities, and the unallocated
+// ring costs nothing.
 type Queue struct {
-	buf   []word.Word
-	limit int // fault-injected capacity squeeze in words (0 = none)
-	head  int // ring index of the head message's header
-	used  int // words currently buffered (complete + arriving)
+	buf      []word.Word // ring storage; nil until a word is buffered
+	capWords int         // hardware capacity in words
+	limit    int         // fault-injected capacity squeeze in words (0 = none)
+	head     int         // ring index of the head message's header
+	used     int         // words currently buffered (complete + arriving)
 
 	arriving  int // words of the incomplete message received so far
 	expecting int // total words of the incomplete message (0 = none)
@@ -43,20 +49,20 @@ func New(capWords int) *Queue {
 	if capWords <= 0 {
 		capWords = DefaultCapWords
 	}
-	return &Queue{buf: make([]word.Word, capWords)}
+	return &Queue{capWords: capWords}
 }
 
 // Cap returns the effective capacity in words: the hardware size, or
 // the squeezed limit while a capacity fault is injected.
 func (q *Queue) Cap() int {
-	if q.limit > 0 && q.limit < len(q.buf) {
+	if q.limit > 0 && q.limit < q.capWords {
 		return q.limit
 	}
-	return len(q.buf)
+	return q.capWords
 }
 
 // HardCap returns the hardware capacity in words, ignoring any squeeze.
-func (q *Queue) HardCap() int { return len(q.buf) }
+func (q *Queue) HardCap() int { return q.capWords }
 
 // SetLimit squeezes the effective capacity to limit words (a chaos
 // fault modelling partial buffer failure); 0 restores the full size.
@@ -99,7 +105,10 @@ func (q *Queue) Push(w word.Word) bool {
 		q.expecting = n
 		q.arriving = 0
 	}
-	q.buf[(q.head+q.used)%len(q.buf)] = w
+	if q.buf == nil {
+		q.buf = make([]word.Word, q.capWords)
+	}
+	q.buf[(q.head+q.used)%q.capWords] = w
 	q.used++
 	q.arriving++
 	if q.used > q.maxUsed {
@@ -128,7 +137,7 @@ func (q *Queue) WordAt(i int) word.Word {
 	if i < 0 || !q.HeadReady() || i >= q.HeadLen() {
 		return word.Int(0)
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[(q.head+i)%q.capWords]
 }
 
 // Pop consumes the head message, freeing its words.
@@ -137,7 +146,7 @@ func (q *Queue) Pop() {
 		return
 	}
 	n := q.HeadLen()
-	q.head = (q.head + n) % len(q.buf)
+	q.head = (q.head + n) % q.capWords
 	q.used -= n
 	q.msgs--
 }

@@ -16,7 +16,7 @@ func (b *Buffer) SaveState(e *wire.Encoder) {
 		return
 	}
 	e.Bool(true)
-	e.Int(len(b.events))
+	e.Int(b.capEvents)
 	e.Int(b.count)
 	e.U64(b.dropped)
 	for i := 0; i < b.count; i++ {
@@ -47,16 +47,23 @@ func (b *Buffer) RestoreState(d *wire.Decoder) error {
 	if b == nil {
 		return fmt.Errorf("trace: checkpoint has tracing but machine has none attached")
 	}
-	if c := d.Int(); c != len(b.events) {
-		return fmt.Errorf("trace: checkpoint ring capacity %d != configured %d", c, len(b.events))
+	if c := d.Int(); c != b.capEvents {
+		return fmt.Errorf("trace: checkpoint ring capacity %d != configured %d", c, b.capEvents)
 	}
 	count := d.Int()
-	if count < 0 || count > len(b.events) {
+	if count < 0 || count > b.capEvents {
 		return fmt.Errorf("trace: checkpoint count %d out of range", count)
 	}
 	b.next = 0
 	b.count = count
 	b.dropped = d.U64()
+	if count == 0 {
+		b.events = nil // restore an untouched ring to its lazy state
+		return d.Err()
+	}
+	if b.events == nil {
+		b.events = make([]Event, b.capEvents)
+	}
 	for i := 0; i < count; i++ {
 		b.events[i] = Event{
 			Cycle: d.I64(),
@@ -66,7 +73,7 @@ func (b *Buffer) RestoreState(d *wire.Decoder) error {
 			B:     d.I32(),
 		}
 	}
-	for i := count; i < len(b.events); i++ {
+	for i := count; i < b.capEvents; i++ {
 		b.events[i] = Event{}
 	}
 	return d.Err()

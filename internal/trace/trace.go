@@ -76,18 +76,21 @@ func (e Event) String() string {
 // both the sequential loop and the parallel engine's node phase.
 // Readers (dumps, digests) run on the coordinator between cycles.
 type Buffer struct {
-	events  []Event // ring storage; len(events) is the exact capacity
-	next    int     // oldest retained slot once full; 0 while filling
-	count   int     // retained events
-	dropped uint64
+	events    []Event // ring storage; nil until the first event lands
+	capEvents int     // exact ring capacity
+	next      int     // oldest retained slot once full; 0 while filling
+	count     int     // retained events
+	dropped   uint64
 }
 
-// New returns a buffer holding the most recent cap events.
+// New returns a buffer holding the most recent cap events. The ring
+// storage is allocated on the first Add: on large meshes most nodes in
+// a traced run never log anything, and an untouched ring costs nothing.
 func New(capEvents int) *Buffer {
 	if capEvents <= 0 {
 		capEvents = 4096
 	}
-	return &Buffer{events: make([]Event, capEvents)}
+	return &Buffer{capEvents: capEvents}
 }
 
 // Add records an event (nil-safe no-op when the buffer is nil). Once
@@ -96,14 +99,17 @@ func (b *Buffer) Add(e Event) {
 	if b == nil {
 		return
 	}
-	if b.count < len(b.events) {
+	if b.events == nil {
+		b.events = make([]Event, b.capEvents)
+	}
+	if b.count < b.capEvents {
 		// Filling: next stays 0, so slot count is the write position.
-		b.events[(b.next+b.count)%len(b.events)] = e
+		b.events[(b.next+b.count)%b.capEvents] = e
 		b.count++
 		return
 	}
 	b.events[b.next] = e
-	b.next = (b.next + 1) % len(b.events)
+	b.next = (b.next + 1) % b.capEvents
 	b.dropped++
 }
 
@@ -120,13 +126,13 @@ func (b *Buffer) Cap() int {
 	if b == nil {
 		return 0
 	}
-	return len(b.events)
+	return b.capEvents
 }
 
 // At returns retained event i, where 0 is the oldest. It must only be
 // called with 0 <= i < Len().
 func (b *Buffer) At(i int) Event {
-	return b.events[(b.next+i)%len(b.events)]
+	return b.events[(b.next+i)%b.capEvents]
 }
 
 // Dropped returns how many older events the ring overwrote.
@@ -143,8 +149,8 @@ func (b *Buffer) Events() []Event {
 		return nil
 	}
 	out := make([]Event, 0, b.count)
-	out = append(out, b.events[b.next:b.next+min(b.count, len(b.events)-b.next)]...)
-	if rest := b.count - (len(b.events) - b.next); rest > 0 {
+	out = append(out, b.events[b.next:b.next+min(b.count, b.capEvents-b.next)]...)
+	if rest := b.count - (b.capEvents - b.next); rest > 0 {
 		out = append(out, b.events[:rest]...)
 	}
 	return out
