@@ -12,7 +12,8 @@ test:
 check:
 	sh scripts/check.sh
 
-# Determinism analyzers (JML001..6) + the MDP program verifier smoke.
+# Determinism analyzers (JML001..6) + the MDP verifier/certifier
+# smoke (ASM001..12).
 # docs/LINT.md documents every diagnostic.
 lint:
 	go run ./cmd/jm-lint ./internal/...

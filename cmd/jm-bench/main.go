@@ -12,6 +12,11 @@
 //     which classifies each shape as dispatch-bound or memory-bound by
 //     how much of its host time the compiled handler tier removes —
 //     the compiled tier's benchmark; and
+//   - the fusion probe (fig3 shapes plus the pingpong client, each run
+//     with per-handler send-distance certificates and again under the
+//     old whole-image NoSend licensing), which reports fused-instruction
+//     share, window counts, and the window-end histogram — the effect
+//     certifier's benchmark; and
 //   - the rendezvous probe (token ring and pingpong under the
 //     per-cycle and epoch-batched engine protocols) plus the
 //     mesh-scaling probe (token rings at 2K–16K nodes) — the epoch
@@ -29,7 +34,7 @@
 //
 //	jm-bench [-nodes 512] [-warm 2000] [-measure 20000]
 //	         [-shards 0,2,4,8] [-force-shards] [-idle-tokens 4]
-//	         [-roofline] [-mesh 2048,4096,16384] [-mesh-cycles 2000]
+//	         [-roofline] [-fusion] [-mesh 2048,4096,16384] [-mesh-cycles 2000]
 //	         [-mesh-smoke] [-label name]
 //	         [-gobench file] [-out BENCH_engine.json]
 package main
@@ -77,6 +82,10 @@ type historyEntry struct {
 	// CompiledSpeedup is the roofline probe's compiled/interpreted rate
 	// ratio on the dispatch-bound fig3-compute shape.
 	CompiledSpeedup float64 `json:"compiled_speedup_fig3_compute,omitempty"`
+	// FusionShareGain is the fused-instruction share the per-handler
+	// certificates add over the whole-image baseline on the resident
+	// shape (send-free loop, sending image) — the certificates' win.
+	FusionShareGain float64 `json:"fusion_share_gain_fig3_resident,omitempty"`
 	// Rendezvous reductions (per-cycle count / epoch count) from the
 	// rendezvous probe — host-independent, so history entries are
 	// comparable across machines.
@@ -110,6 +119,10 @@ type report struct {
 	// by the compiled tier's speedup; its digests_match covers the
 	// compiled-vs-interpreted pairs.
 	Roofline *bench.RooflineResult `json:"roofline,omitempty"`
+	// Fusion compares the per-handler send-distance certificates against
+	// the old whole-image NoSend licensing on each shape: fused share,
+	// window counts, and the per-reason window-end histogram.
+	Fusion *bench.FusionResult `json:"fusion,omitempty"`
 	// Rendezvous compares the per-cycle and epoch-batched engine
 	// protocols (equal digests enforced, counts host-independent).
 	Rendezvous []bench.RendezvousResult `json:"rendezvous_probe,omitempty"`
@@ -154,6 +167,9 @@ func (r *report) summarize() historyEntry {
 	if r.Roofline != nil {
 		h.CompiledSpeedup = r.Roofline.Speedup["fig3-compute"]
 	}
+	if r.Fusion != nil {
+		h.FusionShareGain = r.Fusion.ShareGain["fig3-resident"]
+	}
 	for _, rv := range r.Rendezvous {
 		switch rv.Workload {
 		case "idle-ring":
@@ -179,6 +195,7 @@ func main() {
 	idleTokens := flag.Int("idle-tokens", 4, "tokens circulating in the idle probe ring")
 	compiledFlag := flag.Bool("compiled", false, "install the compiled handler tier for the fig3 probe rows")
 	roofline := flag.Bool("roofline", true, "run the compiled-tier roofline probe (both fig3 shapes, both tiers)")
+	fusion := flag.Bool("fusion", true, "run the fusion-coverage probe (per-handler certificates vs whole-image licensing)")
 	forceShards := flag.Bool("force-shards", false, "keep shard counts above the host's core count (skipped by default: oversubscribed rows measure scheduler thrash, not the engine)")
 	rendezvous := flag.Bool("rendezvous", true, "run the rendezvous-reduction probe (per-cycle vs epoch protocol; deterministic)")
 	meshList := flag.String("mesh", "2048,4096,16384", "comma-separated mesh sizes for the scaling probe (empty = off)")
@@ -228,6 +245,7 @@ func main() {
 			"speedup_vs_sequential (fig3, sharded engine) requires >= 4 hardware threads; on fewer cores the rendezvous overhead dominates",
 			"fastpath_speedup_idle (token ring, event-horizon scheduler vs reference loop) is host-independent: it comes from not stepping parked nodes",
 			"roofline classifies each fig3 shape by the compiled tier's speedup: dispatch-bound when removing instruction dispatch pays, memory-bound when host time lives in routers/queues/charge machinery the tier leaves to the interpreter",
+			"fusion compares per-handler send-distance certificates against the old whole-image NoSend licensing: the fig3-resident shape (send-free loop, sending image) is where the certificates recover coverage; window_ends shows whether each shape is license-bound or code-bound",
 			"history carries one summary line per past run of this file",
 		},
 		Speedup:      map[string]float64{},
@@ -320,6 +338,23 @@ func main() {
 		for _, s := range []string{"fig3-compute", "fig3-exchange"} {
 			fmt.Fprintf(os.Stderr, "roofline %s: compiled speedup %.2fx (%s)\n",
 				s, res.Speedup[s], res.Bound[s])
+		}
+		if !res.DigestsMatch {
+			rep.DigestsMatch = false
+		}
+	}
+	// Fusion-coverage probe: per-handler send-distance certificates vs
+	// the old whole-image NoSend licensing, per shape.
+	if *fusion {
+		res, err := bench.FusionProbe(*nodes, *warm+*measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Fusion = res
+		for i := 0; i+1 < len(res.Rows); i += 2 {
+			base, cert := res.Rows[i], res.Rows[i+1]
+			fmt.Fprintf(os.Stderr, "fusion %s: fused share %.4f -> %.4f with certificates (gain %+.4f)\n",
+				base.Shape, base.FusedShare, cert.FusedShare, res.ShareGain[base.Shape])
 		}
 		if !res.DigestsMatch {
 			rep.DigestsMatch = false

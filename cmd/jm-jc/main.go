@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -29,6 +30,21 @@ import (
 	"jmachine/internal/rt"
 	"jmachine/internal/stats"
 )
+
+// checkProgram runs the static MDP verifier and prints the findings,
+// one per line in handler+offset@addr: CODE: message form (see
+// asm.Finding.String), or a clean summary. Returns the exit status.
+func checkProgram(w io.Writer, name string, p *asm.Program) int {
+	findings := asm.Check(p, rt.CheckAllowances()...)
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	fmt.Fprintf(w, "%s: %d instructions, check clean\n", name, len(p.Instrs))
+	return 0
+}
 
 func main() {
 	nodes := flag.Int("nodes", 1, "machine size")
@@ -57,15 +73,7 @@ func main() {
 		fmt.Print(c.Program.Listing())
 	}
 	if *check {
-		findings := asm.Check(c.Program, rt.CheckAllowances()...)
-		for _, f := range findings {
-			fmt.Println(f)
-		}
-		if len(findings) > 0 {
-			os.Exit(1)
-		}
-		fmt.Printf("%s: %d instructions, check clean\n", flag.Arg(0), len(c.Program.Instrs))
-		return
+		os.Exit(checkProgram(os.Stdout, flag.Arg(0), c.Program))
 	}
 
 	m, err := machine.New(machine.GridForNodes(*nodes), c.Program)

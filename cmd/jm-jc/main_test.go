@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/asm"
+	"jmachine/internal/isa"
+)
+
+// TestCheckOutputShape pins the -check output format: findings print
+// one per line as handler+offset@addr: CODE: message, and a clean
+// program prints the instruction count summary with exit status 0.
+func TestCheckOutputShape(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("h")
+	b.MoveI(isa.R0, 0)
+	b.Add(isa.R1, asm.Imm(1)) // ASM001: R1 undefined at dispatch
+	b.Suspend()
+	p := b.MustAssemble()
+
+	var out strings.Builder
+	if status := checkProgram(&out, "bad.j", p); status != 1 {
+		t.Errorf("dirty program: status = %d, want 1", status)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "h+1@1: ASM001: ") {
+		t.Errorf("finding line = %q, want handler+offset@addr: ASM001: prefix", out.String())
+	}
+
+	b = asm.NewBuilder()
+	b.Label("h")
+	b.MoveI(isa.R0, 0)
+	b.Suspend()
+	p = b.MustAssemble()
+
+	out.Reset()
+	if status := checkProgram(&out, "ok.j", p); status != 0 {
+		t.Errorf("clean program: status = %d, want 0", status)
+	}
+	if got := out.String(); got != "ok.j: 2 instructions, check clean\n" {
+		t.Errorf("clean summary = %q", got)
+	}
+}

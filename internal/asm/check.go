@@ -26,18 +26,35 @@ import (
 //	ASM006  branch target malformed or outside the code segment
 //	ASM007  message still open (no ending SEND) at SUSPEND/HALT
 //	ASM008  instruction faults unconditionally (bad ST operand, ÷0)
+//	ASM009  SEND inside a loop with no varying exit condition
+//	ASM010  cross-priority blind store to a shared static address
+//	ASM011  handler send cycle that amplifies traffic per activation
+//	ASM012  allowance that suppressed no finding (stale suppression)
+//
+// ASM009–ASM011 come from the effect certifier in effects.go; ASM012
+// from the allowance filter below.
 
 // Finding is one static-verifier diagnostic.
 type Finding struct {
-	Code  string // "ASM001" ... "ASM008"
+	Code  string // "ASM001" ... "ASM012"
 	Addr  int32  // instruction index, -1 for program-level findings
 	Label string // nearest label at or before Addr, "" if none
 	Msg   string
+
+	// Handler names the handler region containing Addr (the entry at or
+	// nearest before it, by address) and HandlerOff is the instruction
+	// index within that handler; Handler is "" and HandlerOff -1 when
+	// the finding has no instruction address or the program no entries.
+	Handler    string
+	HandlerOff int32
 }
 
 func (f Finding) String() string {
 	at := fmt.Sprintf("@%d", f.Addr)
-	if f.Label != "" {
+	switch {
+	case f.Handler != "" && f.HandlerOff >= 0:
+		at = fmt.Sprintf("%s+%d%s", f.Handler, f.HandlerOff, at)
+	case f.Label != "":
 		at = fmt.Sprintf("%s%s", f.Label, at)
 	}
 	return fmt.Sprintf("%s: %s: %s", at, f.Code, f.Msg)
@@ -54,21 +71,36 @@ type Allowance struct {
 
 // Check statically verifies an assembled program and returns its
 // findings sorted by address. Findings matched by an allowance (same
-// code, same nearest label, non-empty rationale) are dropped.
+// code, same nearest label, non-empty rationale) are dropped; an
+// allowance that drops nothing is itself reported as ASM012 (ASM012
+// findings cannot be suppressed).
 func Check(p *Program, allow ...Allowance) []Finding {
 	c := &checker{p: p, labelAt: labelIndex(p)}
 	c.recoverHeaders()
 	c.buildCFG()
+	c.certify()       // effect/resource certificates (effects.go)
 	c.checkFlow()     // ASM001, reachability seeds
 	c.checkBlocks()   // ASM002, ASM003, ASM007, ASM008
 	c.checkLayout()   // ASM004, ASM005
 	c.checkBranches() // ASM006
-	out := c.findings[:0]
+	c.checkEffects()  // ASM009, ASM010, ASM011
+	used := make([]bool, len(allow))
+	kept := c.findings[:0]
 	for _, f := range c.findings {
-		if !allowed(f, allow) {
-			out = append(out, f)
+		if i := allowanceFor(f, allow); i >= 0 {
+			used[i] = true
+		} else {
+			kept = append(kept, f)
 		}
 	}
+	c.findings = kept
+	for i, a := range allow {
+		if !used[i] && a.Rationale != "" {
+			c.reportStale(a) // ASM012
+		}
+	}
+	c.attributeHandlers()
+	out := c.findings
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Addr != out[j].Addr {
 			return out[i].Addr < out[j].Addr
@@ -78,13 +110,41 @@ func Check(p *Program, allow ...Allowance) []Finding {
 	return out
 }
 
-func allowed(f Finding, allow []Allowance) bool {
-	for _, a := range allow {
+// allowanceFor returns the index of the first allowance matching the
+// finding, or -1.
+func allowanceFor(f Finding, allow []Allowance) int {
+	for i, a := range allow {
 		if a.Code == f.Code && a.Label == f.Label && a.Rationale != "" {
-			return true
+			return i
 		}
 	}
+	return -1
+}
+
+// sendSuppression reports the codes whose allowances a send-free
+// certificate makes provably stale.
+func sendSuppression(code string) bool {
+	switch code {
+	case "ASM002", "ASM007", "ASM009", "ASM011":
+		return true
+	}
 	return false
+}
+
+// reportStale appends the ASM012 finding for an allowance that
+// suppressed nothing.
+func (c *checker) reportStale(a Allowance) {
+	addr := int32(-1)
+	if la, ok := c.p.Labels[a.Label]; ok {
+		addr = la
+	}
+	msg := fmt.Sprintf("allowance for %s under %q suppressed no finding; remove the stale suppression", a.Code, a.Label)
+	if addr >= 0 && c.eff.certs != nil && sendSuppression(a.Code) {
+		if h := c.eff.certs.Handler(addr); h != nil && h.SendDist >= InfDist {
+			msg += " (the handler is certified send-free)"
+		}
+	}
+	c.findings = append(c.findings, Finding{Code: "ASM012", Addr: addr, Label: a.Label, Msg: msg})
 }
 
 // checker carries the per-program analysis state.
@@ -100,6 +160,8 @@ type checker struct {
 
 	succs [][]int32 // CFG successor lists, by instruction index
 	preds []int     // in-degree (fall-through and branch edges)
+
+	eff effectState // certificates and send-graph state (effects.go)
 
 	findings []Finding
 }
@@ -301,6 +363,17 @@ func (c *checker) checkFlow() {
 	}
 	for _, addr := range c.p.Labels {
 		if int(addr) < n && c.preds[addr] == 0 && !c.entries[addr] {
+			if c.eff.subr[addr] {
+				// A subroutine contract (effects.go): entered by BSR/JMP
+				// from code outside this image with caller-provided
+				// registers, not by a message dispatch — make no claim
+				// about the register file, like the BSR return edge.
+				if !seen[addr] {
+					seen[addr] = true
+				}
+				work = append(work, addr)
+				continue
+			}
 			seed(addr)
 		}
 	}

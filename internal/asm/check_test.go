@@ -250,8 +250,39 @@ func TestCheckAllowance(t *testing.T) {
 	if got := Check(p, Allowance{Code: "ASM001", Label: "h"}); len(got) != 1 {
 		t.Errorf("allowance without rationale must not suppress:\n%s", render(got))
 	}
-	if got := Check(p, Allowance{Code: "ASM001", Label: "other", Rationale: "r"}); len(got) != 1 {
-		t.Errorf("allowance for another label must not suppress:\n%s", render(got))
+	got := Check(p, Allowance{Code: "ASM001", Label: "other", Rationale: "r"})
+	if len(got) != 2 {
+		t.Fatalf("allowance for another label must not suppress, and is itself stale:\n%s", render(got))
+	}
+	if got[0].Code != "ASM012" || got[0].Label != "other" {
+		t.Errorf("stale allowance should surface as ASM012 under its own label, got %s", got[0])
+	}
+	if got[1].Code != "ASM001" {
+		t.Errorf("original finding should survive, got %s", got[1])
+	}
+}
+
+// TestCheckStaleAllowance pins ASM012: an allowance that suppresses
+// nothing is reported, at the allowance's label when it exists, and a
+// used allowance is not.
+func TestCheckStaleAllowance(t *testing.T) {
+	b := NewBuilder()
+	b.Label("h")
+	b.Move(isa.R0, Imm(1))
+	b.Suspend()
+	p := assemble(t, b)
+
+	got := Check(p, Allowance{Code: "ASM007", Label: "h", Rationale: "obsolete"})
+	if len(got) != 1 || got[0].Code != "ASM012" || got[0].Addr != 0 {
+		t.Fatalf("stale allowance on a clean program should yield exactly ASM012 at its label:\n%s", render(got))
+	}
+	if !strings.Contains(got[0].Msg, "send-free") {
+		t.Errorf("ASM007 allowance on a certified send-free handler should say so: %s", got[0].Msg)
+	}
+	// A label the program doesn't define still reports, addressless.
+	got = Check(p, Allowance{Code: "ASM001", Label: "ghost", Rationale: "r"})
+	if len(got) != 1 || got[0].Code != "ASM012" || got[0].Addr != -1 {
+		t.Fatalf("stale allowance under an unknown label should report at addr -1:\n%s", render(got))
 	}
 }
 

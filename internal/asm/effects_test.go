@@ -1,0 +1,324 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"jmachine/internal/isa"
+)
+
+// TestCheckEffects builds one minimal program per send-graph diagnostic
+// — positive and negative — and asserts exactly the expected findings.
+func TestCheckEffects(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+		want  []string // expected codes, in address order
+	}{
+		{
+			// A send inside a loop whose only exit is... nothing: the
+			// loop is unconditional, so once entered it sends forever.
+			name: "ASM009_unbounded_send_loop",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Suspend()
+				b.Label("main")
+				b.MoveI(isa.R0, 0)
+				b.Label("loop")
+				b.MoveHdr(isa.R1, "h", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(7))
+				return b.Br("loop")
+			},
+			want: []string{"ASM009"},
+		},
+		{
+			// The same loop with a counted exit: the BT leaving the loop
+			// tests a register the loop writes, so the trip count varies.
+			name: "ASM009_counted_send_loop_clean",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("h")
+				b.Suspend()
+				b.Label("main")
+				b.MoveI(isa.R0, 4)
+				b.Label("loop")
+				b.MoveHdr(isa.R1, "h", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(7))
+				b.Sub(isa.R0, Imm(1))
+				b.Bt(isa.R0, "loop")
+				return b.Suspend()
+			},
+			want: nil,
+		},
+		{
+			// A priority-1 handler blindly stores to a word priority-0
+			// code also stores: a preempting activation can lose an update.
+			name: "ASM010_cross_priority_blind_store",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("main")
+				b.MoveI(isa.A0, 100)
+				b.Move(isa.R0, Mem(isa.A0, 0))
+				b.Add(isa.R0, Imm(1))
+				b.St(isa.R0, Mem(isa.A0, 0))
+				b.MoveHdr(isa.R1, "tick", 2)
+				b.Send1(R(isa.NNR))
+				b.Send1(R(isa.R1))
+				b.SendE1(Imm(0))
+				b.Suspend()
+				b.Label("tick")
+				b.MoveI(isa.A0, 100)
+				b.MoveI(isa.R0, 5)
+				b.St(isa.R0, Mem(isa.A0, 0))
+				return b.Suspend()
+			},
+			want: []string{"ASM010"},
+		},
+		{
+			// Read-modify-write on the priority-1 side is not a blind
+			// store; the lost-update interleaving needs a blind one.
+			name: "ASM010_rmw_clean",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("main")
+				b.MoveI(isa.A0, 100)
+				b.Move(isa.R0, Mem(isa.A0, 0))
+				b.Add(isa.R0, Imm(1))
+				b.St(isa.R0, Mem(isa.A0, 0))
+				b.MoveHdr(isa.R1, "tick", 2)
+				b.Send1(R(isa.NNR))
+				b.Send1(R(isa.R1))
+				b.SendE1(Imm(0))
+				b.Suspend()
+				b.Label("tick")
+				b.MoveI(isa.A0, 100)
+				b.Move(isa.R0, Mem(isa.A0, 0))
+				b.Add(isa.R0, Imm(5))
+				b.St(isa.R0, Mem(isa.A0, 0))
+				return b.Suspend()
+			},
+			want: nil,
+		},
+		{
+			// Indexed stores have no statically-known absolute address;
+			// the clobber check does not guess.
+			name: "ASM010_indexed_store_clean",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("main")
+				b.MoveI(isa.A0, 100)
+				b.Move(isa.R0, Mem(isa.A0, 0))
+				b.Add(isa.R0, Imm(1))
+				b.St(isa.R0, Mem(isa.A0, 0))
+				b.MoveHdr(isa.R1, "tick", 2)
+				b.Send1(R(isa.NNR))
+				b.Send1(R(isa.R1))
+				b.SendE1(Imm(0))
+				b.Suspend()
+				b.Label("tick")
+				b.MoveI(isa.A0, 100)
+				b.MoveI(isa.R2, 0)
+				b.MoveI(isa.R0, 5)
+				b.St(isa.R0, MemR(isa.A0, isa.R2))
+				return b.Suspend()
+			},
+			want: nil,
+		},
+		{
+			// ha and hb form a send cycle and ha unconditionally injects
+			// two messages into it per activation: traffic amplifies
+			// without bound, deadlocking a full-queue mesh.
+			name: "ASM011_amplifying_send_cycle",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("ha")
+				b.MoveHdr(isa.R1, "hb", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(1))
+				b.MoveHdr(isa.R2, "hb", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R2), Imm(2))
+				b.Suspend()
+				b.Label("hb")
+				b.MoveHdr(isa.R1, "ha", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(3))
+				return b.Suspend()
+			},
+			want: []string{"ASM011"},
+		},
+		{
+			// A one-for-one ping-pong is a cycle but conserves messages:
+			// no amplification, no finding.
+			name: "ASM011_pingpong_clean",
+			build: func() *Builder {
+				b := NewBuilder()
+				b.Label("ha")
+				b.MoveHdr(isa.R1, "hb", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(1))
+				b.Suspend()
+				b.Label("hb")
+				b.MoveHdr(isa.R1, "ha", 2)
+				b.SendMsg(R(isa.NNR), R(isa.R1), Imm(3))
+				return b.Suspend()
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := assemble(t, tc.build())
+			got := Check(p)
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings:\n%s\nwant codes %v", render(got), tc.want)
+			}
+			for i := range got {
+				if got[i].Code != tc.want[i] {
+					t.Fatalf("finding %d = %s, want %s\n%s", i, got[i].Code, tc.want[i], render(got))
+				}
+			}
+		})
+	}
+}
+
+// TestCertifySendDistances pins the per-instruction send-distance table:
+// zero on the SEND itself, counting up backwards from it, infinite on
+// code from which no path sends.
+func TestCertifySendDistances(t *testing.T) {
+	b := NewBuilder()
+	b.Label("quiet")
+	b.MoveI(isa.R0, 1)
+	b.Suspend()
+	b.Label("send")
+	b.MoveHdr(isa.R1, "quiet", 2)
+	b.SendMsg(R(isa.NNR), R(isa.R1), Imm(9))
+	b.Suspend()
+	p := assemble(t, b)
+	c := Certify(p)
+
+	if d := c.SendDist[p.Entry("quiet")]; d != InfDist {
+		t.Errorf("quiet entry: SendDist = %d, want InfDist", d)
+	}
+	// MoveHdr expands to two instructions; the first SEND is two past
+	// the entry, so the entry itself is distance 2.
+	if d := c.SendDist[p.Entry("send")]; d != 2 {
+		t.Errorf("send entry: SendDist = %d, want 2", d)
+	}
+	if d := c.SendDist[p.Entry("send")+2]; d != 0 {
+		t.Errorf("SEND instruction: SendDist = %d, want 0", d)
+	}
+}
+
+// TestCertifyHandlerCert pins the per-handler resource certificate
+// fields and the entry lookup.
+func TestCertifyHandlerCert(t *testing.T) {
+	b := NewBuilder()
+	b.Label("quiet")
+	b.MoveI(isa.R0, 1)
+	b.Suspend()
+	b.Label("send")
+	b.MoveHdr(isa.R1, "quiet", 2)
+	b.SendMsg(R(isa.NNR), R(isa.R1), Imm(9))
+	b.Suspend()
+	p := assemble(t, b)
+	c := Certify(p)
+
+	if len(c.Handlers) != 2 {
+		t.Fatalf("got %d handler certs, want 2", len(c.Handlers))
+	}
+	q, s := c.Handlers[0], c.Handlers[1]
+	if q.Label != "quiet" || s.Label != "send" {
+		t.Fatalf("handlers = %q, %q; want quiet, send", q.Label, s.Label)
+	}
+	if q.SendDist != InfDist || q.MaxMsgWords != 0 || q.MinSends != 0 || q.MaxSends != 0 || len(q.Targets) != 0 {
+		t.Errorf("quiet cert not send-free: %+v", q)
+	}
+	if !q.Pri[0] || q.Pri[1] {
+		t.Errorf("quiet is targeted by a priority-0 send: Pri = %v", q.Pri)
+	}
+	if s.MaxMsgWords != 3 {
+		t.Errorf("send MaxMsgWords = %d, want 3 (dest + header + payload)", s.MaxMsgWords)
+	}
+	if s.MinSends != 1 || s.MaxSends != 1 {
+		t.Errorf("send Min/MaxSends = %d/%d, want 1/1", s.MinSends, s.MaxSends)
+	}
+	// The open-message peak is the words buffered before the ending
+	// SEND completes the message: dest + header.
+	if s.MaxOpenWords != 2 {
+		t.Errorf("send MaxOpenWords = %d, want 2", s.MaxOpenWords)
+	}
+	if len(s.Targets) != 1 || s.Targets[0] != p.Entry("quiet") {
+		t.Errorf("send Targets = %v, want [%d]", s.Targets, p.Entry("quiet"))
+	}
+	if s.Subroutine || q.Subroutine {
+		t.Error("message handlers must not classify as subroutines")
+	}
+
+	// Lookup maps an interior address to its handler, and addresses
+	// before the first entry to nil.
+	if h := c.Handler(p.Entry("send") + 1); h == nil || h.Entry != p.Entry("send") {
+		t.Errorf("Handler(send+1) = %+v, want the send cert", h)
+	}
+	if h := c.Handler(-1); h != nil {
+		t.Errorf("Handler(-1) = %+v, want nil", h)
+	}
+}
+
+// TestCertifySubroutineContract: an orphan label whose region returns
+// via a register JMP and never suspends is a register-contract
+// subroutine — checked with caller-provided registers (no ASM001 for
+// reading them) and marked in its certificate.
+func TestCertifySubroutineContract(t *testing.T) {
+	b := NewBuilder()
+	b.Label("h")
+	b.MoveI(isa.R0, 1)
+	b.Suspend()
+	b.Label("ret")
+	b.Add(isa.R2, Imm(1)) // R2 is the caller's, not dispatch-defined
+	b.Jmp(R(isa.R3))      // return through the caller's link register
+	p := assemble(t, b)
+
+	if got := Check(p); len(got) != 0 {
+		t.Errorf("subroutine-contract entry should check clean:\n%s", render(got))
+	}
+	c := Certify(p)
+	var ret *HandlerCert
+	for i := range c.Handlers {
+		if c.Handlers[i].Label == "ret" {
+			ret = &c.Handlers[i]
+		}
+	}
+	if ret == nil {
+		t.Fatal("no certificate for the subroutine entry")
+	}
+	if !ret.Subroutine {
+		t.Error("orphan register-JMP region should classify as a subroutine")
+	}
+	// The register JMP is a dynamic escape hatch: distance 1 from the
+	// entry (one instruction retires before it).
+	if ret.SendDist != 1 {
+		t.Errorf("subroutine SendDist = %d, want 1", ret.SendDist)
+	}
+}
+
+// TestCheckHandlerAttribution: findings carry the owning handler and
+// the instruction offset within it, and String renders both.
+func TestCheckHandlerAttribution(t *testing.T) {
+	b := NewBuilder()
+	b.Label("h")
+	b.MoveI(isa.R0, 0)
+	b.Add(isa.R1, Imm(1)) // ASM001: R1 undefined
+	b.Suspend()
+	p := assemble(t, b)
+
+	got := Check(p)
+	if len(got) != 1 {
+		t.Fatalf("findings:\n%s\nwant exactly one ASM001", render(got))
+	}
+	f := got[0]
+	if f.Handler != "h" || f.HandlerOff != 1 {
+		t.Errorf("attribution = %q+%d, want h+1", f.Handler, f.HandlerOff)
+	}
+	if s := f.String(); !strings.HasPrefix(s, "h+1@1: ASM001:") {
+		t.Errorf("String() = %q, want h+1@1: ASM001: prefix", s)
+	}
+}

@@ -39,6 +39,10 @@ type Translation struct {
 	// emitter compiles only reachable code; anything else stays on the
 	// interpreter, which is where undefined behaviour belongs.
 	Reachable []bool
+	// Certs are the effect/resource certificates (effects.go): the
+	// per-instruction send-distance table the fusion controller consults
+	// and the per-handler resource bounds.
+	Certs *Certs
 }
 
 // ErrFindings is returned by Translate when the program fails the
@@ -63,9 +67,10 @@ func Translate(p *Program, allow ...Allowance) (*Translation, error) {
 	c := &checker{p: p, labelAt: labelIndex(p)}
 	c.recoverHeaders()
 	c.buildCFG()
+	c.certify()
 
 	n := len(p.Instrs)
-	tr := &Translation{Prog: p}
+	tr := &Translation{Prog: p, Certs: c.eff.certs}
 	if n == 0 {
 		return tr, nil
 	}

@@ -1,0 +1,198 @@
+package bench
+
+// Fusion-coverage probe for the compiled tier's certificate-driven
+// windows: three fig3 shapes run with the per-handler send-distance
+// certificates live and again under the old whole-image licensing
+// (the pre-certificate `NoSend` boolean: a send-free image fused to
+// the full horizon, any image with a SEND anywhere was pinned to the
+// fixed seven-cycle quiet window). The stripped baseline reproduces
+// that exactly — SendDist removed when the image sends, kept when it
+// is send-free — so the per-shape fused-instruction share difference
+// is precisely what the certificates buy. Digest equality between the
+// paired runs re-proves that the licensing mode never changes results.
+
+import (
+	"fmt"
+
+	"jmachine/internal/compiled"
+	"jmachine/internal/machine"
+	"jmachine/internal/mdp"
+	"jmachine/internal/rt"
+	"jmachine/internal/word"
+)
+
+// FusionRow is one (shape, licensing mode) measurement.
+type FusionRow struct {
+	Shape     string `json:"shape"`
+	Certified bool   `json:"certified"` // per-handler SendDist vs whole-image baseline
+	Nodes     int    `json:"nodes"`
+	Cycles    int64  `json:"cycles"`
+
+	Instrs      int64   `json:"instrs"`
+	FusedInstrs int64   `json:"fused_instrs"`
+	FusedShare  float64 `json:"fused_share"` // fused / retired instructions
+
+	// Boundary accounting (mdp.FusionStats, summed over the mesh).
+	Boundaries      int64            `json:"boundaries"`
+	InterpNoClosure int64            `json:"interp_no_closure"`
+	InterpBailed    int64            `json:"interp_bailed"`
+	NoLicense       int64            `json:"no_license"`
+	Windows         int64            `json:"windows"`
+	MeanWindow      float64          `json:"mean_window_instrs"` // instructions per window incl. the boundary
+	WindowEnds      map[string]int64 `json:"window_ends"`        // why windows stopped extending
+
+	Digest uint64 `json:"state_digest"`
+}
+
+// FusionResult is the full probe: rows plus the per-shape share gain.
+type FusionResult struct {
+	Rows []FusionRow `json:"rows"`
+	// ShareGain maps shape to certified fused share minus baseline
+	// fused share: the coverage the per-handler certificates add over
+	// the whole-image licensing.
+	ShareGain    map[string]float64 `json:"fused_share_gain"`
+	DigestsMatch bool               `json:"digests_match"`
+}
+
+// fusionResidentMachine builds the probe's third shape: the fig3
+// calibration loop running with the full runtime library resident. The
+// image contains SEND instructions (the rt-lib and boot handlers) so
+// the old whole-image NoSend license never applied, but the loop every
+// node actually executes is send-free — the shape whose fusion coverage
+// the per-handler certificates exist to recover.
+func fusionResidentMachine(nodes int) (*machine.Machine, error) {
+	const idleIters = 16
+	p := buildFig3Program(8, false, 1<<30)
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		return nil, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	for _, n := range m.Nodes {
+		n.Mem.Write(rt.AppBase+fig3OffMask, word.Int(fig3TableSize-1))
+		n.Mem.Write(rt.AppBase+fig3OffIdle, word.Int(int32(idleIters)))
+		n.Mem.Write(rt.AppBase+fig3OffSkew, word.Int(0))
+	}
+	rt.StartAll(m, p, "main")
+	return m, nil
+}
+
+// fusionPingMachine builds the Figure 2 ping client: node 0 runs one
+// null RPC against the farthest node while the rest of the mesh idles.
+func fusionPingMachine(nodes int) (*machine.Machine, error) {
+	p := buildMicroProgram(buildPingClient)
+	m, err := machine.New(machine.GridForNodes(nodes), p)
+	if err != nil {
+		return nil, err
+	}
+	rt.Attach(m, rt.Info(p), rt.DefaultPolicy())
+	if err := m.Nodes[0].Mem.Write(rt.AppBase, m.Net.NodeWord(m.NumNodes()-1)); err != nil {
+		return nil, err
+	}
+	rt.StartNode(m, p, 0, "main")
+	return m, nil
+}
+
+// fusionMachine builds one probe shape.
+func fusionMachine(shape string, nodes int) (*machine.Machine, error) {
+	switch shape {
+	case "fig3-compute":
+		return rooflineMachine(false, nodes, false)
+	case "fig3-exchange":
+		return rooflineMachine(true, nodes, false)
+	case "fig3-resident":
+		return fusionResidentMachine(nodes)
+	case "pingpong":
+		return fusionPingMachine(nodes)
+	}
+	return nil, fmt.Errorf("unknown fusion shape %q", shape)
+}
+
+// fusionRun measures one shape under one licensing mode from boot.
+func fusionRun(shape string, nodes int, certified bool, cycles int64) (FusionRow, error) {
+	m, err := fusionMachine(shape, nodes)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	cp, err := compiled.Compile(m.Node(0).Prog)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	if !certified {
+		// Whole-image baseline: an image with any SEND lost its whole
+		// certificate; a send-free image kept the full-horizon license
+		// (all-InfDist distances publish the same NoEvent horizon).
+		imageSends := false
+		for _, d := range cp.SendDist {
+			if d == 0 {
+				imageSends = true
+				break
+			}
+		}
+		if imageSends {
+			stripped := *cp
+			stripped.SendDist = nil
+			cp = &stripped
+		}
+	}
+	m.SetCompiled(cp)
+	m.StepN(cycles)
+	if err := m.FatalErr(); err != nil {
+		return FusionRow{}, fmt.Errorf("fusion %s (certified=%v): %w", shape, certified, err)
+	}
+	instrs := int64(0)
+	for _, n := range m.Nodes {
+		instrs += int64(n.Stats.Instrs)
+	}
+	fs := m.FusionStats()
+	row := FusionRow{
+		Shape:           shape,
+		Certified:       certified,
+		Nodes:           nodes,
+		Cycles:          cycles,
+		Instrs:          instrs,
+		FusedInstrs:     fs.Fused,
+		Boundaries:      fs.Boundaries,
+		InterpNoClosure: fs.InterpNoClosure,
+		InterpBailed:    fs.InterpBailed,
+		NoLicense:       fs.NoLicense,
+		Windows:         fs.Windows,
+		WindowEnds:      map[string]int64{},
+		Digest:          m.StateDigest(),
+	}
+	if instrs > 0 {
+		row.FusedShare = float64(fs.Fused) / float64(instrs)
+	}
+	if fs.Windows > 0 {
+		row.MeanWindow = float64(fs.Windows+fs.Fused) / float64(fs.Windows)
+	}
+	for i, name := range mdp.FuseEndReasonNames {
+		row.WindowEnds[name] = fs.End[i]
+	}
+	return row, nil
+}
+
+// FusionProbe runs the three fig3 shapes under both licensing modes.
+// The paired runs of a shape must end in byte-identical machine states.
+func FusionProbe(nodes int, cycles int64) (*FusionResult, error) {
+	res := &FusionResult{
+		ShareGain:    map[string]float64{},
+		DigestsMatch: true,
+	}
+	for _, shape := range []string{"fig3-compute", "fig3-resident", "fig3-exchange", "pingpong"} {
+		base, err := fusionRun(shape, nodes, false, cycles)
+		if err != nil {
+			return nil, err
+		}
+		cert, err := fusionRun(shape, nodes, true, cycles)
+		if err != nil {
+			return nil, err
+		}
+		if base.Digest != cert.Digest {
+			res.DigestsMatch = false
+		}
+		res.ShareGain[shape] = cert.FusedShare - base.FusedShare
+		res.Rows = append(res.Rows, base, cert)
+	}
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestFusionProbe checks the probe's two load-bearing claims: the
+// licensing mode never changes machine state (paired digests match),
+// and on the sending shape the per-handler certificates strictly
+// increase the fused-instruction share over the whole-image baseline
+// — the coverage win the certificates exist to deliver.
+func TestFusionProbe(t *testing.T) {
+	res, err := FusionProbe(16, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DigestsMatch {
+		t.Error("certified and baseline runs diverged")
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-13s certified=%-5v share=%.4f windows=%d mean=%.1f ends=%v nolicense=%d",
+			r.Shape, r.Certified, r.FusedShare, r.Windows, r.MeanWindow, r.WindowEnds, r.NoLicense)
+		if r.Instrs == 0 || r.Boundaries == 0 {
+			t.Errorf("%s certified=%v: vacuous run (%d instrs, %d boundaries)",
+				r.Shape, r.Certified, r.Instrs, r.Boundaries)
+		}
+	}
+	// The resident shape — send-free loop, sending image — is where the
+	// per-handler certificates recover real coverage; the gain must be
+	// substantial, not a rounding artifact.
+	if gain := res.ShareGain["fig3-resident"]; gain < 0.05 {
+		t.Errorf("fig3-resident fused-share gain = %.4f, want >= 0.05", gain)
+	}
+	if gain := res.ShareGain["fig3-exchange"]; gain < 0 {
+		t.Errorf("fig3-exchange fused-share gain = %.4f, want >= 0", gain)
+	}
+	// The send-free shape is licensed identically either way: a
+	// send-free image kept its full-horizon license under the old
+	// whole-image rule too.
+	if gain := res.ShareGain["fig3-compute"]; gain != 0 {
+		t.Errorf("fig3-compute fused-share gain = %.4f, want 0", gain)
+	}
+}

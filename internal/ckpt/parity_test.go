@@ -74,6 +74,7 @@ var paritySpecs = map[string]paritySpec{
 			"horizons",   // attached hook horizons; re-attached
 			"compiledOn", // compiled-tier attachment flag; re-attached (compiled.Attach)
 			"fuse",       // fusion fence, republished by every StepN; dead between runs
+			"hznValid", "hznSeq", "hznRetry", // send-horizon cache; invalidated by the wakeSeq bump on restore
 		},
 	},
 	"jmachine/internal/machine.progressSig": {
@@ -138,6 +139,7 @@ var paritySpecs = map[string]paritySpec{
 			"compiled", "fuse", // compiled-tier attachments; re-attached (compiled.Attach)
 			"fuseSegs", "fuseHead", // fused charge plan; drained before every snapshot fence
 			"fusedInstrs", // fusion diagnostic counter, outside StateDigest
+			"fuseStats",   // fusion boundary/window accounting, outside StateDigest
 		},
 	},
 	"jmachine/internal/mdp.Context": {

@@ -48,17 +48,11 @@ func Compile(p *asm.Program, allow ...asm.Allowance) (*mdp.CompiledProgram, erro
 			fns[i] = compileInstr(p.Instrs[i], i)
 		}
 	}
-	// The no-send certificate scans every instruction, reachable or not:
-	// it licenses unbounded quiet-rule fusion windows, so it must hold
-	// for anything the machine could conceivably execute.
-	noSend := true
-	for _, in := range p.Instrs {
-		if in.Op.IsSend() {
-			noSend = false
-			break
-		}
-	}
-	return &mdp.CompiledProgram{Fns: fns, NoSend: noSend}, nil
+	// The send-distance certificate covers every instruction, reachable
+	// or not: it licenses fusion windows past the quiet rule's fixed
+	// lookahead, so it must hold for anything the machine could
+	// conceivably execute (effects.go computes it over the full stream).
+	return &mdp.CompiledProgram{Fns: fns, SendDist: tr.Certs.SendDist}, nil
 }
 
 // presenceOK reports whether a word passes the presence check: cfut

@@ -23,7 +23,9 @@ import (
 	"jmachine/internal/asm"
 	"jmachine/internal/isa"
 	"jmachine/internal/machine"
+	"jmachine/internal/mdp"
 	"jmachine/internal/rt"
+	"jmachine/internal/trace"
 	"jmachine/internal/word"
 )
 
@@ -185,8 +187,10 @@ func rtLibProgram() *asm.Program {
 	return b.MustAssemble()
 }
 
-func FuzzCompiledVsInterpreter(f *testing.F) {
-	// Every production, in order, with varied arguments.
+// fuzzSeeds loads the shared seed corpus: every generator production,
+// the handcrafted stress streams, and the opcode streams of the real
+// corpus (rt library and application kernels).
+func fuzzSeeds(f *testing.F) {
 	var all []byte
 	for sel := 0; sel < genProdCount; sel++ {
 		all = append(all, byte(sel), byte(sel*7+3))
@@ -195,7 +199,6 @@ func FuzzCompiledVsInterpreter(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{24, 0, 24, 1, 0, 0, 24, 2}) // send-heavy
 	f.Add([]byte{6, 0, 20, 1, 18, 2, 15, 3}) // fault-heavy: mod, xlate, wtag
-	// Corpus seeds: the rt library and the application kernels.
 	for _, p := range []*asm.Program{
 		rtLibProgram(),
 		lcs.BuildProgram(),
@@ -205,5 +208,75 @@ func FuzzCompiledVsInterpreter(f *testing.F) {
 	} {
 		f.Add(opcodeSeed(p))
 	}
+}
+
+func FuzzCompiledVsInterpreter(f *testing.F) {
+	fuzzSeeds(f)
 	f.Fuzz(fuzzDiff)
+}
+
+// fuzzCertifier is the certificate-soundness body: the same generated
+// programs, run on a plain interpreter machine with only the
+// send-distance table installed (no closures, so every boundary is
+// interpreted), checking the certifier's dynamic claim against the
+// observed traffic. Node.SendBound promises "no injection before cycle
+// b absent external input"; node 0 receives nothing in this rig, so
+// each per-cycle bound is a standing promise and the running maximum
+// must never be overtaken by an actual send — the exact monotonicity
+// the machine's cached SendHorizon relies on during a quiet streak.
+func fuzzCertifier(t *testing.T, data []byte) {
+	p := genProg(data)
+	tr, err := asm.Translate(p)
+	if err != nil {
+		var ef *asm.ErrFindings
+		if errors.As(err, &ef) {
+			t.Skip("generated program outside the Check-clean domain")
+		}
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Grid(2, 1, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := m.EnableTrace(4096)
+	if err := m.Nodes[0].Mem.Write(100, m.Net.NodeWord(1)); err != nil {
+		t.Fatal(err)
+	}
+	m.Nodes[0].SetCompiled(&mdp.CompiledProgram{SendDist: tr.Certs.SendDist}, nil)
+	m.Nodes[0].StartBackground(p.Entry("main"))
+
+	promise := int64(-1 << 62)
+	seen := 0
+	for i := 0; i < 400; i++ {
+		if b := m.Nodes[0].SendBound(); b < promise {
+			t.Fatalf("cycle %d: SendBound regressed from %d to %d with no external input",
+				m.Cycle(), promise, b)
+		} else {
+			promise = b
+		}
+		m.Step()
+		ev := bufs[0].Events()
+		for _, e := range ev[seen:] {
+			if e.Kind == trace.Send && e.Cycle < promise {
+				t.Fatalf("node 0 injected at cycle %d, but the certificate bound promised >= %d",
+					e.Cycle, promise)
+			}
+		}
+		seen = len(ev)
+		if m.FatalErr() != nil {
+			// No rt fault policy is attached, so a serviced fault without
+			// a handler is a legal terminal state (as in fuzzDiff): the
+			// node is dead and provably sends nothing more.
+			break
+		}
+	}
+}
+
+// FuzzCertifier drives fuzzCertifier from the shared corpus: the
+// effect certifier's send-distance tables are checked for dynamic
+// soundness on the same program distribution the differential fuzz
+// uses for execution equivalence.
+func FuzzCertifier(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(fuzzCertifier)
 }

@@ -1,14 +1,16 @@
 package compiled_test
 
-// No-send certificate tests. A program whose image contains no SEND
-// instruction anywhere licenses the compiled tier to extend fusion
-// windows to the full run-loop horizon instead of the 7-cycle quiet
-// window, so these tests pin down (a) the certificate itself — set
-// exactly when no member of the SEND family appears, reachable or not —
-// and (b) the differential contract under the giant windows it enables,
-// including the nastiest external edge: host Inject between run loops,
-// which must land on the same cycle in both tiers even though the
-// compiled machine executed thousands of boundaries eagerly.
+// Send-distance certificate tests. A program whose handlers are all
+// certified send-free publishes an unbounded send horizon, licensing
+// the compiled tier to extend fusion windows to the full run-loop
+// horizon instead of the 7-cycle quiet window. These tests pin down
+// (a) the per-instruction certificate itself — infinite distance
+// exactly on instructions from which no path reaches a SEND, zero on
+// the sends themselves — and (b) the differential contract under the
+// giant windows it enables, including the nastiest external edge: host
+// Inject between run loops, which must land on the same cycle in both
+// tiers even though the compiled machine executed thousands of
+// boundaries eagerly.
 
 import (
 	"testing"
@@ -74,23 +76,33 @@ func seedNoSend(m *machine.Machine) {
 	}
 }
 
-// TestNoSendCertificate: the certificate is a whole-image property —
-// granted to the send-free build, voided by a single SEND even in an
-// unreachable handler.
+// TestNoSendCertificate: the certificate is per-instruction — every
+// instruction of the send-free build carries an infinite send
+// distance, and adding a SEND handler zeroes the distance only there:
+// the compute loop and acc handler keep their infinite distances, the
+// per-handler improvement over the old whole-image NoSend flag.
 func TestNoSendCertificate(t *testing.T) {
 	cp, err := compiled.Compile(buildNoSendProgram(false))
 	if err != nil {
 		t.Fatalf("compile send-free: %v", err)
 	}
-	if !cp.NoSend {
-		t.Error("send-free image: NoSend = false, want true")
+	for ip, d := range cp.SendDist {
+		if d < asm.InfDist {
+			t.Errorf("send-free image: SendDist[%d] = %d, want InfDist", ip, d)
+		}
 	}
-	cp, err = compiled.Compile(buildNoSendProgram(true))
+	p := buildNoSendProgram(true)
+	cp, err = compiled.Compile(p)
 	if err != nil {
 		t.Fatalf("compile with unreachable send: %v", err)
 	}
-	if cp.NoSend {
-		t.Error("image with unreachable SEND: NoSend = true, want false")
+	if d := cp.SendDist[p.Entry("echo")]; d != 0 {
+		t.Errorf("SEND instruction: SendDist = %d, want 0", d)
+	}
+	for _, label := range []string{"main", "loop", "acc"} {
+		if d := cp.SendDist[p.Entry(label)]; d < asm.InfDist {
+			t.Errorf("send-free handler %q: SendDist = %d, want InfDist", label, d)
+		}
 	}
 }
 

@@ -140,7 +140,25 @@ type Machine struct {
 	// any shard worker reads them.
 	compiledOn bool
 	fuse       mdp.FuseCtl
+
+	// Send-horizon cache (see sendHorizon). A freshly computed horizon
+	// stays a sound lower bound for as long as the quiet streak holds
+	// and no out-of-band mutation lands: per-node bounds are
+	// non-decreasing under execution (each retired instruction advances
+	// the boundary floor at least as fast as the send distance falls),
+	// new messages require deliveries (which break the streak), and
+	// every external mutation path bumps wakeSeq. The cache therefore
+	// revalidates only when the streak restarts, wakeSeq moves, or the
+	// published horizon has lapsed behind the clock (retried with a
+	// backoff so an unhelpful horizon does not cost an O(nodes) sweep
+	// per cycle).
+	hznValid bool
+	hznSeq   uint64
+	hznRetry int64
 }
+
+// hznRetryInterval is the recompute backoff for a lapsed send horizon.
+const hznRetryInterval = 64
 
 // NoEvent is the "no wake scheduled" horizon value (re-exported from
 // mdp for hook authors): a horizon function returns it when its hook
@@ -201,13 +219,16 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 		// Catch a parked node up under its pre-mutation flags before an
 		// external actor (chaos freeze/kill, reliable-delivery failure,
 		// a background start) changes them; runs on the coordinator.
+		// The wake generation moves even for unparked nodes: the cached
+		// send horizon (and any other activity summary) must not survive
+		// an external mutation, parking aside.
 		m.Nodes[i].SetSyncHook(func() {
+			m.wakeSeq++
 			if m.parked[i] {
 				m.Nodes[i].SkipTo(m.caughtUpTo)
 				m.parked[i] = false
 				m.needWake[i] = false
 				m.nParked.Add(-1)
-				m.wakeSeq++
 			}
 		})
 	}
@@ -312,6 +333,7 @@ func (m *Machine) FastPathActive() bool { return m.fast && !m.pinned }
 func (m *Machine) SetCompiled(cp *mdp.CompiledProgram) {
 	m.compiledOn = cp != nil
 	m.fuse = mdp.FuseCtl{Limit: 0, QuietCycle: -1}
+	m.hznValid = false
 	for _, n := range m.Nodes {
 		if cp == nil {
 			n.SetCompiled(nil, nil)
@@ -333,6 +355,17 @@ func (m *Machine) FusedInstructions() int64 {
 	var total int64
 	for _, n := range m.Nodes {
 		total += n.FusedInstructions()
+	}
+	return total
+}
+
+// FusionStats sums the per-node compiled-tier boundary and window
+// accounting (mdp.FusionStats). Diagnostic only, like
+// FusedInstructions: host-scheduling-dependent, never digest-folded.
+func (m *Machine) FusionStats() mdp.FusionStats {
+	var total mdp.FusionStats
+	for _, n := range m.Nodes {
+		total.Add(n.FusionStats())
 	}
 	return total
 }
@@ -369,11 +402,42 @@ func (m *Machine) PublishNetQuiet() {
 	if !m.compiledOn {
 		return
 	}
-	if m.Net.Quiet() {
-		m.fuse.QuietCycle = m.cycle
-	} else {
+	if !m.Net.Quiet() {
 		m.fuse.QuietCycle = -1
+		m.hznValid = false // traffic in flight: the streak is broken
+		return
 	}
+	m.fuse.QuietCycle = m.cycle
+	// Publish the send horizon alongside the certification: the earliest
+	// cycle at which any node could inject, per the send-distance
+	// certificates. Cached across the quiet streak (see the field
+	// comment); a lapsed horizon is retried with a backoff because a
+	// node within an instruction of sending will usually break the
+	// streak itself.
+	if !m.hznValid || m.hznSeq != m.wakeSeq ||
+		(m.fuse.SendHorizon <= m.cycle && m.cycle >= m.hznRetry) {
+		m.fuse.SendHorizon = m.sendHorizon()
+		m.hznValid = true
+		m.hznSeq = m.wakeSeq
+		m.hznRetry = m.cycle + hznRetryInterval
+	}
+}
+
+// sendHorizon folds mdp.Node.SendBound over the mesh: the earliest
+// cycle at which any node could inject a message, given a quiet
+// network. Stops scanning once the bound cannot exceed the current
+// cycle (no fusion benefit remains).
+func (m *Machine) sendHorizon() int64 {
+	best := mdp.NoEvent
+	for _, n := range m.Nodes {
+		if b := n.SendBound(); b < best {
+			best = b
+			if best <= m.cycle {
+				break
+			}
+		}
+	}
+	return best
 }
 
 // SetWatchdog arms (or, with 0, disarms) the progress watchdog after

@@ -47,11 +47,15 @@
 //     cycle's network/processor phase boundary (FuseCtl.QuietCycle).
 //     A message enqueued at or after that point cannot complete a word
 //     into any delivery queue before fuseQuietWindow cycles elapse, so
-//     inner boundaries are admitted only strictly inside that window —
-//     except when the program holds the no-send certificate
-//     (CompiledProgram.NoSend): with no SEND instruction anywhere in
-//     the image and externals fenced by Limit, no message can be
-//     enqueued at all, and the window extends to the full limit.
+//     inner boundaries are admitted within that lookahead of the
+//     earliest cycle at which any node could inject: the machine's
+//     published send horizon (FuseCtl.SendHorizon), computed from the
+//     per-instruction send-distance certificates the static verifier
+//     proves (CompiledProgram.SendDist, asm.Certs). Without
+//     certificates the horizon degenerates to the current cycle and
+//     the rule is the fixed seven-cycle window; a certified send-free
+//     image has no horizon at all and the window extends to the full
+//     limit.
 //
 // The machine bounds every window with FuseCtl.Limit: the run loop's
 // cap and every cycle hook's event horizon (exclusive), exactly the
@@ -85,14 +89,16 @@ type InstrFn func(n *Node, ctx *Context, off int32, quiet bool) (cost int32, cat
 // bail compile to nil rather than a closure that always says no).
 type CompiledProgram struct {
 	Fns []InstrFn
-	// NoSend records that no instruction anywhere in the program is a
-	// member of the SEND family. Under it the quiet rule's window needs
-	// no fuseQuietWindow cap: the network held nothing at certification,
-	// no instruction can inject, and every external mutation path
-	// (hooks, chaos, host injection) is already fenced by FuseCtl.Limit
-	// — so no delivery can land before the window's last admitted
-	// boundary.
-	NoSend bool
+	// SendDist is the per-instruction send-distance certificate
+	// (asm.Certs.SendDist): a proven lower bound on the instruction
+	// boundaries retired, starting from one about to execute that
+	// instruction, before any effect can reach the network — with
+	// asm.InfDist meaning no path sends at all. It covers every code
+	// address, reachable or not. The machine folds it over every
+	// runnable context and every queued activation to publish
+	// FuseCtl.SendHorizon; nil disables the horizon (the quiet rule
+	// falls back to its fixed window).
+	SendDist []int32
 }
 
 // FuseCtl is the machine-owned fusion control block, shared by every
@@ -110,6 +116,18 @@ type FuseCtl struct {
 	// Net.Quiet() at the network/processor phase boundary; any other
 	// value (stale cycles included) means "not certified".
 	QuietCycle int64
+	// SendHorizon is the earliest cycle at which any node could inject
+	// a message, per the send-distance certificates: the machine folds
+	// CompiledProgram.SendDist over every runnable context's IP and
+	// every queued activation's handler entry whenever it certifies the
+	// network quiet. Deliveries lag injections by fuseQuietWindow, so
+	// the quiet rule admits fused boundaries through
+	// SendHorizon+fuseQuietWindow-1. NoEvent (nothing can ever send)
+	// lifts the cap entirely; values at or below the current cycle
+	// leave the fixed quiet window unchanged. Only meaningful when
+	// QuietCycle matches the current cycle — the machine refreshes both
+	// together.
+	SendHorizon int64
 }
 
 // fuseQuietWindow is the quiet rule's lookahead: after a
@@ -161,6 +179,69 @@ func (n *Node) CompiledActive() bool { return n.compiled != nil }
 // results must not.
 func (n *Node) FusedInstructions() int64 { return n.fusedInstrs }
 
+// Fusion-window end reasons, indexing FusionStats.End: why the fusion
+// loop stopped extending a window.
+const (
+	FuseEndLimit       = iota // the window reached FuseCtl.Limit (or its quiet cap)
+	FuseEndRange              // next IP left the code segment
+	FuseEndNotCompiled        // next instruction has no closure (bail-set member)
+	FuseEndBailed             // next instruction's closure bailed (fault path, stale queue read)
+	NumFuseEndReasons
+)
+
+// FuseEndReasonNames names the FusionStats.End indices, for reports.
+var FuseEndReasonNames = [NumFuseEndReasons]string{
+	"limit", "ip-range", "not-compiled", "bailed",
+}
+
+// FusionStats aggregates the compiled tier's boundary and window
+// accounting for one node. Like FusedInstructions, every field is
+// excluded from StateDigest and checkpoints: the counts depend on
+// host-side scheduling (run caps, hook horizons, shard phasing) that
+// simulated results must not.
+type FusionStats struct {
+	// Boundaries counts instruction boundaries offered to the compiled
+	// tier (runCompiled calls).
+	Boundaries int64
+	// InterpNoClosure and InterpBailed count boundaries handed back to
+	// the interpreter: no closure for the IP (bail-set member,
+	// unreachable code, IP out of range) vs. a closure that bailed
+	// (fault path, send back-pressure state, stale queue read).
+	InterpNoClosure int64
+	InterpBailed    int64
+	// NoLicense counts compiled boundaries executed exactly (no fusion
+	// license: limit reached, or neither the P1 nor the quiet rule
+	// held).
+	NoLicense int64
+	// Windows counts fusion windows entered (licensed boundaries);
+	// Fused counts instructions executed as non-boundary members, so
+	// the mean window length is (Windows+Fused)/Windows.
+	Windows int64
+	Fused   int64
+	// End histograms why each window stopped extending, by FuseEnd*.
+	End [NumFuseEndReasons]int64
+}
+
+// Add accumulates other into s.
+func (s *FusionStats) Add(o FusionStats) {
+	s.Boundaries += o.Boundaries
+	s.InterpNoClosure += o.InterpNoClosure
+	s.InterpBailed += o.InterpBailed
+	s.NoLicense += o.NoLicense
+	s.Windows += o.Windows
+	s.Fused += o.Fused
+	for i := range s.End {
+		s.End[i] += o.End[i]
+	}
+}
+
+// FusionStats returns this node's compiled-tier accounting.
+func (n *Node) FusionStats() FusionStats {
+	s := n.fuseStats
+	s.Fused = n.fusedInstrs
+	return s
+}
+
 // NNR returns the Node Number Register (this node's router address).
 // Exported for the compiled tier's register-read closures.
 func (n *Node) NNR() word.Word { return n.nnr }
@@ -179,16 +260,20 @@ func (n *Node) RegionCat() stats.Cat { return n.region }
 func (n *Node) runCompiled() bool {
 	cp := n.compiled
 	ctx := &n.ctx[n.cur]
+	n.fuseStats.Boundaries++
 	if ctx.IP < 0 || int(ctx.IP) >= len(cp.Fns) {
+		n.fuseStats.InterpNoClosure++
 		return false // interpreter raises the fatal IP diagnostic
 	}
 	fn := cp.Fns[ctx.IP]
 	if fn == nil {
+		n.fuseStats.InterpNoClosure++
 		return false
 	}
 	quiet := n.fuse != nil && n.fuse.QuietCycle == n.cycle
 	cost, cat, next, ok := fn(n, ctx, 0, quiet)
 	if !ok {
+		n.fuseStats.InterpBailed++
 		return false
 	}
 	ctx.IP = next
@@ -202,24 +287,38 @@ func (n *Node) runCompiled() bool {
 		limit = n.fuse.Limit
 	}
 	if limit > n.cycle+(1<<30) {
-		// No-send windows reach the run loop's whole horizon; keep the
+		// Send-free windows reach the run loop's whole horizon; keep the
 		// window's cost accumulators (off, stall) within int32.
 		limit = n.cycle + (1 << 30)
 	}
 	p1 := n.cur == LvlP1 && ctx.Running && !n.Cfg.SoftQueue.Enable
 	if limit <= n.cycle || !(p1 || quiet) {
+		n.fuseStats.NoLicense++
 		n.chargeFirst(cost, cat)
 		return true
 	}
-	if !p1 && !cp.NoSend {
-		// Quiet rule only: inner boundaries strictly inside the window.
-		// A program with no SEND instructions anywhere (cp.NoSend) skips
-		// the cap — quiet certification plus the Limit fence on external
-		// mutations already rule out any delivery inside the window.
-		if qc := n.cycle + fuseQuietWindow - 1; qc < limit {
+	if !p1 {
+		// Quiet rule: no message can complete a word into a delivery
+		// queue before fuseQuietWindow cycles after the earliest possible
+		// injection. The machine publishes that injection bound as
+		// SendHorizon (folding the send-distance certificates over every
+		// runnable context and queued activation); without certificates
+		// it is at most the current cycle and this is the fixed
+		// seven-cycle window. A send-free image publishes NoEvent and the
+		// cap disappears — externals are already fenced by Limit.
+		base := n.cycle
+		if h := n.fuse.SendHorizon; h > base {
+			base = h
+		}
+		if base > n.cycle+(1<<30) {
+			base = n.cycle + (1 << 30) // keep the cap arithmetic in range
+		}
+		if qc := base + fuseQuietWindow - 1; qc < limit {
 			limit = qc
 		}
 	}
+	n.fuseStats.Windows++
+	endReason := FuseEndLimit
 
 	// Fusion loop: execute successors whose boundaries fall at or
 	// before limit, accumulating charge segments. Adjacent segments of
@@ -239,14 +338,17 @@ func (n *Node) runCompiled() bool {
 	for n.cycle+int64(off) <= limit {
 		ip := ctx.IP
 		if ip < 0 || int(ip) >= len(fns) {
+			endReason = FuseEndRange
 			break
 		}
 		f2 := fns[ip]
 		if f2 == nil {
+			endReason = FuseEndNotCompiled
 			break
 		}
 		c2, cat2, nx2, ok2 := f2(n, ctx, off, quiet)
 		if !ok2 {
+			endReason = FuseEndBailed
 			break
 		}
 		ctx.IP = nx2
@@ -259,6 +361,7 @@ func (n *Node) runCompiled() bool {
 		}
 		off += c2
 	}
+	n.fuseStats.End[endReason]++
 	n.fuseSegs = segs
 	if fused > 0 {
 		// Batched: the thread class is loop-invariant (dispatch and

@@ -3,21 +3,18 @@ package rt
 import "jmachine/internal/asm"
 
 // CheckAllowances returns the asm.Check suppressions needed to verify
-// any program that links the runtime library. The library's subroutines
-// are entered with a register-passing contract — arguments and the BSR
-// link register are supplied by the caller — so when an application
-// never calls one of them locally the static checker sees the label as
-// an entry where only the dispatch registers are defined and reports
-// the contract registers as read-before-def (ASM001).
+// any program that links the runtime library.
+//
+// There are none left. Earlier revisions suppressed ASM001 for the
+// library's register-contract subroutines (rt.writesync, rt.barinit,
+// rt.barrier): when an application never called one locally, the
+// checker treated its orphan label as a handler entry and reported the
+// contract registers as read-before-def. The effect certifier now
+// classifies orphan labels that return via a register JMP and never
+// SUSPEND as subroutine contracts and seeds their dataflow with the
+// caller-provides-everything assumption, so those findings no longer
+// occur — and asm.Check's ASM012 flags any allowance that suppresses
+// nothing, which is why the retired entries must not linger here.
 func CheckAllowances() []asm.Allowance {
-	return []asm.Allowance{
-		{Code: "ASM001", Label: LWriteSync,
-			Rationale: "subroutine contract: A0 = sync slot, R0 = value, link in R3 (libWriteSync)"},
-		{Code: "ASM001", Label: LWriteSync + ".slow",
-			Rationale: "slow-path tail of rt.writesync: same contract, link in R3"},
-		{Code: "ASM001", Label: LBarInit,
-			Rationale: "subroutine contract: link in R3, saved to scratch before use"},
-		{Code: "ASM001", Label: LBarrier,
-			Rationale: "subroutine contract: link in R3, saved to scratch before use"},
-	}
+	return nil
 }

@@ -5,8 +5,9 @@
 # exchange across shard counts, the token-ring idle workload under
 # the reference loop and the event-horizon fast path, and the
 # compiled-tier roofline (both fig3 shapes, interpreted and compiled,
-# classified dispatch- vs memory-bound) — folded into BENCH_engine.json
-# by jm-bench. The probes also re-check the determinism contract:
+# classified dispatch- vs memory-bound) and the fusion-coverage probe
+# (per-handler send-distance certificates vs the old whole-image
+# licensing, per shape) — folded into BENCH_engine.json by jm-bench. The probes also re-check the determinism contract:
 # final state digests within each workload must be equal, whatever the
 # shard count, stepping mode, or execution tier.
 #
